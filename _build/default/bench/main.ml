@@ -1,0 +1,263 @@
+(* Benchmark and reproduction harness.
+
+   Usage:
+     main.exe                 regenerate every artifact, then run the
+                              Bechamel micro-benchmarks and the ablations
+     main.exe <artifact>      one of: table1 fig5 fig6 fig7 fig8 fig9
+                              fig10 fig11 table2 all micro ablation
+
+   Artifact regeneration prints the same rows/series as the paper's
+   evaluation section (see EXPERIMENTS.md for the paper-vs-measured
+   record). *)
+
+open Bechamel
+open Toolkit
+
+module Runner_kernels = struct
+  let kernels = Cgra_kernels.Kernels.all
+end
+
+let artifacts =
+  [ ("table1", Cgra_exp.Figures.table1);
+    ("fig2", Cgra_exp.Figures.fig2);
+    ("fig5", Cgra_exp.Figures.fig5);
+    ("fig6", Cgra_exp.Figures.fig6);
+    ("fig7", Cgra_exp.Figures.fig7);
+    ("fig8", Cgra_exp.Figures.fig8);
+    ("fig9", Cgra_exp.Figures.fig9);
+    ("fig10", Cgra_exp.Figures.fig10);
+    ("fig11", Cgra_exp.Figures.fig11);
+    ("table2", Cgra_exp.Figures.table2) ]
+
+let print_artifact name =
+  match List.assoc_opt name artifacts with
+  | Some f ->
+    print_endline (f ());
+    print_newline ()
+  | None -> Printf.printf "unknown artifact %s\n" name
+
+let run_all_artifacts () = List.iter (fun (n, _) -> print_artifact n) artifacts
+
+(* ---- Bechamel micro-benchmarks --------------------------------------- *)
+
+let fir = Option.get (Cgra_kernels.Kernels.by_slug "fir")
+let fir_cdfg = Cgra_kernels.Kernel_def.cdfg fir
+
+let map_fir config flow =
+  match Cgra_core.Flow.run ~config:flow (Cgra_arch.Config.cgra config) fir_cdfg with
+  | Ok (m, _) -> m
+  | Error f -> failwith f.Cgra_core.Flow.reason
+
+let fir_mapping = lazy (map_fir Cgra_arch.Config.HOM64 Cgra_core.Flow_config.basic)
+let fir_program = lazy (Cgra_asm.Assemble.assemble (Lazy.force fir_mapping))
+let fir_cpu = lazy (Cgra_cpu.Codegen.compile fir_cdfg)
+
+(* One Test.make per paper table/figure: each measures regenerating that
+   artifact with a warm run cache (the mapping work itself is benchmarked
+   separately below). *)
+let artifact_tests =
+  List.map
+    (fun (name, f) -> Test.make ~name:("artifact/" ^ name) (Staged.stage f))
+    artifacts
+
+let pipeline_tests =
+  [ Test.make ~name:"frontend/compile-fir"
+      (Staged.stage (fun () ->
+           Cgra_lang.Compile.compile_exn fir.Cgra_kernels.Kernel_def.source));
+    Test.make ~name:"mapper/basic-fir-hom64"
+      (Staged.stage (fun () ->
+           map_fir Cgra_arch.Config.HOM64 Cgra_core.Flow_config.basic));
+    Test.make ~name:"mapper/aware-fir-het2"
+      (Staged.stage (fun () ->
+           map_fir Cgra_arch.Config.HET2 Cgra_core.Flow_config.context_aware));
+    Test.make ~name:"assembler/fir"
+      (Staged.stage (fun () -> Cgra_asm.Assemble.assemble (Lazy.force fir_mapping)));
+    Test.make ~name:"simulator/fir"
+      (Staged.stage (fun () ->
+           let mem = Cgra_kernels.Kernel_def.fresh_mem fir in
+           Cgra_sim.Simulator.run (Lazy.force fir_program) ~mem));
+    Test.make ~name:"cpu-sim/fir"
+      (Staged.stage (fun () ->
+           let mem = Cgra_kernels.Kernel_def.fresh_mem fir in
+           Cgra_cpu.Cpu_sim.run (Lazy.force fir_cpu) ~mem));
+    Test.make ~name:"interp/fir"
+      (Staged.stage (fun () ->
+           let mem = Cgra_kernels.Kernel_def.fresh_mem fir in
+           Cgra_ir.Interp.run fir_cdfg ~mem)) ]
+
+let run_micro () =
+  (* Warm the experiment cache so artifact benches measure rendering, not
+     first-run mapping. *)
+  List.iter (fun (_, f) -> ignore (f ())) artifacts;
+  let tests = artifact_tests @ pipeline_tests in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 10) ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  print_endline "Bechamel micro-benchmarks (ns per run):";
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+      let results = Analyze.all ols instance raw in
+      Hashtbl.iter
+        (fun name est ->
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] -> Printf.printf "  %-28s %12.0f ns\n%!" name ns
+          | Some _ | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
+        results)
+    tests
+
+(* ---- Ablations (DESIGN.md section 6) --------------------------------- *)
+
+let ablation_beam () =
+  print_endline "Ablation: beam width of the full flow (FFT @ HET2)";
+  let k = Option.get (Cgra_kernels.Kernels.by_slug "fft") in
+  let cdfg = Cgra_kernels.Kernel_def.cdfg k in
+  let cgra = Cgra_arch.Config.cgra Cgra_arch.Config.HET2 in
+  List.iter
+    (fun beam ->
+      let config =
+        { Cgra_core.Flow_config.context_aware with beam_width = beam }
+      in
+      let t0 = Unix.gettimeofday () in
+      (match Cgra_core.Flow.run ~config cgra cdfg with
+       | Ok (m, _) ->
+         let prog = Cgra_asm.Assemble.assemble m in
+         let mem = Cgra_kernels.Kernel_def.fresh_mem k in
+         let r = Cgra_sim.Simulator.run prog ~mem in
+         Printf.printf "  beam %3d: mapped, %d cycles, %d moves, %.2fs\n%!"
+           beam r.Cgra_sim.Simulator.cycles (Cgra_core.Mapping.total_moves m)
+           (Unix.gettimeofday () -. t0)
+       | Error f ->
+         Printf.printf "  beam %3d: FAILED (%s), %.2fs\n%!" beam
+           f.Cgra_core.Flow.reason
+           (Unix.gettimeofday () -. t0)))
+    [ 4; 8; 16; 32; 48 ]
+
+let ablation_seeds () =
+  print_endline "Ablation: stochastic-pruning seed (MatM @ HET1, full flow)";
+  let k = Option.get (Cgra_kernels.Kernels.by_slug "matm") in
+  let cdfg = Cgra_kernels.Kernel_def.cdfg k in
+  let cgra = Cgra_arch.Config.cgra Cgra_arch.Config.HET1 in
+  List.iter
+    (fun seed ->
+      let config = { Cgra_core.Flow_config.context_aware with seed } in
+      match Cgra_core.Flow.run ~config cgra cdfg with
+      | Ok (m, _) ->
+        let prog = Cgra_asm.Assemble.assemble m in
+        let mem = Cgra_kernels.Kernel_def.fresh_mem k in
+        let r = Cgra_sim.Simulator.run prog ~mem in
+        Printf.printf "  seed %4d: mapped, %d cycles, %d context words max\n%!"
+          seed r.Cgra_sim.Simulator.cycles
+          (Array.fold_left
+             (fun acc u -> max acc (Cgra_core.Mapping.usage_total u))
+             0
+             (Cgra_core.Mapping.tile_usage m))
+      | Error f -> Printf.printf "  seed %4d: FAILED (%s)\n%!" seed f.Cgra_core.Flow.reason)
+    [ 42; 7; 1234 ]
+
+let ablation_ports () =
+  print_endline "Ablation: data-memory ports (Convolution @ HOM64, basic flow)";
+  let k = Option.get (Cgra_kernels.Kernels.by_slug "convolution") in
+  let cdfg = Cgra_kernels.Kernel_def.cdfg k in
+  let cgra = Cgra_arch.Config.cgra Cgra_arch.Config.HOM64 in
+  match Cgra_core.Flow.run cgra cdfg with
+  | Error f -> Printf.printf "  mapping failed: %s\n" f.Cgra_core.Flow.reason
+  | Ok (m, _) ->
+    let prog = Cgra_asm.Assemble.assemble m in
+    List.iter
+      (fun ports ->
+        let mem = Cgra_kernels.Kernel_def.fresh_mem k in
+        let r = Cgra_sim.Simulator.run ~mem_ports:ports prog ~mem in
+        Printf.printf "  %2d ports: %d cycles (%d stalls)\n%!" ports
+          r.Cgra_sim.Simulator.cycles r.Cgra_sim.Simulator.stall_cycles)
+      [ 1; 2; 4; 8 ]
+
+let ablation_cfg_simplification () =
+  print_endline
+    "Ablation: trivial-block elimination (controller transition cycles)";
+  List.iter
+    (fun k ->
+      let plain = Cgra_kernels.Kernel_def.cdfg k in
+      let simple = Cgra_ir.Opt.simplify_cfg plain in
+      let run cdfg =
+        match
+          Cgra_core.Flow.run ~config:Cgra_core.Flow_config.basic
+            (Cgra_arch.Config.cgra Cgra_arch.Config.HOM64) cdfg
+        with
+        | Error _ -> None
+        | Ok (m, _) ->
+          let prog = Cgra_asm.Assemble.assemble m in
+          let mem = Cgra_kernels.Kernel_def.fresh_mem k in
+          Some (Cgra_sim.Simulator.run prog ~mem).Cgra_sim.Simulator.cycles
+      in
+      match run plain, run simple with
+      | Some a, Some b ->
+        Printf.printf "  %-14s %5d -> %5d cycles (%d blocks -> %d)\n%!"
+          k.Cgra_kernels.Kernel_def.name a b
+          (Cgra_ir.Cdfg.block_count plain)
+          (Cgra_ir.Cdfg.block_count simple)
+      | _, _ -> Printf.printf "  %-14s (mapping failed)\n%!" k.Cgra_kernels.Kernel_def.name)
+    Runner_kernels.kernels;
+  print_endline
+    "  (the lowering attaches live-outs to join blocks, so this suite has\n\
+    \   no trivial blocks; the pass pays off on if/else-heavy kernels)"
+
+let ablation_if_conversion () =
+  print_endline "Ablation: if-conversion (predication via select)";
+  let src =
+    {|kernel threshold { arr x @ 0; arr o @ 32; var i, v, r;
+      for (i = 0; i < 24; i = i + 1) {
+        v = x[i];
+        r = 0;
+        if (v > 8) { r = v * 3 + 1; } else { r = 0 - v; }
+        o[i] = r;
+      } }|}
+  in
+  let cdfg = Cgra_lang.Compile.compile_exn src in
+  let conv = Cgra_ir.Opt.simplify_cfg (Cgra_ir.Opt.if_convert cdfg) in
+  let run label c =
+    match
+      Cgra_core.Flow.run ~config:Cgra_core.Flow_config.basic
+        (Cgra_arch.Config.cgra Cgra_arch.Config.HOM64) c
+    with
+    | Error f -> Printf.printf "  %-14s mapping failed: %s\n%!" label f.Cgra_core.Flow.reason
+    | Ok (m, _) ->
+      let prog = Cgra_asm.Assemble.assemble m in
+      let mem = Array.make 64 0 in
+      for k = 0 to 23 do
+        mem.(k) <- (k * 7) mod 17
+      done;
+      let golden = Array.copy mem in
+      ignore (Cgra_ir.Interp.run c ~mem:golden);
+      let r = Cgra_sim.Simulator.run prog ~mem in
+      assert (mem = golden);
+      Printf.printf "  %-14s %5d cycles over %2d blocks\n%!" label
+        r.Cgra_sim.Simulator.cycles (Cgra_ir.Cdfg.block_count c)
+  in
+  run "branchy" cdfg;
+  run "if-converted" conv
+
+let run_ablations () =
+  ablation_beam ();
+  ablation_seeds ();
+  ablation_ports ();
+  ablation_cfg_simplification ();
+  ablation_if_conversion ()
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] ->
+    run_all_artifacts ();
+    run_micro ();
+    run_ablations ()
+  | _ :: [ "all" ] -> run_all_artifacts ()
+  | _ :: [ "micro" ] -> run_micro ()
+  | _ :: [ "ablation" ] -> run_ablations ()
+  | _ :: [ name ] -> print_artifact name
+  | _ ->
+    prerr_endline "usage: main.exe [table1|fig5..fig11|table2|all|micro|ablation]";
+    exit 1

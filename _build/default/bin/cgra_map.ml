@@ -1,0 +1,183 @@
+(* Command-line driver for the mapping tool-chain.
+
+   cgra_map list
+   cgra_map map -k <kernel> [-c <config>] [-f <flow>] [--asm] [--simulate]
+   cgra_map compile <file>        compile a kernel-language source file
+   cgra_map artifacts <name|all>  regenerate paper tables/figures *)
+
+open Cmdliner
+
+let config_conv =
+  let parse s =
+    match Cgra_arch.Config.of_string s with
+    | Some c -> Ok c
+    | None -> Error (`Msg ("unknown configuration " ^ s))
+  in
+  Arg.conv (parse, fun fmt c -> Format.fprintf fmt "%s" (Cgra_arch.Config.to_string c))
+
+let flow_of_string = function
+  | "basic" -> Some Cgra_core.Flow_config.basic
+  | "acmap" -> Some Cgra_core.Flow_config.with_acmap
+  | "ecmap" -> Some Cgra_core.Flow_config.with_acmap_ecmap
+  | "full" | "cab" -> Some Cgra_core.Flow_config.context_aware
+  | _ -> None
+
+let flow_conv =
+  let parse s =
+    match flow_of_string s with
+    | Some f -> Ok f
+    | None -> Error (`Msg ("unknown flow " ^ s ^ " (basic|acmap|ecmap|full)"))
+  in
+  Arg.conv (parse, fun fmt f -> Format.fprintf fmt "%s" (Cgra_core.Flow_config.steps_of f))
+
+let list_cmd =
+  let doc = "List the bundled kernels and CGRA configurations." in
+  let run () =
+    print_endline "kernels:";
+    List.iter
+      (fun k ->
+        Printf.printf "  %-16s %s\n" k.Cgra_kernels.Kernel_def.slug
+          k.Cgra_kernels.Kernel_def.description)
+      Cgra_kernels.Kernels.all;
+    print_endline "configurations:";
+    List.iter
+      (fun c ->
+        Printf.printf "  %-6s total %4d context words\n"
+          (Cgra_arch.Config.to_string c)
+          (Cgra_arch.Config.total_cm c))
+      Cgra_arch.Config.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let map_cmd =
+  let doc = "Map a kernel onto a CGRA configuration and report the result." in
+  let kernel =
+    Arg.(required & opt (some string) None & info [ "k"; "kernel" ] ~doc:"Kernel slug.")
+  in
+  let config =
+    Arg.(value & opt config_conv Cgra_arch.Config.HET2 & info [ "c"; "config" ] ~doc:"CM configuration.")
+  in
+  let flow =
+    Arg.(value & opt flow_conv Cgra_core.Flow_config.context_aware
+         & info [ "f"; "flow" ] ~doc:"Mapping flow: basic, acmap, ecmap or full.")
+  in
+  let dump_asm = Arg.(value & flag & info [ "asm" ] ~doc:"Print the per-tile assembly.") in
+  let schedule = Arg.(value & flag & info [ "schedule" ] ~doc:"Print per-block schedule grids.") in
+  let simulate = Arg.(value & flag & info [ "simulate" ] ~doc:"Run the cycle-level simulator and verify.") in
+  let run slug config flow dump_asm schedule simulate =
+    match Cgra_kernels.Kernels.by_slug slug with
+    | None ->
+      Printf.eprintf "unknown kernel %s (try: cgra_map list)\n" slug;
+      exit 1
+    | Some k -> (
+      let cdfg = Cgra_kernels.Kernel_def.cdfg k in
+      let cgra = Cgra_arch.Config.cgra config in
+      match Cgra_core.Flow.run ~config:flow cgra cdfg with
+      | Error f ->
+        Printf.printf "no mapping: %s\n" f.Cgra_core.Flow.reason;
+        exit 2
+      | Ok (m, stats) ->
+        Format.printf "%a@." Cgra_core.Mapping.pp_summary m;
+        Format.printf "recomputes: %d, population peak: %d@."
+          stats.Cgra_core.Flow.recomputes stats.Cgra_core.Flow.population_peak;
+        if schedule then
+          Array.iteri
+            (fun bi _ -> Format.printf "%a@." Cgra_core.Mapping.pp_schedule (m, bi))
+            m.Cgra_core.Mapping.bbs;
+        let prog = Cgra_asm.Assemble.assemble m in
+        if dump_asm then
+          Array.iteri
+            (fun t tp -> Format.printf "%a@." Cgra_asm.Assemble.pp_tile (t, tp))
+            prog.Cgra_asm.Assemble.tiles;
+        if simulate then begin
+          let mem = Cgra_kernels.Kernel_def.fresh_mem k in
+          let r = Cgra_sim.Simulator.run prog ~mem in
+          let ok = mem = Cgra_kernels.Kernel_def.run_golden k in
+          let e = Cgra_power.Energy.cgra cgra r in
+          Format.printf
+            "simulated: %d cycles (%d stalls), functional check %s, %.3f uJ@."
+            r.Cgra_sim.Simulator.cycles r.Cgra_sim.Simulator.stall_cycles
+            (if ok then "PASSED" else "FAILED")
+            (Cgra_power.Energy.to_uj e.Cgra_power.Energy.total_pj);
+          if not ok then exit 3
+        end)
+  in
+  Cmd.v (Cmd.info "map" ~doc)
+    Term.(const run $ kernel $ config $ flow $ dump_asm $ schedule $ simulate)
+
+let compile_cmd =
+  let doc = "Compile a kernel-language source file and print its CDFG." in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    match Cgra_lang.Compile.compile src with
+    | Ok cdfg -> Format.printf "%a@." Cgra_ir.Cdfg.pp cdfg
+    | Error e ->
+      prerr_endline e;
+      exit 1
+  in
+  Cmd.v (Cmd.info "compile" ~doc) Term.(const run $ file)
+
+let stats_cmd =
+  let doc = "Print static and dynamic statistics of a kernel's CDFG." in
+  let kernel =
+    Arg.(required & opt (some string) None & info [ "k"; "kernel" ] ~doc:"Kernel slug.")
+  in
+  let run slug =
+    match Cgra_kernels.Kernels.by_slug slug with
+    | None ->
+      Printf.eprintf "unknown kernel %s\n" slug;
+      exit 1
+    | Some k ->
+      let cdfg = Cgra_kernels.Kernel_def.cdfg k in
+      let mem = Cgra_kernels.Kernel_def.fresh_mem k in
+      let trace = Cgra_ir.Interp.run cdfg ~mem in
+      Format.printf "kernel %s: %d blocks, %d operations, %d symbol variables@."
+        cdfg.Cgra_ir.Cdfg.kernel_name
+        (Cgra_ir.Cdfg.block_count cdfg)
+        (Cgra_ir.Cdfg.node_count cdfg)
+        cdfg.Cgra_ir.Cdfg.sym_count;
+      Format.printf "%-12s %6s %6s %9s %9s@." "block" "ops" "Wbb" "executions"
+        "dyn-ops";
+      Array.iteri
+        (fun bi b ->
+          let n = Array.length b.Cgra_ir.Cdfg.nodes in
+          let execs = trace.Cgra_ir.Interp.block_counts.(bi) in
+          Format.printf "%-12s %6d %6d %9d %9d@." b.Cgra_ir.Cdfg.name n
+            (Cgra_ir.Cdfg.block_weight cdfg bi)
+            execs (n * execs))
+        cdfg.Cgra_ir.Cdfg.blocks
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ kernel)
+
+let artifacts_cmd =
+  let doc = "Regenerate the paper's tables and figures." in
+  let which = Arg.(value & pos 0 string "all" & info [] ~docv:"ARTIFACT") in
+  let run = function
+    | "all" -> print_string (Cgra_exp.Figures.run_all ())
+    | "table1" -> print_string (Cgra_exp.Figures.table1 ())
+    | "fig2" -> print_string (Cgra_exp.Figures.fig2 ())
+    | "fig5" -> print_string (Cgra_exp.Figures.fig5 ())
+    | "fig6" -> print_string (Cgra_exp.Figures.fig6 ())
+    | "fig7" -> print_string (Cgra_exp.Figures.fig7 ())
+    | "fig8" -> print_string (Cgra_exp.Figures.fig8 ())
+    | "fig9" -> print_string (Cgra_exp.Figures.fig9 ())
+    | "fig10" -> print_string (Cgra_exp.Figures.fig10 ())
+    | "fig11" -> print_string (Cgra_exp.Figures.fig11 ())
+    | "table2" -> print_string (Cgra_exp.Figures.table2 ())
+    | other ->
+      Printf.eprintf "unknown artifact %s\n" other;
+      exit 1
+  in
+  Cmd.v (Cmd.info "artifacts" ~doc) Term.(const run $ which)
+
+let () =
+  let doc = "context-memory aware mapping tool-chain for CGRAs" in
+  let info = Cmd.info "cgra_map" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; map_cmd; compile_cmd; stats_cmd; artifacts_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Array Cgra_arch Cgra_asm Cgra_core Cgra_cpu Cgra_ir Cgra_kernels Cgra_lang Cgra_power Cgra_sim Format Printf

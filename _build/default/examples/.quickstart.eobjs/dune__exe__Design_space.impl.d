@@ -1,0 +1,1 @@
+examples/design_space.ml: Cgra_arch Cgra_asm Cgra_core Cgra_kernels Cgra_power Cgra_sim Format List

@@ -1,0 +1,1 @@
+examples/energy_report.ml: Array Cgra_arch Cgra_asm Cgra_core Cgra_cpu Cgra_kernels Cgra_power Cgra_sim Format String Sys

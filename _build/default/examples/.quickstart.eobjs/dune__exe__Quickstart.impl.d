@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cgra_arch Cgra_asm Cgra_core Cgra_ir Cgra_lang Cgra_sim Format

@@ -1,0 +1,1 @@
+examples/scaling.ml: Cgra_arch Cgra_asm Cgra_core Cgra_kernels Cgra_sim Format List

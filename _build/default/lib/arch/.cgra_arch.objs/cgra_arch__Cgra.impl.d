@@ -1,0 +1,1 @@
+lib/arch/cgra.ml: Array Cgra_ir Format List

@@ -1,0 +1,1 @@
+lib/arch/cgra.mli: Cgra_ir Format

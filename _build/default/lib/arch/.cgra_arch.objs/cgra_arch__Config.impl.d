@@ -1,0 +1,1 @@
+lib/arch/config.ml: Cgra Fun List String

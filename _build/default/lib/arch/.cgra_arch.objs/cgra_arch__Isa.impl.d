@@ -1,0 +1,1 @@
+lib/arch/isa.ml: Cgra_ir Int64 List Printf String

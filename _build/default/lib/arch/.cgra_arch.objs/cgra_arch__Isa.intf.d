@@ -1,0 +1,1 @@
+lib/arch/isa.mli: Cgra_ir

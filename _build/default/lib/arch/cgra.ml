@@ -1,0 +1,86 @@
+type tile = {
+  id : int;
+  row : int;
+  col : int;
+  has_lsu : bool;
+  cm_words : int;
+}
+
+type t = {
+  rows : int;
+  cols : int;
+  tiles : tile array;
+  rf_words : int;
+  crf_words : int;
+}
+
+let make ?(rows = 4) ?(cols = 4) ?(lsu_rows = 2) ?(rf_words = 32)
+    ?(crf_words = 32) ~cm_of_tile () =
+  if rows <= 0 || cols <= 0 then invalid_arg "Cgra.make: empty grid";
+  let tile id =
+    let row = id / cols and col = id mod cols in
+    { id; row; col; has_lsu = row < lsu_rows; cm_words = cm_of_tile id }
+  in
+  { rows; cols; tiles = Array.init (rows * cols) tile; rf_words; crf_words }
+
+let tile_count c = Array.length c.tiles
+
+let lsu_tiles c =
+  Array.to_list c.tiles
+  |> List.filter_map (fun t -> if t.has_lsu then Some t.id else None)
+
+let can_execute c id op =
+  if Cgra_ir.Opcode.needs_lsu op then c.tiles.(id).has_lsu else true
+
+let id_of c ~row ~col =
+  let row = ((row mod c.rows) + c.rows) mod c.rows in
+  let col = ((col mod c.cols) + c.cols) mod c.cols in
+  (row * c.cols) + col
+
+let neighbors c id =
+  let t = c.tiles.(id) in
+  let cand =
+    [ id_of c ~row:(t.row - 1) ~col:t.col;
+      id_of c ~row:(t.row + 1) ~col:t.col;
+      id_of c ~row:t.row ~col:(t.col - 1);
+      id_of c ~row:t.row ~col:(t.col + 1) ]
+  in
+  List.filter (fun n -> n <> id) (List.sort_uniq compare cand)
+
+(* Signed wrap-around delta with the smallest magnitude; ties (exactly half
+   the ring) resolve to the positive direction so routes are deterministic. *)
+let ring_delta size a b =
+  let d = ((b - a) mod size + size) mod size in
+  if d * 2 > size then d - size else d
+
+let distance c a b =
+  let ta = c.tiles.(a) and tb = c.tiles.(b) in
+  abs (ring_delta c.rows ta.row tb.row) + abs (ring_delta c.cols ta.col tb.col)
+
+let route c ~src ~dst =
+  let td = c.tiles.(dst) in
+  let rec go row col acc =
+    let dr = ring_delta c.rows row td.row in
+    let dc = ring_delta c.cols col td.col in
+    if dr = 0 && dc = 0 then List.rev acc
+    else if dr <> 0 then
+      let row = ((row + compare dr 0) mod c.rows + c.rows) mod c.rows in
+      go row col (id_of c ~row ~col :: acc)
+    else
+      let col = ((col + compare dc 0) mod c.cols + c.cols) mod c.cols in
+      go row col (id_of c ~row ~col :: acc)
+  in
+  let ts = c.tiles.(src) in
+  go ts.row ts.col []
+
+let pp_grid fmt c =
+  Format.fprintf fmt "@[<v>";
+  for r = 0 to c.rows - 1 do
+    for col = 0 to c.cols - 1 do
+      let t = c.tiles.((r * c.cols) + col) in
+      Format.fprintf fmt "[T%02d%s cm=%-3d] " t.id (if t.has_lsu then "*" else " ")
+        t.cm_words
+    done;
+    Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "(* = load-store tile)@]"

@@ -1,0 +1,53 @@
+(** Model of the target CGRA (Fig 1 of the paper).
+
+    A grid of tiles (PEs) interconnected through a 2D-mesh torus.  Every
+    tile has an ALU, a register file (RF), a constant register file (CRF)
+    and its own context memory (CM), decoder and controller; tiles in the
+    first [lsu_rows] rows additionally contain a load/store unit connected
+    to the shared data memory through a logarithmic interconnect.  The
+    evaluation uses a 4x4 array whose first two rows (tiles 1..8 in the
+    paper's numbering, ids 0..7 here) are load-store tiles. *)
+
+type tile = {
+  id : int;           (** dense id, row-major from 0 *)
+  row : int;
+  col : int;
+  has_lsu : bool;
+  cm_words : int;     (** context-memory capacity in instruction words *)
+}
+
+type t = {
+  rows : int;
+  cols : int;
+  tiles : tile array;
+  rf_words : int;     (** regular register file: 32 x 8-bit in the paper *)
+  crf_words : int;    (** constant register file: 32 x 16-bit *)
+}
+
+val make :
+  ?rows:int -> ?cols:int -> ?lsu_rows:int -> ?rf_words:int -> ?crf_words:int ->
+  cm_of_tile:(int -> int) -> unit -> t
+(** Defaults give the paper's 4x4 array with 8 load-store tiles, 32-word RF
+    and CRF.  [cm_of_tile id] sets each tile's CM capacity. *)
+
+val tile_count : t -> int
+
+val lsu_tiles : t -> int list
+(** Ids of tiles able to execute loads and stores. *)
+
+val can_execute : t -> int -> Cgra_ir.Opcode.t -> bool
+(** Whether the opcode may be placed on the tile (LSU restriction). *)
+
+val neighbors : t -> int -> int list
+(** Torus neighbours in N, S, W, E order; always 4 distinct tiles on grids
+    of at least 3x3 (on smaller grids wrap-around duplicates are removed). *)
+
+val distance : t -> int -> int -> int
+(** Torus Manhattan distance in hops. *)
+
+val route : t -> src:int -> dst:int -> int list
+(** Deterministic shortest path, row direction first: the successive tiles
+    {e after} [src], ending with [dst].  [route ~src ~dst:src] is []. *)
+
+val pp_grid : Format.formatter -> t -> unit
+(** Small ASCII rendering of the grid with CM sizes and LSU markers. *)

@@ -1,0 +1,49 @@
+type name = HOM64 | HOM32 | HET1 | HET2
+
+let all = [ HOM64; HOM32; HET1; HET2 ]
+
+let to_string = function
+  | HOM64 -> "HOM64"
+  | HOM32 -> "HOM32"
+  | HET1 -> "HET1"
+  | HET2 -> "HET2"
+
+let of_string s =
+  List.find_opt (fun n -> String.lowercase_ascii (to_string n) = String.lowercase_ascii s) all
+
+(* Paper tile k (1-based) is id k-1.  HET1: tiles 1-4 -> 64; 5-8 and
+   13-16 -> 32; 9-12 -> 16.  HET2: 1-4 -> 64; 5-8 -> 32; 9-16 -> 16. *)
+let cm_of_tile name id =
+  let tile = id + 1 in
+  match name with
+  | HOM64 -> 64
+  | HOM32 -> 32
+  | HET1 -> if tile <= 4 then 64 else if tile <= 8 || tile >= 13 then 32 else 16
+  | HET2 -> if tile <= 4 then 64 else if tile <= 8 then 32 else 16
+
+let total_cm name =
+  let sum = ref 0 in
+  for id = 0 to 15 do
+    sum := !sum + cm_of_tile name id
+  done;
+  !sum
+
+let cgra name = Cgra.make ~cm_of_tile:(cm_of_tile name) ()
+
+let table1_rows () =
+  let tiles_with name words =
+    List.filter (fun id -> cm_of_tile name id = words) (List.init 16 Fun.id)
+    |> List.map (fun id -> string_of_int (id + 1))
+    |> function
+    | [] -> "-"
+    | l -> String.concat "," l
+  in
+  let row name =
+    [ to_string name;
+      "1-8";
+      tiles_with name 64;
+      tiles_with name 32;
+      tiles_with name 16;
+      string_of_int (total_cm name) ]
+  in
+  List.map row all

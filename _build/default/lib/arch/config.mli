@@ -1,0 +1,32 @@
+(** The four context-memory configurations of Table I.
+
+    Tile numbering follows the paper (tiles 1..16 row-major; tiles 1..8 are
+    the load-store tiles); ids here are 0-based, so paper tile [k] is id
+    [k-1].
+
+    - HOM64: every tile has a 64-word CM (total 1024).
+    - HOM32: every tile has a 32-word CM (total 512).
+    - HET1:  tiles 1-4 have CM 64; tiles 5-8 and 13-16 have CM 32;
+             tiles 9-12 have CM 16 (total 576).
+    - HET2:  tiles 1-4 have CM 64; tiles 5-8 have CM 32; tiles 9-16 have
+             CM 16 (total 512). *)
+
+type name = HOM64 | HOM32 | HET1 | HET2
+
+val all : name list
+(** In Table I order. *)
+
+val to_string : name -> string
+val of_string : string -> name option
+
+val cm_of_tile : name -> int -> int
+(** Per-tile CM capacity (0-based tile id on the 4x4 grid). *)
+
+val total_cm : name -> int
+(** Sum over the 16 tiles — the "Total" column of Table I. *)
+
+val cgra : name -> Cgra.t
+(** The 4x4 paper CGRA under this configuration. *)
+
+val table1_rows : unit -> string list list
+(** The rows of Table I as rendered by the experiment harness. *)

@@ -1,0 +1,125 @@
+type src = Rf of int | Crf of int | Nbr of int * int
+
+type instr =
+  | Iop of {
+      opcode : Cgra_ir.Opcode.t;
+      srcs : src list;
+      dst : int option;
+      set_cond : bool;
+    }
+  | Imov of { from_tile : int; from_slot : int; dst : int }
+  | Icopy of { src : src; dst : int; set_cond : bool }
+  | Ipnop of int
+
+let duration = function Ipnop n -> n | Iop _ | Imov _ | Icopy _ -> 1
+
+let is_pnop = function Ipnop _ -> true | Iop _ | Imov _ | Icopy _ -> false
+
+let words _ = 1
+
+let src_to_string = function
+  | Rf i -> Printf.sprintf "r%d" i
+  | Crf i -> Printf.sprintf "c%d" i
+  | Nbr (t, i) -> Printf.sprintf "T%02d.r%d" t i
+
+let to_string = function
+  | Iop { opcode; srcs; dst; set_cond } ->
+    let dst_s = match dst with Some d -> Printf.sprintf "r%d" d | None -> "-" in
+    Printf.sprintf "%s%s %s, %s"
+      (Cgra_ir.Opcode.to_string opcode)
+      (if set_cond then ".c" else "")
+      dst_s
+      (String.concat ", " (List.map src_to_string srcs))
+  | Imov { from_tile; from_slot; dst } ->
+    Printf.sprintf "mov r%d, T%02d.r%d" dst from_tile from_slot
+  | Icopy { src; dst; set_cond } ->
+    Printf.sprintf "copy%s r%d, %s" (if set_cond then ".c" else "") dst
+      (src_to_string src)
+  | Ipnop n -> Printf.sprintf "pnop %d" n
+
+(* 64-bit word layout (from bit 63 down):
+   [63:62] kind: 0 op, 1 mov, 2 copy, 3 pnop
+   op:   [61:56] opcode index  [55] set_cond  [54] has_dst  [53:46] dst
+         [45:44] nsrcs  then 3 x 14-bit srcs at [43:30] [29:16] [15:2]
+   mov:  [61:54] from_tile  [53:46] from_slot  [45:38] dst
+   copy: [61:48] src  [47:40] dst  [39] set_cond
+   pnop: [31:0] length
+   src (14 bits): [13:12] kind (0 RF, 1 CRF, 2 neighbour),
+                  [11:5] neighbour tile (up to 128 tiles), [4:0] slot *)
+
+let opcode_index op =
+  let rec find i = function
+    | [] -> assert false
+    | o :: tl -> if o = op then i else find (i + 1) tl
+  in
+  find 0 Cgra_ir.Opcode.all
+
+let opcode_of_index i = List.nth_opt Cgra_ir.Opcode.all i
+
+let src_bits = function
+  | Rf i -> i land 0x1F
+  | Crf i -> 0x1000 lor (i land 0x1F)
+  | Nbr (t, i) -> 0x2000 lor ((t land 0x7F) lsl 5) lor (i land 0x1F)
+
+let src_of_bits b =
+  match (b lsr 12) land 0x3 with
+  | 0 -> Rf (b land 0x1F)
+  | 1 -> Crf (b land 0x1F)
+  | _ -> Nbr ((b lsr 5) land 0x7F, b land 0x1F)
+
+let ( <<< ) v n = Int64.shift_left (Int64.of_int v) n
+let field w pos width = Int64.to_int (Int64.logand (Int64.shift_right_logical w pos) (Int64.of_int ((1 lsl width) - 1)))
+
+let encode = function
+  | Iop { opcode; srcs; dst; set_cond } ->
+    let base =
+      Int64.logor (0 <<< 62)
+        (Int64.logor (opcode_index opcode <<< 56)
+           (Int64.logor ((if set_cond then 1 else 0) <<< 55)
+              (match dst with
+               | Some d -> Int64.logor (1 <<< 54) (d land 0xFF <<< 46)
+               | None -> 0L)))
+    in
+    let n = List.length srcs in
+    let with_srcs =
+      List.fold_left
+        (fun (acc, pos) s -> (Int64.logor acc (src_bits s <<< pos), pos - 14))
+        (Int64.logor base (n <<< 44), 30)
+        srcs
+      |> fst
+    in
+    with_srcs
+  | Imov { from_tile; from_slot; dst } ->
+    Int64.logor (1 <<< 62)
+      (Int64.logor (from_tile land 0xFF <<< 54)
+         (Int64.logor (from_slot land 0xFF <<< 46) (dst land 0xFF <<< 38)))
+  | Icopy { src; dst; set_cond } ->
+    Int64.logor (2 <<< 62)
+      (Int64.logor (src_bits src <<< 48)
+         (Int64.logor (dst land 0xFF <<< 40) ((if set_cond then 1 else 0) <<< 39)))
+  | Ipnop n -> Int64.logor (3 <<< 62) (Int64.of_int (n land 0xFFFFFFFF))
+
+let decode w =
+  match field w 62 2 with
+  | 0 ->
+    (match opcode_of_index (field w 56 6) with
+     | None -> Error "Isa.decode: bad opcode index"
+     | Some opcode ->
+       let set_cond = field w 55 1 = 1 in
+       let dst = if field w 54 1 = 1 then Some (field w 46 8) else None in
+       let n = field w 44 2 in
+       let srcs =
+         List.init n (fun i -> src_of_bits (field w (30 - (14 * i)) 14))
+       in
+       Ok (Iop { opcode; srcs; dst; set_cond }))
+  | 1 ->
+    Ok (Imov { from_tile = field w 54 8; from_slot = field w 46 8; dst = field w 38 8 })
+  | 2 ->
+    Ok
+      (Icopy
+         { src = src_of_bits (field w 48 14); dst = field w 40 8;
+           set_cond = field w 39 1 = 1 })
+  | 3 ->
+    let n = field w 0 32 in
+    if n < 1 then Error "Isa.decode: pnop length < 1" else Ok (Ipnop n)
+  | _ -> assert false

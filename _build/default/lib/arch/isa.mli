@@ -1,0 +1,52 @@
+(** Context-memory instruction set of a tile.
+
+    Per Section II, a context word holds one of three kinds of
+    instructions: an {e operation} (including control), a {e move}, or a
+    {e nop} — with consecutive nops compressed into one {e programmable nop}
+    (pnop).  This module defines the symbolic form stored in each tile's
+    context memory plus the 64-bit binary encoding used by the global
+    loader. *)
+
+type src =
+  | Rf of int          (** local register-file slot *)
+  | Crf of int         (** constant-register-file slot *)
+  | Nbr of int * int   (** neighbouring tile's RF slot, read through the
+                           PE input mux (Fig 1) without a move *)
+
+type instr =
+  | Iop of {
+      opcode : Cgra_ir.Opcode.t;
+      srcs : src list;
+      dst : int option;     (** RF slot receiving the result, if any *)
+      set_cond : bool;      (** drive the global condition bit (branches) *)
+    }
+  | Imov of {
+      from_tile : int;      (** neighbouring tile whose RF is read *)
+      from_slot : int;
+      dst : int;
+    }  (** the routing/move instructions the mapper inserts *)
+  | Icopy of {
+      src : src;
+      dst : int;
+      set_cond : bool;
+    }  (** local RF/CRF copy: symbol initialisation, condition export *)
+  | Ipnop of int  (** sleep for [n >= 1] cycles, clock-gated *)
+
+val duration : instr -> int
+(** Cycles the instruction occupies (1, or [n] for [Ipnop n]). *)
+
+val is_pnop : instr -> bool
+
+val words : instr -> int
+(** Context-memory words consumed — always 1; pnops encode their length in
+    the word, which is the whole point of the compression. *)
+
+val to_string : instr -> string
+(** Assembly-like rendering, e.g. ["add r3, r1, c0"], ["mov r2, T05.r7"],
+    ["pnop 12"]. *)
+
+val encode : instr -> int64
+(** Pack into one 64-bit context word. *)
+
+val decode : int64 -> (instr, string) result
+(** Inverse of {!encode}. *)

@@ -1,0 +1,1 @@
+lib/asm/assemble.ml: Array Cgra_arch Cgra_core Cgra_ir Format Fun List Printf Queue

@@ -1,0 +1,1 @@
+lib/asm/assemble.mli: Cgra_arch Cgra_core Format

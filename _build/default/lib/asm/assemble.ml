@@ -1,0 +1,312 @@
+module M = Cgra_core.Mapping
+module Isa = Cgra_arch.Isa
+module Cgra = Cgra_arch.Cgra
+module Cdfg = Cgra_ir.Cdfg
+module Opcode = Cgra_ir.Opcode
+
+type section = Isa.instr list
+
+type tile_program = {
+  sections : section array;
+  crf : int array;
+  words : int;
+}
+
+type program = {
+  mapping : M.t;
+  tiles : tile_program array;
+  sym_slot : int array;
+  section_length : int array;
+}
+
+exception Assembly_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Assembly_error s)) fmt
+
+(* A definition of a value on one tile within one block. *)
+type def = {
+  d_cycle : int;
+  d_value : M.value;
+  d_sym : int option;       (* destination is this symbol's home slot *)
+  mutable d_last_use : int;
+  mutable d_reg : int;      (* temp RF slot; -1 until allocated *)
+}
+
+(* Per-(tile, block) register state. *)
+type talloc = { defs : def list (* ascending cycle *) }
+
+let slot_defines (sl : M.slot) (nodes : Cdfg.node array) =
+  match sl.M.action with
+  | M.Aop { node = j; _ } ->
+    if Opcode.has_result nodes.(j).Cdfg.opcode then Some (M.Vnode j) else None
+  | M.Amove { value; _ } -> Some value
+  | M.Acopy value -> Some value
+
+(* Readers of values *on tile t* at given cycles — including operations on
+   other tiles reading [t]'s RF through the neighbour mux. *)
+let readers_on_tile slots t (nodes : Cdfg.node array) =
+  List.concat_map
+    (fun (sl : M.slot) ->
+      match sl.M.action with
+      | M.Aop { node = j; operand_tiles } ->
+        List.map2
+          (fun operand srct -> (operand, srct))
+          nodes.(j).Cdfg.operands operand_tiles
+        |> List.filter_map (fun (operand, srct) ->
+               if srct <> t then None
+               else
+                 match operand with
+                 | Cdfg.Node i -> Some (M.Vnode i, sl.M.cycle)
+                 | Cdfg.Sym s -> Some (M.Vsym s, sl.M.cycle)
+                 | Cdfg.Imm _ -> None)
+      | M.Acopy (M.Vimm _) -> []
+      | M.Acopy v when sl.M.tile = t -> [ (v, sl.M.cycle) ]
+      | M.Amove { value; from_tile } when from_tile = t -> [ (value, sl.M.cycle) ]
+      | M.Acopy _ | M.Amove _ -> [])
+    slots
+
+let build_talloc ~homes ~nsyms ~rf_words slots t nodes =
+  let here =
+    List.filter (fun (sl : M.slot) -> sl.M.tile = t) slots
+    |> List.sort (fun a b -> compare a.M.cycle b.M.cycle)
+  in
+  let defs =
+    List.filter_map
+      (fun (sl : M.slot) ->
+        match slot_defines sl nodes with
+        | None -> None
+        | Some v ->
+          Some
+            { d_cycle = sl.M.cycle;
+              d_value = v;
+              d_sym = sl.M.writes_sym;
+              d_last_use = sl.M.cycle;
+              d_reg = -1 })
+      here
+  in
+  (* Attribute each read to the latest def strictly before it; reads with no
+     def fall back to the symbol's home slot (live-in), which needs no
+     temp. *)
+  let def_for value cycle =
+    List.fold_left
+      (fun best d ->
+        if d.d_value = value && d.d_cycle < cycle then
+          match best with
+          | Some b when b.d_cycle >= d.d_cycle -> best
+          | Some _ | None -> Some d
+        else best)
+      None defs
+  in
+  List.iter
+    (fun (value, cycle) ->
+      match def_for value cycle with
+      | Some d -> if cycle > d.d_last_use then d.d_last_use <- cycle
+      | None -> (
+        match value with
+        | M.Vsym s when homes.(s) = t -> () (* live-in home slot *)
+        | M.Vsym s -> error "read of symbol %d on tile %d with no def" s t
+        | M.Vnode i -> error "read of node %d value on tile %d with no def" i t
+        | M.Vimm _ -> ()))
+    (readers_on_tile slots t nodes);
+  (* Linear-scan temp allocation over [nsyms, rf_words). *)
+  let free = Queue.create () in
+  for r = nsyms to rf_words - 1 do
+    Queue.add r free
+  done;
+  let active = ref [] in
+  List.iter
+    (fun d ->
+      if d.d_sym = None then begin
+        let still, done_ =
+          List.partition (fun a -> a.d_last_use > d.d_cycle) !active
+        in
+        List.iter (fun a -> Queue.add a.d_reg free) done_;
+        active := still;
+        (match Queue.take_opt free with
+         | Some r -> d.d_reg <- r
+         | None ->
+           error "register pressure on tile %d: no free temp at cycle %d" t
+             d.d_cycle);
+        active := d :: !active
+      end)
+    defs;
+  ({ defs } : talloc)
+
+let reg_of ~homes ~sym_slot alloc t value cycle =
+  let best =
+    List.fold_left
+      (fun best d ->
+        if d.d_value = value && d.d_cycle < cycle then
+          match best with
+          | Some b when b.d_cycle >= d.d_cycle -> best
+          | Some _ | None -> Some d
+        else best)
+      None alloc.defs
+  in
+  match best with
+  | Some d -> ( match d.d_sym with Some s -> sym_slot.(s) | None -> d.d_reg )
+  | None -> (
+    match value with
+    | M.Vsym s when homes.(s) = t -> sym_slot.(s)
+    | M.Vsym s -> error "unresolved symbol %d read on tile %d" s t
+    | M.Vnode i -> error "unresolved node %d read on tile %d" i t
+    | M.Vimm _ -> error "immediate has no register")
+
+(* The def created *by* this slot (distinct from reads at the same cycle,
+   which see strictly earlier defs). *)
+let own_def alloc (sl : M.slot) nodes ~sym_slot =
+  match slot_defines sl nodes with
+  | None -> None
+  | Some v -> (
+    match sl.M.writes_sym with
+    | Some s -> Some sym_slot.(s)
+    | None -> (
+      match
+        List.find_opt
+          (fun d -> d.d_cycle = sl.M.cycle && d.d_value = v && d.d_sym = None)
+          alloc.defs
+      with
+      | Some d -> Some d.d_reg
+      | None -> error "assembler lost its own def at tile %d cycle %d" sl.M.tile sl.M.cycle))
+
+let assemble (m : M.t) =
+  let cdfg = m.M.cdfg and cgra = m.M.cgra in
+  let nt = Cgra.tile_count cgra in
+  let nsyms = cdfg.Cdfg.sym_count in
+  let rf_words = cgra.Cgra.rf_words in
+  if nsyms > rf_words then error "too many symbol variables for the RF";
+  let sym_slot = Array.init (max 1 nsyms) Fun.id in
+  let homes = m.M.homes in
+  let nblocks = Array.length cdfg.Cdfg.blocks in
+  (* Constant pools. *)
+  let crf_pool = Array.init nt (fun _ -> ref []) in
+  let crf_index t k =
+    let pool = crf_pool.(t) in
+    match List.assoc_opt k !pool with
+    | Some i -> i
+    | None ->
+      let i = List.length !pool in
+      if i >= cgra.Cgra.crf_words then
+        error "constant register file overflow on tile %d" t;
+      pool := (k, i) :: !pool;
+      i
+  in
+  let sections = Array.init nt (fun _ -> Array.make nblocks []) in
+  let section_length =
+    Array.map (fun bm -> bm.M.length) m.M.bbs
+  in
+  Array.iter
+    (fun (bm : M.bb_mapping) ->
+      let nodes = cdfg.Cdfg.blocks.(bm.M.bb).Cdfg.nodes in
+      let allocs =
+        Array.init nt (fun t ->
+            build_talloc ~homes ~nsyms ~rf_words bm.M.slots t nodes)
+      in
+      let src_of t value cycle =
+        match value with
+        | M.Vimm k -> Isa.Crf (crf_index t k)
+        | M.Vnode _ | M.Vsym _ ->
+          Isa.Rf (reg_of ~homes ~sym_slot allocs.(t) t value cycle)
+      in
+      (* Resolve an operand read by tile [t] from tile [srct] (equal for
+         local reads, a neighbour otherwise). *)
+      let operand_src t srct cycle operand =
+        match operand with
+        | Cdfg.Imm k -> Isa.Crf (crf_index t k)
+        | Cdfg.Node _ | Cdfg.Sym _ ->
+          let value =
+            match operand with
+            | Cdfg.Node i -> M.Vnode i
+            | Cdfg.Sym s -> M.Vsym s
+            | Cdfg.Imm _ -> assert false
+          in
+          let slot = reg_of ~homes ~sym_slot allocs.(srct) srct value cycle in
+          if srct = t then Isa.Rf slot else Isa.Nbr (srct, slot)
+      in
+      for t = 0 to nt - 1 do
+        let here =
+          List.filter (fun (sl : M.slot) -> sl.M.tile = t) bm.M.slots
+          |> List.sort (fun a b -> compare a.M.cycle b.M.cycle)
+        in
+        let buf = ref [] in
+        let cursor = ref 0 in
+        List.iter
+          (fun (sl : M.slot) ->
+            if sl.M.cycle > !cursor then
+              buf := Isa.Ipnop (sl.M.cycle - !cursor) :: !buf;
+            let dst = own_def allocs.(t) sl nodes ~sym_slot in
+            let instr =
+              match sl.M.action with
+              | M.Aop { node = j; operand_tiles } ->
+                let node = nodes.(j) in
+                Isa.Iop
+                  {
+                    opcode = node.Cdfg.opcode;
+                    srcs =
+                      List.map2
+                        (fun operand srct -> operand_src t srct sl.M.cycle operand)
+                        node.Cdfg.operands operand_tiles;
+                    dst;
+                    set_cond = sl.M.set_cond;
+                  }
+              | M.Amove { value; from_tile } ->
+                let from_slot =
+                  reg_of ~homes ~sym_slot allocs.(from_tile) from_tile value
+                    sl.M.cycle
+                in
+                (match dst with
+                 | Some d -> Isa.Imov { from_tile; from_slot; dst = d }
+                 | None -> error "move without destination on tile %d" t)
+              | M.Acopy value ->
+                (match dst with
+                 | Some d ->
+                   Isa.Icopy
+                     { src = src_of t value sl.M.cycle; dst = d;
+                       set_cond = sl.M.set_cond }
+                 | None -> error "copy without destination on tile %d" t)
+            in
+            buf := instr :: !buf;
+            cursor := sl.M.cycle + 1)
+          here;
+        sections.(t).(bm.M.bb) <- List.rev !buf
+      done)
+    m.M.bbs;
+  let tiles =
+    Array.init nt (fun t ->
+        let words =
+          Array.fold_left (fun acc sec -> acc + List.length sec) 0 sections.(t)
+        in
+        let cap = cgra.Cgra.tiles.(t).cm_words in
+        if words > cap then
+          error "tile %d context overflows after assembly: %d > %d" t words cap;
+        let pool = !(crf_pool.(t)) in
+        let crf = Array.make (List.length pool) 0 in
+        List.iter (fun (k, i) -> crf.(i) <- k) pool;
+        { sections = sections.(t); crf; words })
+  in
+  { mapping = m; tiles; sym_slot; section_length }
+
+let context_words p = Array.map (fun t -> t.words) p.tiles
+
+let encode_tile tp =
+  Array.to_list tp.sections
+  |> List.concat_map (fun sec -> List.map Isa.encode sec)
+  |> Array.of_list
+
+let pp_tile fmt (t, tp) =
+  Format.fprintf fmt "@[<v>tile T%02d (%d words)@," t tp.words;
+  Array.iteri
+    (fun bi sec ->
+      if sec <> [] then begin
+        Format.fprintf fmt "  section b%d:@," bi;
+        List.iter
+          (fun i -> Format.fprintf fmt "    %s@," (Isa.to_string i))
+          sec
+      end)
+    tp.sections;
+  if Array.length tp.crf > 0 then begin
+    Format.fprintf fmt "  crf:";
+    Array.iteri (fun i k -> Format.fprintf fmt " c%d=%d" i k) tp.crf;
+    Format.fprintf fmt "@,"
+  end;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,46 @@
+(** Assembler: {!Cgra_core.Mapping.t} to per-tile context programs.
+
+    Performs the back-end work the compiler of [1] does after binding:
+    per-tile register allocation (symbol variables live in fixed RF slots
+    on their home tile; block-local values get linear-scan temporaries),
+    constant-register-file pooling of immediates, compression of idle
+    runs into pnops, and emission of the {!Cgra_arch.Isa} instructions
+    that the cycle-level simulator executes and the binary encoder
+    packs. *)
+
+type section = Cgra_arch.Isa.instr list
+(** One basic block's context slice on one tile.  Empty when the tile
+    sleeps through the block.  Instruction durations sum to at most the
+    block's schedule length (trailing idle cycles are slept through for
+    free). *)
+
+type tile_program = {
+  sections : section array;  (** indexed by block id *)
+  crf : int array;           (** constant pool, indexed by [Crf] operands *)
+  words : int;               (** context-memory words used *)
+}
+
+type program = {
+  mapping : Cgra_core.Mapping.t;
+  tiles : tile_program array;
+  sym_slot : int array;      (** symbol -> RF slot on its home tile *)
+  section_length : int array;(** per block, cycles *)
+}
+
+exception Assembly_error of string
+
+val assemble : Cgra_core.Mapping.t -> program
+(** Raises {!Assembly_error} on register-file or constant-register-file
+    pressure, or on an internally inconsistent mapping (both indicate a
+    mapper bug; the test suite checks they never fire on flow output). *)
+
+val context_words : program -> int array
+(** Per-tile context words — must agree with
+    {!Cgra_core.Mapping.tile_usage}; the test suite asserts it. *)
+
+val encode_tile : tile_program -> int64 array
+(** Binary image of one tile's context memory ({!Cgra_arch.Isa.encode}
+    applied section by section). *)
+
+val pp_tile : Format.formatter -> int * tile_program -> unit
+(** Assembly listing of one tile. *)

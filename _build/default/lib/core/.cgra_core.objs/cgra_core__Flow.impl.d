@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Cgra_arch Cgra_graph Cgra_ir Cgra_util Flow_config List Mapping Occupancy Printf Search Stdlib String Unix

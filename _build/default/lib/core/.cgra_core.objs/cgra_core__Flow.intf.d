@@ -1,0 +1,1 @@
+lib/core/flow.mli: Cgra_arch Cgra_ir Flow_config Mapping Stdlib

@@ -1,0 +1,1 @@
+lib/core/mapping.ml: Array Cgra_arch Cgra_ir Format List Occupancy String

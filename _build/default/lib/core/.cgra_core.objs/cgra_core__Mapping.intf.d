@@ -1,0 +1,1 @@
+lib/core/mapping.mli: Cgra_arch Cgra_ir Format

@@ -1,0 +1,1 @@
+lib/core/sched.ml: Array Cgra_graph Cgra_ir List

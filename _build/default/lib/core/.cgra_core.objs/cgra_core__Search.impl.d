@@ -1,0 +1,1 @@
+lib/core/search.ml: Array Cgra_arch Cgra_ir Cgra_util Flow_config Fun Hashtbl List Mapping Occupancy Printf Sched

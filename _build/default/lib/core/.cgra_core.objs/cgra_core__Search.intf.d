@@ -1,0 +1,1 @@
+lib/core/search.mli: Cgra_arch Cgra_ir Cgra_util Flow_config Mapping

@@ -1,0 +1,150 @@
+module Cdfg = Cgra_ir.Cdfg
+module Cgra = Cgra_arch.Cgra
+module Rng = Cgra_util.Rng
+
+type failure = { reason : string; at_block : int option }
+
+type stats = {
+  recomputes : int;
+  population_peak : int;
+  traversal_order : int list;
+}
+
+type result = (Mapping.t * stats, failure) Stdlib.result
+
+let traversal_order traversal cdfg =
+  let forward =
+    let g = Cdfg.cfg cdfg in
+    let order = Cgra_graph.Digraph.topo_sort_weak g in
+    (* Ensure the entry leads even on exotic CFGs. *)
+    cdfg.Cdfg.entry :: List.filter (fun b -> b <> cdfg.Cdfg.entry) order
+  in
+  match traversal with
+  | Flow_config.Forward -> forward
+  | Flow_config.Weighted ->
+    let pos = Array.make (Array.length cdfg.Cdfg.blocks) 0 in
+    List.iteri (fun i b -> pos.(b) <- i) forward;
+    let weight = Array.init (Array.length cdfg.Cdfg.blocks) (Cdfg.block_weight cdfg) in
+    List.sort
+      (fun a b ->
+        if weight.(a) <> weight.(b) then compare weight.(b) weight.(a)
+        else compare pos.(a) pos.(b))
+      forward
+
+(* Exact per-tile context words of one committed block mapping. *)
+let block_words cgra (bm : Mapping.bb_mapping) =
+  let nt = Cgra.tile_count cgra in
+  let occ = Array.init nt (fun _ -> Occupancy.create ()) in
+  let instr = Array.make nt 0 in
+  List.iter
+    (fun sl ->
+      Occupancy.occupy occ.(sl.Mapping.tile) sl.Mapping.cycle;
+      instr.(sl.Mapping.tile) <- instr.(sl.Mapping.tile) + 1)
+    bm.Mapping.slots;
+  Array.init nt (fun t ->
+      instr.(t) + Occupancy.pnops occ.(t))
+
+let run_once ~t0 ~config cgra cdfg =
+  match Cdfg.validate cdfg with
+  | Error msg -> Error { reason = "invalid CDFG: " ^ msg; at_block = None }
+  | Ok () ->
+    if cdfg.Cdfg.sym_count > cgra.Cgra.rf_words then
+      Error
+        {
+          reason =
+            Printf.sprintf
+              "kernel needs %d symbol-variable RF slots, tile RF has %d"
+              cdfg.Cdfg.sym_count cgra.Cgra.rf_words;
+          at_block = None;
+        }
+    else begin
+      let order = traversal_order config.Flow_config.traversal cdfg in
+      let nt = Cgra.tile_count cgra in
+      let committed = Array.make nt 0 in
+      let homes = Array.make (max 1 cdfg.Cdfg.sym_count) (-1) in
+      let rng = Rng.create config.Flow_config.seed in
+      let recomputes = ref 0 in
+      let peak = ref 1 in
+      let rec map_blocks acc = function
+        | [] -> Ok (List.rev acc)
+        | bi :: rest -> (
+          match
+            Search.map_block ~config ~cgra ~committed ~homes ~rng cdfg bi
+          with
+          | Error reason -> Error { reason; at_block = Some bi }
+          | Ok outcome ->
+            List.iter
+              (fun (s, h) ->
+                assert (homes.(s) < 0 || homes.(s) = h);
+                homes.(s) <- h)
+              outcome.Search.new_homes;
+            let words = block_words cgra outcome.Search.bb_mapping in
+            Array.iteri (fun t w -> committed.(t) <- committed.(t) + w) words;
+            recomputes := !recomputes + outcome.Search.recomputes;
+            peak := max !peak outcome.Search.population_peak;
+            map_blocks (outcome.Search.bb_mapping :: acc) rest)
+      in
+      match map_blocks [] order with
+      | Error f -> Error f
+      | Ok bbs_in_order ->
+        let bbs = Array.make (Array.length cdfg.Cdfg.blocks) None in
+        List.iter
+          (fun bm -> bbs.(bm.Mapping.bb) <- Some bm)
+          bbs_in_order;
+        let bbs =
+          Array.map
+            (function
+              | Some bm -> bm
+              | None -> assert false (* every block is in the traversal *))
+            bbs
+        in
+        (* Symbols never touched keep home -1; pin them anywhere so the
+           assembler has a slot (they are dead). *)
+        let homes = Array.map (fun h -> if h < 0 then 0 else h) homes in
+        let mapping =
+          {
+            Mapping.cdfg;
+            cgra;
+            bbs;
+            homes;
+            flow_label = Flow_config.steps_of config;
+            compile_seconds = Unix.gettimeofday () -. t0;
+          }
+        in
+        if Mapping.fits mapping then
+          Ok
+            ( mapping,
+              {
+                recomputes = !recomputes;
+                population_peak = !peak;
+                traversal_order = order;
+              } )
+        else
+          let culprits =
+            Mapping.overflowing_tiles mapping
+            |> List.map (fun (t, used, cap) ->
+                   Printf.sprintf "T%02d %d/%d" t used cap)
+            |> String.concat ", "
+          in
+          Error
+            {
+              reason = "context memory overflow: " ^ culprits;
+              at_block = None;
+            }
+    end
+
+let run ?(config = Flow_config.default) cgra cdfg =
+  let t0 = Unix.gettimeofday () in
+  (* The stochastic pruning can dead-end; the context-aware flows re-seed
+     and retry a couple of times before declaring the configuration
+     unmappable.  [compile_seconds] covers all attempts. *)
+  let rec attempt k =
+    let seeded =
+      { config with Flow_config.seed = config.Flow_config.seed + (1000 * k) }
+    in
+    match run_once ~t0 ~config:seeded cgra cdfg with
+    | Ok _ as ok -> ok
+    | Error _ as e ->
+      if k >= config.Flow_config.retries then e else attempt (k + 1)
+  in
+  attempt 0

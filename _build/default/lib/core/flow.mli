@@ -1,0 +1,31 @@
+(** Top-level mapping flow (Fig 4 of the paper).
+
+    Traverses the CDFG basic blocks — forward control-flow order in the
+    basic flow, descending weight order Wbb in the context-aware flow —
+    maps each block with {!Search.map_block}, commits the best per-block
+    mapping (fixing symbol homes and accumulating per-tile context usage),
+    and finally validates the context-memory inequality of Section III-C.
+    Flows without exact pruning can produce over-full mappings; those are
+    reported as failures here, which is what yields the "no mapping found"
+    zeros of Fig 6. *)
+
+type failure = {
+  reason : string;
+  at_block : int option;  (** block where the search died, if any *)
+}
+
+type stats = {
+  recomputes : int;
+  population_peak : int;
+  traversal_order : int list;
+}
+
+type result = (Mapping.t * stats, failure) Stdlib.result
+
+val traversal_order : Flow_config.traversal -> Cgra_ir.Cdfg.t -> int list
+(** Forward: weak topological order of the CFG from the entry.  Weighted:
+    descending block weight Wbb, forward order breaking ties. *)
+
+val run :
+  ?config:Flow_config.t -> Cgra_arch.Cgra.t -> Cgra_ir.Cdfg.t -> result
+(** Maps the kernel.  Deterministic for a fixed [config.seed]. *)

@@ -1,0 +1,59 @@
+(** Mapping-flow configuration.
+
+    The paper's Fig 4 flow is the basic mapping approach of reference [1]
+    plus four optional steps; each step is an independent switch here so
+    the experiments can profile every increment (Figs 6-9):
+
+    - {e weighted traversal} of the CDFG (Section III-D-1),
+    - {e ACMAP}, approximate context-memory-aware pruning (III-D-2),
+    - {e ECMAP}, exact context-memory-aware pruning (III-D-3),
+    - {e CAB}, constraint-aware binding with blacklisted tiles (III-D-4). *)
+
+type traversal = Forward | Weighted
+
+type t = {
+  traversal : traversal;
+  acmap : bool;
+  ecmap : bool;
+  cab : bool;
+  beam_width : int;
+      (** partial mappings surviving stochastic pruning each round *)
+  expand_per_state : int;
+      (** binding alternatives kept per partial mapping per operation *)
+  prune_slack : float;
+      (** threshold function slack: children within
+          [(1 + prune_slack) * best_cost] survive deterministically *)
+  keep_prob : float;
+      (** probability of keeping an over-threshold child (stochastic part) *)
+  recompute_budget : int;
+      (** re-computation graph transformations allowed per basic block *)
+  home_reserve : int;
+      (** context words kept free, during binding, on tiles that host a
+          symbol home — headroom for the mandatory live-out writes (aware
+          flows only) *)
+  move_weight : int;
+      (** weight of routing moves against schedule length in the
+          partial-mapping cost *)
+  energy_bias_nodes : int;
+      (** kernels with at most this many operation nodes afford the
+          energy bias of the aware flows: candidate tiles are enumerated
+          smallest context memory first, so placement ties settle on the
+          cheapest tile; larger kernels keep the neutral order because
+          capacity, not energy, decides for them *)
+  retries : int;
+      (** extra attempts with reseeded stochastic pruning before giving up
+          — only the context-aware flows retry *)
+  seed : int;
+}
+
+val default : t
+(** Basic flow of [1]: forward traversal, no memory awareness, beam 24. *)
+
+val basic : t
+val with_acmap : t
+val with_acmap_ecmap : t
+val context_aware : t
+(** The full proposed flow: weighted traversal + ACMAP + ECMAP + CAB. *)
+
+val steps_of : t -> string
+(** Short label such as ["basic+ACMAP+ECMAP"] used in reports. *)

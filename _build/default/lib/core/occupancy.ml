@@ -1,0 +1,69 @@
+(* Occupancy is a growable byte buffer: 0 = free, 1 = busy.  Schedules are a
+   few hundred cycles at most, so linear scans are cheap and the copies made
+   on every partial-mapping expansion stay small. *)
+
+type t = { mutable bytes : Bytes.t; mutable last : int }
+
+let create () = { bytes = Bytes.make 32 '\000'; last = -1 }
+
+let copy t = { bytes = Bytes.copy t.bytes; last = t.last }
+
+let ensure t c =
+  let cap = Bytes.length t.bytes in
+  if c >= cap then begin
+    let ncap = max (c + 1) (2 * cap) in
+    let nb = Bytes.make ncap '\000' in
+    Bytes.blit t.bytes 0 nb 0 cap;
+    t.bytes <- nb
+  end
+
+let occupy t c =
+  if c < 0 then invalid_arg "Occupancy.occupy: negative cycle";
+  ensure t c;
+  if Bytes.get t.bytes c <> '\000' then
+    invalid_arg (Printf.sprintf "Occupancy.occupy: cycle %d already busy" c);
+  Bytes.set t.bytes c '\001';
+  if c > t.last then t.last <- c
+
+let is_free t c =
+  c >= 0 && (c >= Bytes.length t.bytes || Bytes.get t.bytes c = '\000')
+
+let first_free_at_or_after t c =
+  let c = max 0 c in
+  let rec go i = if is_free t i then i else go (i + 1) in
+  go c
+
+let last_busy t = t.last
+
+let busy_count t =
+  let n = ref 0 in
+  for i = 0 to t.last do
+    if Bytes.get t.bytes i <> '\000' then incr n
+  done;
+  !n
+
+let runs_until t limit =
+  let runs = ref 0 and in_run = ref false in
+  for c = 0 to limit - 1 do
+    let free = is_free t c in
+    if free && not !in_run then incr runs;
+    in_run := free
+  done;
+  !runs
+
+let pnops t = if t.last < 0 then 0 else runs_until t t.last
+(* runs in [0, last): the last cycle itself is busy, trailing is free. *)
+
+let pnops_optimistic t =
+  if t.last < 0 then 0
+  else
+    let runs = runs_until t t.last in
+    (* a free cycle 0 means the first run is the leading gap: drop it *)
+    if is_free t 0 then max 0 (runs - 1) else runs
+
+let busy_cycles t =
+  let acc = ref [] in
+  for c = t.last downto 0 do
+    if not (is_free t c) then acc := c :: !acc
+  done;
+  !acc

@@ -1,0 +1,46 @@
+(** Per-tile cycle occupancy within one basic block's schedule.
+
+    The context-memory inequality of Section III-C needs, per tile, the
+    number of mapped instructions plus the number of {e pnops} — one pnop
+    per maximal run of idle cycles that the tile must actively wait
+    through.  The global controller broadcasts section starts and
+    clock-gates idle tiles (Fig 1), so a tile entirely idle during a block
+    contributes no context words, and trailing idle cycles after a tile's
+    last instruction are slept through for free; only {e leading} and
+    {e interior} idle runs consume a pnop word.  This module owns that
+    accounting so ACMAP (optimistic estimate), ECMAP (exact count) and the
+    final assembler all agree on it. *)
+
+type t
+(** Occupancy of one tile.  Cheap to copy. *)
+
+val create : unit -> t
+
+val copy : t -> t
+
+val occupy : t -> int -> unit
+(** Marks a cycle busy.  Raises [Invalid_argument] if already busy or
+    negative. *)
+
+val is_free : t -> int -> bool
+
+val first_free_at_or_after : t -> int -> int
+(** Earliest free cycle [>= c]. *)
+
+val last_busy : t -> int
+(** Highest busy cycle, or [-1] when idle. *)
+
+val busy_count : t -> int
+
+val pnops : t -> int
+(** Exact pnop count: maximal idle runs in [\[0, last_busy\]] — leading
+    and interior gaps.  0 for an idle tile.  This is the count ECMAP
+    (Section III-D-3) filters on and the assembler materialises. *)
+
+val pnops_optimistic : t -> int
+(** ACMAP's approximate count (Section III-D-2): interior idle runs only —
+    the leading gap is assumed absorbable by later bindings.  Always
+    [<= pnops]. *)
+
+val busy_cycles : t -> int list
+(** Ascending busy cycles; used by the assembler. *)

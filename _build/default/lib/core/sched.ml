@@ -1,0 +1,61 @@
+type info = {
+  asap : int array;
+  alap : int array;
+  mobility : int array;
+  fanout : int array;
+  order : int list;
+}
+
+let analyse cdfg bi =
+  let b = cdfg.Cgra_ir.Cdfg.blocks.(bi) in
+  let g = Cgra_ir.Cdfg.dfg_graph b in
+  let n = Array.length b.nodes in
+  if n = 0 then
+    { asap = [||]; alap = [||]; mobility = [||]; fanout = [||]; order = [] }
+  else begin
+    let asap = Cgra_graph.Digraph.longest_path_from_sources g in
+    let to_sinks = Cgra_graph.Digraph.longest_path_to_sinks g in
+    let depth = Array.fold_left max 0 asap in
+    let alap = Array.map (fun d -> depth - d) to_sinks in
+    let mobility = Array.init n (fun i -> alap.(i) - asap.(i)) in
+    let fanout = Array.init n (fun i -> Cgra_ir.Cdfg.uses_of_node b i) in
+    (* List scheduling: repeatedly bind the ready node (all node-operand
+       producers already bound) with the smallest mobility, breaking ties
+       towards larger fan-out, then smaller id. *)
+    let bound = Array.make n false in
+    (* Readiness counts every DFG edge — data operands and the
+       ordering-only memory dependencies alike. *)
+    let pending =
+      Array.init n (fun i -> Cgra_graph.Digraph.in_degree g i)
+    in
+    let better a b =
+      if mobility.(a) <> mobility.(b) then mobility.(a) < mobility.(b)
+      else if fanout.(a) <> fanout.(b) then fanout.(a) > fanout.(b)
+      else a < b
+    in
+    let pick () =
+      let best = ref (-1) in
+      for i = 0 to n - 1 do
+        if (not bound.(i)) && pending.(i) = 0 then
+          if !best = -1 || better i !best then best := i
+      done;
+      !best
+    in
+    let rec build acc k =
+      if k = n then List.rev acc
+      else begin
+        let i = pick () in
+        assert (i >= 0);
+        bound.(i) <- true;
+        List.iter
+          (fun j -> pending.(j) <- pending.(j) - 1)
+          (Cgra_graph.Digraph.succs g i);
+        build (i :: acc) (k + 1)
+      end
+    in
+    { asap; alap; mobility; fanout; order = build [] 0 }
+  end
+
+let critical_path info =
+  if Array.length info.asap = 0 then 0
+  else Array.fold_left max 0 info.asap + 1

@@ -1,0 +1,24 @@
+(** List-scheduling order for one basic block's DFG.
+
+    Following Section III-B, schedulable operations are prioritised by
+    {e mobility} (ALAP minus ASAP level, computed by a backward traversal
+    of the DFG) and {e number of fan-outs}; the binder then places one
+    operation at a time in this order. *)
+
+type info = {
+  asap : int array;
+  alap : int array;
+  mobility : int array;
+  fanout : int array;
+  order : int list;  (** binding order: every node exactly once, producers
+                         before consumers *)
+}
+
+val analyse : Cgra_ir.Cdfg.t -> int -> info
+(** [analyse cdfg bi] computes levels and the binding order of block [bi].
+    Fan-out counts uses by other nodes, by [live_out] and by the
+    terminator (see {!Cgra_ir.Cdfg.uses_of_node}). *)
+
+val critical_path : info -> int
+(** Length (in operations) of the longest dependency chain — a lower bound
+    on the block's schedule length. *)

@@ -1,0 +1,808 @@
+module Cdfg = Cgra_ir.Cdfg
+module Opcode = Cgra_ir.Opcode
+module Cgra = Cgra_arch.Cgra
+module Rng = Cgra_util.Rng
+
+type outcome = {
+  bb_mapping : Mapping.bb_mapping;
+  new_homes : (int * int) list;
+  recomputes : int;
+  population_peak : int;
+}
+
+(* A partial mapping.  [avail.(v)] lists the (tile, ready-cycle) pairs where
+   value [v] can be read; value ids are node ids, then [nnodes + sym].
+   Copies share the immutable lists, so duplicating a state is cheap. *)
+type pstate = {
+  occ : Occupancy.t array;
+  instr : int array;
+  avail : (int * int) list array;
+  place_cycle : int array; (* node -> latest cycle it executes at, -1 unplaced *)
+  slots : Mapping.slot list; (* reversed *)
+  homes_new : (int * int) list;
+  sym_read : (int * int) list; (* sym -> latest read cycle of its home slot *)
+  n_moves : int;
+  horizon : int;
+}
+
+type ctx = {
+  config : Flow_config.t;
+  cgra : Cgra.t;
+  cdfg : Cdfg.t;
+  bi : int;
+  block : Cdfg.block;
+  nnodes : int;
+  committed : int array;
+  homes : int array;
+  home_mask : int; (* bit t set when tile t hosts a committed symbol home *)
+}
+
+let ntiles ctx = Cgra.tile_count ctx.cgra
+
+let cm_of ctx t = ctx.cgra.Cgra.tiles.(t).cm_words
+
+(* Capacity seen during binding: tiles hosting a symbol home keep
+   [home_reserve] words free for the mandatory live-out writes of this and
+   later blocks. *)
+let binding_cm ctx p t =
+  let hosts_home =
+    ctx.home_mask land (1 lsl t) <> 0
+    || List.exists (fun (_, h) -> h = t) p.homes_new
+  in
+  if hosts_home then cm_of ctx t - ctx.config.Flow_config.home_reserve
+  else cm_of ctx t
+
+let initial_pstate ctx =
+  let nt = ntiles ctx in
+  let nvals = ctx.nnodes + ctx.cdfg.Cdfg.sym_count in
+  {
+    occ = Array.init nt (fun _ -> Occupancy.create ());
+    instr = Array.make nt 0;
+    avail = Array.make (max 1 nvals) [];
+    place_cycle = Array.make (max 1 ctx.nnodes) (-1);
+    slots = [];
+    homes_new = [];
+    sym_read = [];
+    n_moves = 0;
+    horizon = 0;
+  }
+
+let copy_pstate p =
+  {
+    p with
+    occ = Array.map Occupancy.copy p.occ;
+    instr = Array.copy p.instr;
+    avail = Array.copy p.avail;
+    place_cycle = Array.copy p.place_cycle;
+  }
+
+let home_of ctx p s =
+  match List.assoc_opt s p.homes_new with
+  | Some h -> Some h
+  | None -> if ctx.homes.(s) >= 0 then Some ctx.homes.(s) else None
+
+let sym_read_cycle p s =
+  match List.assoc_opt s p.sym_read with Some c -> c | None -> -1
+
+let note_sym_read p s cycle =
+  if cycle > sym_read_cycle p s then
+    { p with sym_read = (s, cycle) :: List.remove_assoc s p.sym_read }
+  else p
+
+(* Locations where a value can currently be read, lazily seeding symbol
+   values at their home tile (available since block entry, cycle 0). *)
+let locations ctx p = function
+  | Mapping.Vimm _ -> []
+  | Mapping.Vnode i -> p.avail.(i)
+  | Mapping.Vsym s ->
+    let base = match home_of ctx p s with Some h -> [ (h, 0) ] | None -> [] in
+    base @ p.avail.(ctx.nnodes + s)
+
+let vid ctx = function
+  | Mapping.Vnode i -> i
+  | Mapping.Vsym s -> ctx.nnodes + s
+  | Mapping.Vimm _ -> invalid_arg "Search.vid: immediates have no id"
+
+let add_avail ctx p value tile cycle =
+  let id = vid ctx value in
+  p.avail.(id) <- (tile, cycle) :: p.avail.(id)
+
+let bump_horizon p c = if c + 1 > p.horizon then { p with horizon = c + 1 } else p
+
+(* Current exact context estimate of a tile inside this block (used by CAB
+   and ECMAP): committed words + instructions so far + pnops of the current
+   occupancy over the current horizon. *)
+let words_now ctx p t =
+  ctx.committed.(t) + p.instr.(t)
+  + Occupancy.pnops p.occ.(t)
+
+let blacklisted ctx p t =
+  ctx.config.Flow_config.cab && words_now ctx p t + 1 > binding_cm ctx p t
+
+(* ACMAP (Section III-D-2): the approximate, cheap estimate — instruction
+   count plus at most one pnop (a single gap indicator).  Deliberately
+   crude: it keeps partial mappings whose real pnop count will overflow
+   (they die at the final validation — the paper's "abundance of invalid
+   mappings" for ACMAP-only) and can drop fitting ones whose gaps would
+   have been filled. *)
+let acmap_ok ctx p =
+  let ok = ref true in
+  for t = 0 to ntiles ctx - 1 do
+    let gap = min 1 (Occupancy.pnops_optimistic p.occ.(t)) in
+    let est = ctx.committed.(t) + p.instr.(t) + gap in
+    if est > binding_cm ctx p t then ok := false
+  done;
+  !ok
+
+(* ECMAP (Section III-D-3): exact pnop count over the cycles mapped so
+   far.  During binding rounds the home-tile reserve applies; the final
+   check after live-out placement uses the true capacity. *)
+let ecmap_ok ?(reserve = true) ctx p =
+  let ok = ref true in
+  for t = 0 to ntiles ctx - 1 do
+    let cap = if reserve then binding_cm ctx p t else cm_of ctx t in
+    if words_now ctx p t > cap then ok := false
+  done;
+  !ok
+
+(* ---- routing ------------------------------------------------------- *)
+
+(* Probe a path without mutating the state: the arrival cycle of the value
+   at the end of [path] when each hop's move goes in the earliest free slot
+   of that hop tile.  Returns None if a hop tile is blacklisted. *)
+let probe_path _ctx p ~ready path =
+  (* CAB blacklists tiles for the *binding* of operations only; routing
+     moves may still cross a full tile — the memory-aware filters judge the
+     resulting usage. *)
+  let rec go ready = function
+    | [] -> Some ready
+    | hop :: rest ->
+      let c = Occupancy.first_free_at_or_after p.occ.(hop) ready in
+      go (c + 1) rest
+  in
+  go ready path
+
+(* Materialise the chosen path: mutates [p]'s arrays in place (caller owns a
+   fresh copy) and returns the functional fields threaded through. *)
+let apply_path ctx p ~value ~src ~ready path =
+  let rec go p prev ready = function
+    | [] -> (p, ready)
+    | hop :: rest ->
+      let c = Occupancy.first_free_at_or_after p.occ.(hop) ready in
+      Occupancy.occupy p.occ.(hop) c;
+      p.instr.(hop) <- p.instr.(hop) + 1;
+      add_avail ctx p value hop (c + 1);
+      let slot =
+        {
+          Mapping.tile = hop;
+          cycle = c;
+          action = Mapping.Amove { value; from_tile = prev };
+          writes_sym = None;
+          set_cond = false;
+        }
+      in
+      let p = { p with slots = slot :: p.slots; n_moves = p.n_moves + 1 } in
+      let p = bump_horizon p c in
+      let p =
+        match value with
+        | Mapping.Vsym s when Some prev = home_of ctx p s -> note_sym_read p s c
+        | Mapping.Vsym _ | Mapping.Vnode _ | Mapping.Vimm _ -> p
+      in
+      go p hop (c + 1) rest
+  in
+  go p src ready path
+
+(* Column-first variant of Cgra.route (which is row-first): route on the
+   transposed problem by chaining the two half-routes. *)
+let route_col_first cgra ~src ~dst =
+  let ts = cgra.Cgra.tiles.(src) and td = cgra.Cgra.tiles.(dst) in
+  let corner_id =
+    (ts.Cgra.row * cgra.Cgra.cols) + td.Cgra.col
+  in
+  if corner_id = src then Cgra.route cgra ~src ~dst
+  else if corner_id = dst then Cgra.route cgra ~src ~dst
+  else Cgra.route cgra ~src ~dst:corner_id @ Cgra.route cgra ~src:corner_id ~dst
+
+(* Land [value] in [dst]'s own register file: Some (state, ready cycle).
+   Used for the mandatory live-out writes, whose destination is a fixed RF
+   slot.  Chooses, over the value's current locations and the two
+   deterministic path shapes, the option with the earliest arrival, fewest
+   hops. *)
+let route_into ctx p ~value ~dst =
+  match value with
+  | Mapping.Vimm _ -> Some (p, 0)
+  | Mapping.Vnode _ | Mapping.Vsym _ -> (
+    let locs = locations ctx p value in
+    match List.filter (fun (t, _) -> t = dst) locs with
+    | (_, ready) :: more ->
+      let ready = List.fold_left (fun acc (_, r) -> min acc r) ready more in
+      Some (p, ready)
+    | [] ->
+      let options =
+        List.concat_map
+          (fun (src, ready) ->
+            let paths =
+              [ Cgra.route ctx.cgra ~src ~dst;
+                route_col_first ctx.cgra ~src ~dst ]
+            in
+            List.filter_map
+              (fun path ->
+                match probe_path ctx p ~ready path with
+                | Some arrival -> Some (arrival, List.length path, src, ready, path)
+                | None -> None)
+              paths)
+          locs
+      in
+      (match List.sort compare options with
+       | [] -> None
+       | (_, _, src, ready, path) :: _ ->
+         let p, arrival = apply_path ctx p ~value ~src ~ready path in
+         Some (p, arrival)))
+
+(* Make [value] readable by an operation on [dst]: the PE input muxes read
+   the local RF or any torus neighbour's RF directly (Fig 1), so only
+   routes longer than one hop insert moves — and those stop at a neighbour
+   of [dst].  Some (state, ready cycle, source tile). *)
+let route_usable ctx p ~value ~dst =
+  match value with
+  | Mapping.Vimm _ -> Some (p, 0, dst)
+  | Mapping.Vnode _ | Mapping.Vsym _ -> (
+    let locs = locations ctx p value in
+    let direct =
+      List.filter_map
+        (fun (t, ready) ->
+          if t = dst then Some (ready, 0, t)
+          else if Cgra.distance ctx.cgra t dst = 1 then Some (ready, 1, t)
+          else None)
+        locs
+    in
+    match List.sort compare direct with
+    | (ready, _, t) :: _ -> Some (p, ready, t)
+    | [] ->
+      let options =
+        List.concat_map
+          (fun (src, ready) ->
+            let paths =
+              [ Cgra.route ctx.cgra ~src ~dst;
+                route_col_first ctx.cgra ~src ~dst ]
+            in
+            List.filter_map
+              (fun path ->
+                (* stop one hop short: the op reads the neighbour's RF *)
+                match List.rev path with
+                | [] | [ _ ] -> None
+                | _last :: rev_prefix ->
+                  let prefix = List.rev rev_prefix in
+                  (match probe_path ctx p ~ready prefix with
+                   | Some arrival ->
+                     Some (arrival, List.length prefix, src, ready, prefix)
+                   | None -> None))
+              paths)
+          locs
+      in
+      (match List.sort compare options with
+       | [] -> None
+       | (_, _, src, ready, path) :: _ ->
+         let p, arrival = apply_path ctx p ~value ~src ~ready path in
+         let land_tile =
+           match List.rev path with t :: _ -> t | [] -> assert false
+         in
+         Some (p, arrival, land_tile)))
+
+(* ---- binding one operation ----------------------------------------- *)
+
+let operand_value = function
+  | Cdfg.Node j -> Mapping.Vnode j
+  | Cdfg.Sym s -> Mapping.Vsym s
+  | Cdfg.Imm k -> Mapping.Vimm k
+
+(* Place DFG node [node_id] on [tile]: routes every operand, fixes pending
+   symbol homes, books the cycle.  Returns None when routing fails (CAB
+   blocked every path). *)
+let place_node ctx p ~node_id ~tile =
+  let node = ctx.block.Cdfg.nodes.(node_id) in
+  let p = copy_pstate p in
+  (* [acc] collects (ready, source tile) per operand, reversed. *)
+  let rec bring p acc = function
+    | [] -> Some (p, List.rev acc)
+    | operand :: rest -> (
+      match operand with
+      | Cdfg.Imm _ -> bring p ((0, tile) :: acc) rest
+      | Cdfg.Sym s when home_of ctx p s = None ->
+        (* First touch of an undefined symbol: pin its home here — the
+           location-constraint choice that distinguishes partial
+           mappings. *)
+        let p = { p with homes_new = (s, tile) :: p.homes_new } in
+        bring p ((0, tile) :: acc) rest
+      | Cdfg.Sym _ | Cdfg.Node _ -> (
+        match route_usable ctx p ~value:(operand_value operand) ~dst:tile with
+        | None -> None
+        | Some (p, ready, src) -> bring p ((ready, src) :: acc) rest))
+  in
+  match bring p [] node.Cdfg.operands with
+  | None -> None
+  | Some (p, operand_info) ->
+    (* Memory-dependence edges order this node after its predecessors'
+       execution cycles, wherever they were placed. *)
+    let dep_ready =
+      List.fold_left
+        (fun acc j -> max acc (p.place_cycle.(j) + 1))
+        0 node.Cdfg.mem_dep
+    in
+    let earliest =
+      List.fold_left (fun acc (r, _) -> max acc r) dep_ready operand_info
+    in
+    let c = Occupancy.first_free_at_or_after p.occ.(tile) earliest in
+    Occupancy.occupy p.occ.(tile) c;
+    p.instr.(tile) <- p.instr.(tile) + 1;
+    let operand_tiles = List.map snd operand_info in
+    let slot =
+      {
+        Mapping.tile;
+        cycle = c;
+        action = Mapping.Aop { node = node_id; operand_tiles };
+        writes_sym = None;
+        set_cond = false;
+      }
+    in
+    let p = { p with slots = slot :: p.slots } in
+    let p = bump_horizon p c in
+    (* A symbol operand read out of its home RF slot — locally or through
+       the neighbour mux — constrains the slot's overwrite cycle. *)
+    let p =
+      List.fold_left2
+        (fun p operand (_, srct) ->
+          match operand with
+          | Cdfg.Sym s when home_of ctx p s = Some srct -> note_sym_read p s c
+          | Cdfg.Sym _ | Cdfg.Node _ | Cdfg.Imm _ -> p)
+        p node.Cdfg.operands operand_info
+    in
+    if Opcode.has_result node.Cdfg.opcode then
+      add_avail ctx p (Mapping.Vnode node_id) tile (c + 1);
+    if c > p.place_cycle.(node_id) then p.place_cycle.(node_id) <- c;
+    Some (p, c)
+
+let candidate_tiles ctx p opcode =
+  let all = List.init (ntiles ctx) Fun.id in
+  let able = List.filter (fun t -> Cgra.can_execute ctx.cgra t opcode) all in
+  match List.filter (fun t -> not (blacklisted ctx p t)) able with
+  | [] -> able
+    (* Every able tile is blacklisted: binding somewhere beats dying here —
+       the exact pruning and final validation will judge the overflow. *)
+  | unblocked -> unblocked
+
+(* Expand one partial mapping with the feasible bindings of [node_id],
+   keeping the [expand_per_state] locally-best children. *)
+let expand_state ctx p node_id =
+  let opcode = ctx.block.Cdfg.nodes.(node_id).Cdfg.opcode in
+  (* For kernels that use only a small fraction of the aggregate context
+     capacity, the context-aware flows enumerate candidates smallest
+     context memory first, so exact (cycle, moves) ties settle on the tile
+     that is cheaper to fetch from and to leak — a gentle energy bias.
+     Capacity-bound kernels keep the neutral order: for them feasibility,
+     not placement cost, decides. *)
+  let aware =
+    (ctx.config.Flow_config.acmap || ctx.config.Flow_config.ecmap
+     || ctx.config.Flow_config.cab)
+    && Cdfg.node_count ctx.cdfg <= ctx.config.Flow_config.energy_bias_nodes
+  in
+  let children =
+    List.filter_map
+      (fun tile ->
+        match place_node ctx p ~node_id ~tile with
+        | Some (p', cycle) -> Some ((cycle, p'.n_moves - p.n_moves), p')
+        | None -> None)
+      (let tiles = candidate_tiles ctx p opcode in
+       if aware then
+         List.stable_sort (fun a b -> compare (cm_of ctx a) (cm_of ctx b)) tiles
+       else tiles)
+  in
+  let sorted = List.stable_sort (fun (a, _) (b, _) -> compare a b) children in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | (_, p) :: tl -> p :: take (n - 1) tl
+  in
+  take ctx.config.Flow_config.expand_per_state sorted
+
+(* Re-computation graph transformation: duplicate one already-placed
+   producer of [node_id] onto a candidate tile, then retry the binding
+   there.  Used only when regular expansion yields nothing. *)
+let expand_with_recompute ctx p node_id =
+  let node = ctx.block.Cdfg.nodes.(node_id) in
+  let producers =
+    List.filter_map
+      (function Cdfg.Node j -> Some j | Cdfg.Sym _ | Cdfg.Imm _ -> None)
+      node.Cdfg.operands
+  in
+  let opcode = node.Cdfg.opcode in
+  let try_tile tile =
+    List.find_map
+      (fun j ->
+        if not (Cgra.can_execute ctx.cgra tile ctx.block.Cdfg.nodes.(j).Cdfg.opcode)
+        then None
+        else
+          match place_node ctx p ~node_id:j ~tile with
+          | None -> None
+          | Some (p1, _) -> (
+            match place_node ctx p1 ~node_id ~tile with
+            | None -> None
+            | Some (p2, _) -> Some p2))
+      producers
+  in
+  List.find_map try_tile (candidate_tiles ctx p opcode)
+
+(* ---- pruning -------------------------------------------------------- *)
+
+(* Quadratic penalty once a tile's context memory fills beyond 3/4 — the
+   exploration bias of the context-aware flow: among latency-equivalent
+   partial mappings, prefer those that keep headroom on small-CM tiles for
+   the blocks still to come.  The basic flow of [1] is not memory-aware, so
+   the term is active only when one of the aware steps is enabled. *)
+let memory_pressure ctx p =
+  let total = ref 0 in
+  for t = 0 to ntiles ctx - 1 do
+    let cm = cm_of ctx t in
+    let over = (4 * words_now ctx p t) - (3 * cm) in
+    if over > 0 then total := !total + (over * over)
+  done;
+  !total
+
+let cost ctx p =
+  let base =
+    (p.horizon * 256) + (ctx.config.Flow_config.move_weight * p.n_moves)
+  in
+  if ctx.config.Flow_config.ecmap || ctx.config.Flow_config.cab then
+    base + memory_pressure ctx p
+  else base
+
+(* Stochastic threshold pruning of the basic flow: children within the
+   slack of the best cost survive; the rest survive with [keep_prob]; the
+   population is finally capped at [beam_width]. *)
+let stochastic_prune ctx rng pop =
+  let sorted = List.sort (fun a b -> compare (cost ctx a) (cost ctx b)) pop in
+  match sorted with
+  | [] -> []
+  | best :: _ ->
+    let threshold =
+      int_of_float
+        (float_of_int (cost ctx best) *. (1.0 +. ctx.config.Flow_config.prune_slack))
+    in
+    let survivors =
+      List.filter
+        (fun p ->
+          cost ctx p <= threshold
+          || Rng.float rng < ctx.config.Flow_config.keep_prob)
+        sorted
+    in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: tl -> x :: take (n - 1) tl
+    in
+    (match take ctx.config.Flow_config.beam_width survivors with
+     | [] -> [ best ]
+     | kept -> kept)
+
+(* ---- block finalisation (live-outs, condition export) --------------- *)
+
+exception Finalize_failed of string
+
+let least_loaded_tile ctx p =
+  let best = ref 0 and best_load = ref max_int in
+  for t = 0 to ntiles ctx - 1 do
+    let load = ctx.committed.(t) + p.instr.(t) in
+    if load < !best_load then begin
+      best := t;
+      best_load := load
+    end
+  done;
+  !best
+
+(* Mark the slot at (tile, cycle) — unique — as writing symbol [s] and/or
+   setting the condition bit. *)
+let mark_slot p ~tile ~cycle ?sym ?(set_cond = false) () =
+  let updated = ref false in
+  let slots =
+    List.map
+      (fun sl ->
+        if sl.Mapping.tile = tile && sl.Mapping.cycle = cycle then begin
+          updated := true;
+          {
+            sl with
+            Mapping.writes_sym =
+              (match sym with Some s -> Some s | None -> sl.Mapping.writes_sym);
+            set_cond = sl.Mapping.set_cond || set_cond;
+          }
+        end
+        else sl)
+      p.slots
+  in
+  if not !updated then raise (Finalize_failed "mark_slot: slot not found");
+  { p with slots }
+
+(* A slot at [home] that already produces [value] and can absorb the symbol
+   write for free (its destination becomes the symbol's RF slot). *)
+let free_writer_slot p ~home ~value ~min_cycle =
+  let defines sl =
+    sl.Mapping.tile = home
+    && sl.Mapping.writes_sym = None
+    && sl.Mapping.cycle >= min_cycle
+    &&
+    match sl.Mapping.action, value with
+    | Mapping.Aop { node = j; _ }, Mapping.Vnode j' -> j = j'
+    | Mapping.Amove { value = v; _ }, _ -> v = value
+    | Mapping.Acopy v, _ -> v = value
+    | Mapping.Aop _, (Mapping.Vsym _ | Mapping.Vimm _) -> false
+  in
+  List.filter defines p.slots
+  |> List.sort (fun a b -> compare b.Mapping.cycle a.Mapping.cycle)
+  |> function
+  | [] -> None
+  | sl :: _ -> Some sl
+
+let add_copy ctx p ~tile ~value ~min_cycle ?sym ?(set_cond = false) () =
+  let ready =
+    match value with
+    | Mapping.Vimm _ -> 0
+    | Mapping.Vnode _ | Mapping.Vsym _ -> (
+      match List.filter (fun (t, _) -> t = tile) (locations ctx p value) with
+      | [] -> raise (Finalize_failed "add_copy: value not local")
+      | locs -> List.fold_left (fun acc (_, r) -> min acc r) max_int locs)
+  in
+  let c = Occupancy.first_free_at_or_after p.occ.(tile) (max ready min_cycle) in
+  Occupancy.occupy p.occ.(tile) c;
+  p.instr.(tile) <- p.instr.(tile) + 1;
+  let slot =
+    {
+      Mapping.tile;
+      cycle = c;
+      action = Mapping.Acopy value;
+      writes_sym = sym;
+      set_cond;
+    }
+  in
+  let p = { p with slots = slot :: p.slots; n_moves = p.n_moves + 1 } in
+  let p = bump_horizon p c in
+  let p =
+    match value with
+    | Mapping.Vsym s when home_of ctx p s = Some tile -> note_sym_read p s c
+    | Mapping.Vsym _ | Mapping.Vnode _ | Mapping.Vimm _ -> p
+  in
+  (p, c)
+
+(* Order live-out items so that an item reading symbol [s'] is processed
+   before the item writing [s'] (read-before-write on the home RF slot).
+   A dependency cycle (a swap) has no valid order; it is rejected — the
+   frontend never emits one. *)
+let order_live_outs items =
+  (* [other_reader_of s item] holds when [item] reads symbol [s]'s old value
+     (a self-assignment [s := s] constrains nothing). *)
+  let other_reader_of s (s_written, operand) =
+    match operand with
+    | Cdfg.Sym s' -> s' = s && s_written <> s
+    | Cdfg.Node _ | Cdfg.Imm _ -> false
+  in
+  let rec go acc remaining =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+      (* An item may be emitted once no remaining item still needs to read
+         the symbol it writes. *)
+      let ready, blocked =
+        List.partition
+          (fun (s, _) -> not (List.exists (other_reader_of s) remaining))
+          remaining
+      in
+      (match ready with
+       | [] ->
+         raise
+           (Finalize_failed
+              "live-out dependency cycle (symbol swap) is not supported")
+       | _ -> go (List.rev_append ready acc) blocked)
+  in
+  go [] items
+
+let finalize ctx p =
+  try
+    let p = copy_pstate p in
+    let items = order_live_outs ctx.block.Cdfg.live_out in
+    let write_cycle = Hashtbl.create 4 in
+    let p =
+      List.fold_left
+        (fun p (s, operand) ->
+          let value = operand_value operand in
+          let p, home =
+            match home_of ctx p s with
+            | Some h -> (p, h)
+            | None ->
+              let h =
+                match value with
+                | Mapping.Vnode _ | Mapping.Vsym _ -> (
+                  match locations ctx p value with
+                  | (t, _) :: _ -> t
+                  | [] -> least_loaded_tile ctx p)
+                | Mapping.Vimm _ -> least_loaded_tile ctx p
+              in
+              ({ p with homes_new = (s, h) :: p.homes_new }, h)
+          in
+          let min_cycle = max 0 (sym_read_cycle p s) in
+          let p, cw =
+            match value with
+            | Mapping.Vimm _ ->
+              add_copy ctx p ~tile:home ~value ~min_cycle ~sym:s ()
+            | Mapping.Vnode _ | Mapping.Vsym _ -> (
+              (* Self-assignment to the same slot is a no-op. *)
+              match value with
+              | Mapping.Vsym s' when s' = s ->
+                (p, max 0 (sym_read_cycle p s))
+              | _ ->
+                let p =
+                  if List.exists (fun (t, _) -> t = home) (locations ctx p value)
+                  then p
+                  else
+                    match route_into ctx p ~value ~dst:home with
+                    | Some (p, _) -> p
+                    | None ->
+                      raise (Finalize_failed "live-out routing blocked")
+                in
+                (match free_writer_slot p ~home ~value ~min_cycle with
+                 | Some sl ->
+                   ( mark_slot p ~tile:sl.Mapping.tile ~cycle:sl.Mapping.cycle
+                       ~sym:s (),
+                     sl.Mapping.cycle )
+                 | None -> add_copy ctx p ~tile:home ~value ~min_cycle ~sym:s ()))
+          in
+          Hashtbl.replace write_cycle s cw;
+          p)
+        p items
+    in
+    (* Condition export for conditional terminators. *)
+    let p =
+      match ctx.block.Cdfg.terminator with
+      | Cdfg.Jump _ | Cdfg.Return -> p
+      | Cdfg.Branch (cond, _, _) -> (
+        match cond with
+        | Cdfg.Node j ->
+          let op_slot =
+            List.find
+              (fun sl ->
+                match sl.Mapping.action with
+                | Mapping.Aop { node; _ } -> node = j
+                | Mapping.Amove _ | Mapping.Acopy _ -> false)
+              p.slots
+          in
+          mark_slot p ~tile:op_slot.Mapping.tile ~cycle:op_slot.Mapping.cycle
+            ~set_cond:true ()
+        | Cdfg.Sym s ->
+          let home =
+            match home_of ctx p s with
+            | Some h -> h
+            | None -> raise (Finalize_failed "branch on undefined symbol")
+          in
+          let min_cycle =
+            match Hashtbl.find_opt write_cycle s with
+            | Some cw -> cw + 1 (* read the freshly written value *)
+            | None -> 0
+          in
+          let value = Mapping.Vsym s in
+          fst (add_copy ctx p ~tile:home ~value ~min_cycle ~set_cond:true ())
+        | Cdfg.Imm k ->
+          let tile = least_loaded_tile ctx p in
+          fst
+            (add_copy ctx p ~tile ~value:(Mapping.Vimm k) ~min_cycle:0
+               ~set_cond:true ()))
+    in
+    Some p
+  with Finalize_failed _ -> None
+
+(* ---- driver ---------------------------------------------------------- *)
+
+let map_block ~config ~cgra ~committed ~homes ~rng cdfg bi =
+  let block = cdfg.Cdfg.blocks.(bi) in
+  let home_mask =
+    Array.fold_left (fun m h -> if h >= 0 then m lor (1 lsl h) else m) 0 homes
+  in
+  let ctx =
+    {
+      config;
+      cgra;
+      cdfg;
+      bi;
+      block;
+      nnodes = Array.length block.Cdfg.nodes;
+      committed;
+      homes;
+      home_mask;
+    }
+  in
+  let info = Sched.analyse cdfg bi in
+  let recomputes = ref 0 in
+  let peak = ref 1 in
+  let budget = ref config.Flow_config.recompute_budget in
+  let rec rounds pop = function
+    | [] -> Ok pop
+    | node_id :: rest ->
+      let children = List.concat_map (fun p -> expand_state ctx p node_id) pop in
+      let children =
+        if config.Flow_config.acmap then List.filter (acmap_ok ctx) children
+        else children
+      in
+      let children =
+        if children <> [] then children
+        else begin
+          (* Graph transformation: re-computation. *)
+          let rec_children =
+            if !budget <= 0 then []
+            else
+              List.filter_map
+                (fun p ->
+                  match expand_with_recompute ctx p node_id with
+                  | Some p' ->
+                    decr budget;
+                    incr recomputes;
+                    Some p'
+                  | None -> None)
+                pop
+          in
+          if config.Flow_config.acmap then List.filter (acmap_ok ctx) rec_children
+          else rec_children
+        end
+      in
+      if children = [] then
+        Error
+          (Printf.sprintf "block %s: no feasible binding for node %d (%s)"
+             block.Cdfg.name node_id
+             (Opcode.to_string block.Cdfg.nodes.(node_id).Cdfg.opcode))
+      else begin
+        peak := max !peak (List.length children);
+        let pop = stochastic_prune ctx rng children in
+        let pop =
+          if config.Flow_config.ecmap then List.filter (ecmap_ok ctx) pop
+          else pop
+        in
+        if pop = [] then
+          Error
+            (Printf.sprintf
+               "block %s: exact context-memory pruning emptied the population \
+                at node %d"
+               block.Cdfg.name node_id)
+        else rounds pop rest
+      end
+  in
+  match rounds [ initial_pstate ctx ] info.Sched.order with
+  | Error _ as e -> e
+  | Ok pop ->
+    (* Live-out writes and condition export are mandatory: they must not be
+       blocked by CAB blacklisting (CAB constrains the *binding* step only),
+       so finalisation routes with the blacklist disabled and the exact
+       filter below judges the result. *)
+    let fctx =
+      { ctx with config = { config with Flow_config.cab = false } }
+    in
+    let finalized = List.filter_map (finalize fctx) pop in
+    let finalized =
+      if config.Flow_config.ecmap then
+        List.filter (ecmap_ok ~reserve:false ctx) finalized
+      else finalized
+    in
+    (match
+       List.sort (fun a b -> compare (cost ctx a) (cost ctx b)) finalized
+     with
+     | [] ->
+       Error
+         (Printf.sprintf "block %s: no partial mapping survived finalisation"
+            block.Cdfg.name)
+     | best :: _ ->
+       let length =
+         (* at least one cycle so the controller has a section to run *)
+         max best.horizon 1
+       in
+       Ok
+         {
+           bb_mapping =
+             { Mapping.bb = bi; length; slots = List.rev best.slots };
+           new_homes = best.homes_new;
+           recomputes = !recomputes;
+           population_peak = !peak;
+         })

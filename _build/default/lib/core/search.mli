@@ -1,0 +1,38 @@
+(** Population-based mapping of one basic block.
+
+    Implements the inner loop of the paper's Fig 4: for each operation in
+    the list-scheduling order, every surviving partial mapping is expanded
+    with the feasible (tile, cycle, route) bindings — an incremental
+    sub-graph match where operands are made tile-local by inserting move
+    instructions along torus shortest paths — then the partial-mapping
+    population is pruned: the approximate context-memory filter (ACMAP),
+    the stochastic threshold pruning of the basic flow, and the exact
+    context-memory filter (ECMAP).  With constraint-aware binding (CAB)
+    enabled, context-memory-full tiles are blacklisted before binding.
+
+    When an operation cannot be bound in any partial mapping the binder
+    applies the graph transformations of Section III-B: re-routing is
+    inherent (the alternative row-first / column-first paths), and
+    re-computation duplicates a producer node on the destination tile. *)
+
+type outcome = {
+  bb_mapping : Mapping.bb_mapping;
+  new_homes : (int * int) list;  (** symbol homes fixed while mapping this
+                                     block, [(sym, tile)] *)
+  recomputes : int;              (** re-computation transformations used *)
+  population_peak : int;         (** diagnostic: widest population seen *)
+}
+
+val map_block :
+  config:Flow_config.t ->
+  cgra:Cgra_arch.Cgra.t ->
+  committed:int array ->
+  homes:int array ->
+  rng:Cgra_util.Rng.t ->
+  Cgra_ir.Cdfg.t ->
+  int ->
+  (outcome, string) result
+(** [map_block ~config ~cgra ~committed ~homes ~rng cdfg bi] maps block
+    [bi].  [committed.(t)] is the exact context-word usage of tile [t] by
+    already-committed blocks; [homes.(s)] is the home tile of symbol [s]
+    or [-1] when not yet fixed.  Neither array is mutated. *)

@@ -1,0 +1,1 @@
+lib/cpu/codegen.ml: Array Cgra_ir Cpu_isa Format List Printf

@@ -1,0 +1,1 @@
+lib/cpu/codegen.mli: Cgra_ir Cpu_isa Format

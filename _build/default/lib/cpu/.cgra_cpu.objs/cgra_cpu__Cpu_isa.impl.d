@@ -1,0 +1,1 @@
+lib/cpu/cpu_isa.ml: Cgra_ir Printf

@@ -1,0 +1,1 @@
+lib/cpu/cpu_isa.mli: Cgra_ir

@@ -1,0 +1,1 @@
+lib/cpu/cpu_sim.ml: Array Cgra_ir Codegen Cpu_isa Printf

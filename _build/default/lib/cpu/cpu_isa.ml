@@ -1,0 +1,39 @@
+type reg = int
+
+type instr =
+  | Alu of Cgra_ir.Opcode.t * reg * reg * reg
+  | Alui of Cgra_ir.Opcode.t * reg * reg * int
+  | Movi of reg * int
+  | Mov of reg * reg
+  | Cmov of reg * reg * reg * reg
+  | Load of reg * reg * int
+  | Store of reg * reg * int
+  | Bnz of reg * int
+  | Jmp of int
+  | Ret
+
+let reg_count = 32
+
+let cost instr ~taken =
+  match instr with
+  | Alu (Cgra_ir.Opcode.Mul, _, _, _) | Alui (Cgra_ir.Opcode.Mul, _, _, _) -> 3
+  | Alu _ | Alui _ | Movi _ | Mov _ | Cmov _ -> 1
+  | Load _ -> 2
+  | Store _ -> 1
+  | Bnz _ -> if taken then 3 else 1
+  | Jmp _ -> 3
+  | Ret -> 1
+
+let to_string = function
+  | Alu (op, d, a, b) ->
+    Printf.sprintf "%s r%d, r%d, r%d" (Cgra_ir.Opcode.to_string op) d a b
+  | Alui (op, d, a, k) ->
+    Printf.sprintf "%si r%d, r%d, %d" (Cgra_ir.Opcode.to_string op) d a k
+  | Movi (d, k) -> Printf.sprintf "movi r%d, %d" d k
+  | Mov (d, a) -> Printf.sprintf "mov r%d, r%d" d a
+  | Cmov (d, c, a, b) -> Printf.sprintf "cmov r%d, r%d ? r%d : r%d" d c a b
+  | Load (d, a, off) -> Printf.sprintf "load r%d, %d(r%d)" d off a
+  | Store (a, b, off) -> Printf.sprintf "store %d(r%d), r%d" off a b
+  | Bnz (r, b) -> Printf.sprintf "bnz r%d, b%d" r b
+  | Jmp b -> Printf.sprintf "jmp b%d" b
+  | Ret -> "ret"

@@ -1,0 +1,33 @@
+(** or1k-like scalar RISC target used as the CPU baseline (Section IV).
+
+    A single-issue, in-order 32-bit core: 32 registers with [r0 = 0],
+    register-immediate ALU forms, register+offset addressing, a
+    conditional move (or1k's [l.cmov]), and compare-and-branch via a
+    register truth value.  Branch targets are basic-block ids of the
+    source CDFG.
+
+    The cycle costs model a small in-order pipeline at the same clock as
+    the CGRA: single-cycle ALU, 3-cycle multiply, 2-cycle load, 3-cycle
+    taken branch (refill), 1-cycle fall-through. *)
+
+type reg = int
+
+type instr =
+  | Alu of Cgra_ir.Opcode.t * reg * reg * reg  (** rd <- ra op rb *)
+  | Alui of Cgra_ir.Opcode.t * reg * reg * int (** rd <- ra op imm *)
+  | Movi of reg * int
+  | Mov of reg * reg
+  | Cmov of reg * reg * reg * reg              (** rd <- rc <> 0 ? ra : rb *)
+  | Load of reg * reg * int                    (** rd <- mem\[ra + off\] *)
+  | Store of reg * reg * int                   (** mem\[ra + off\] <- rb *)
+  | Bnz of reg * int                           (** branch to block if rd <> 0 *)
+  | Jmp of int
+  | Ret
+
+val cost : instr -> taken:bool -> int
+(** Cycles consumed; [taken] matters only for [Bnz]. *)
+
+val to_string : instr -> string
+
+val reg_count : int
+(** 32, with register 0 hardwired to zero. *)

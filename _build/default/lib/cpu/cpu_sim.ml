@@ -1,0 +1,109 @@
+module Opcode = Cgra_ir.Opcode
+
+type result = {
+  cycles : int;
+  instructions : int;
+  loads : int;
+  stores : int;
+  muls : int;
+  branches : int;
+  blocks_executed : int;
+}
+
+exception Cpu_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Cpu_error s)) fmt
+
+let run ?(max_blocks = 1_000_000) (p : Codegen.program) ~mem =
+  let data_words = Array.length mem in
+  let full = Array.append mem (Array.make p.Codegen.spill_words 0) in
+  let regs = Array.make Cpu_isa.reg_count 0 in
+  regs.(Codegen.spill_base_reg) <- data_words;
+  let cycles = ref 0
+  and instrs = ref 0
+  and loads = ref 0
+  and stores = ref 0
+  and muls = ref 0
+  and branches = ref 0
+  and blocks = ref 0 in
+  let set r v = if r <> 0 then regs.(r) <- Opcode.wrap32 v in
+  let mem_check addr =
+    if addr < 0 || addr >= Array.length full then
+      error "memory access out of bounds: %d" addr
+  in
+  (* Executes one block; returns the successor or None for Ret. *)
+  let exec_block code =
+    let rec go = function
+      | [] -> error "block fell through without terminator"
+      | instr :: rest ->
+        incr instrs;
+        let taken = ref false in
+        let next =
+          match instr with
+          | Cpu_isa.Alu (op, d, a, b) ->
+            if op = Opcode.Mul then incr muls;
+            set d (Opcode.eval op [ regs.(a); regs.(b) ]);
+            None
+          | Cpu_isa.Alui (op, d, a, k) ->
+            if op = Opcode.Mul then incr muls;
+            set d (Opcode.eval op [ regs.(a); k ]);
+            None
+          | Cpu_isa.Movi (d, k) ->
+            set d k;
+            None
+          | Cpu_isa.Mov (d, a) ->
+            set d regs.(a);
+            None
+          | Cpu_isa.Cmov (d, c, a, b) ->
+            set d (if regs.(c) <> 0 then regs.(a) else regs.(b));
+            None
+          | Cpu_isa.Load (d, a, off) ->
+            incr loads;
+            let addr = regs.(a) + off in
+            mem_check addr;
+            set d full.(addr);
+            None
+          | Cpu_isa.Store (a, b, off) ->
+            incr stores;
+            let addr = regs.(a) + off in
+            mem_check addr;
+            full.(addr) <- regs.(b);
+            None
+          | Cpu_isa.Bnz (r, target) ->
+            incr branches;
+            if regs.(r) <> 0 then begin
+              taken := true;
+              Some (`Goto target)
+            end
+            else None
+          | Cpu_isa.Jmp target ->
+            incr branches;
+            taken := true;
+            Some (`Goto target)
+          | Cpu_isa.Ret -> Some `Ret
+        in
+        cycles := !cycles + Cpu_isa.cost instr ~taken:!taken;
+        (match next with
+         | None -> go rest
+         | Some dest -> dest)
+    in
+    go code
+  in
+  let rec run_from bi =
+    if !blocks >= max_blocks then error "runaway execution (max_blocks)";
+    incr blocks;
+    match exec_block p.Codegen.blocks.(bi) with
+    | `Goto next -> run_from next
+    | `Ret -> ()
+  in
+  run_from p.Codegen.cdfg.Cgra_ir.Cdfg.entry;
+  Array.blit full 0 mem 0 data_words;
+  {
+    cycles = !cycles;
+    instructions = !instrs;
+    loads = !loads;
+    stores = !stores;
+    muls = !muls;
+    branches = !branches;
+    blocks_executed = !blocks;
+  }

@@ -1,0 +1,20 @@
+(** Functional + cycle-cost simulator for the CPU baseline. *)
+
+type result = {
+  cycles : int;
+  instructions : int;
+  loads : int;
+  stores : int;
+  muls : int;
+  branches : int;
+  blocks_executed : int;
+}
+
+exception Cpu_error of string
+
+val run : ?max_blocks:int -> Codegen.program -> mem:int array -> result
+(** Executes from the entry block until [Ret], mutating [mem].  A spill
+    scratch region of [program.spill_words] words is appended internally
+    (register [r28] points at it) and discarded afterwards.  Registers
+    start at zero, matching the CGRA and the reference interpreter.
+    Raises {!Cpu_error} on out-of-bounds accesses or runaway loops. *)

@@ -1,0 +1,1 @@
+lib/exp/figures.ml: Array Cgra_arch Cgra_core Cgra_cpu Cgra_ir Cgra_kernels Cgra_power Cgra_util Float List Option Printf Runner String

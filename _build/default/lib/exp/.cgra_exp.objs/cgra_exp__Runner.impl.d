@@ -1,0 +1,1 @@
+lib/exp/runner.ml: Cgra_arch Cgra_asm Cgra_core Cgra_cpu Cgra_kernels Cgra_power Cgra_sim Hashtbl Printf Unix

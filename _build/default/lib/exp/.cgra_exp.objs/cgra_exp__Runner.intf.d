@@ -1,0 +1,1 @@
+lib/exp/runner.mli: Cgra_arch Cgra_core Cgra_cpu Cgra_kernels Cgra_power Cgra_sim

@@ -1,0 +1,276 @@
+module K = Cgra_kernels.Kernel_def
+module Config = Cgra_arch.Config
+module M = Cgra_core.Mapping
+module T = Cgra_util.Text_table
+
+let configs = Config.all
+
+let table1 () =
+  "Table I: context-memory configurations\n"
+  ^ T.render
+      ~header:
+        [ "Config"; "Load-store tiles"; "Tiles CM64"; "Tiles CM32";
+          "Tiles CM16"; "Total" ]
+      ~rows:(Config.table1_rows ())
+
+(* ---- Fig 2: context usage of the context-unaware mapping ------------ *)
+
+let fig2 () =
+  let k = Option.get (Cgra_kernels.Kernels.by_slug "matm") in
+  match Runner.run_of k Config.HOM64 Runner.Basic with
+  | Runner.Unmappable u -> failwith ("fig2: basic matm must map: " ^ u.reason)
+  | Runner.Mapped r ->
+    let usage = M.tile_usage r.Runner.mapping in
+    let series =
+      Array.to_list
+        (Array.mapi
+           (fun t u ->
+             let cap =
+               (Config.cgra Config.HOM64).Cgra_arch.Cgra.tiles.(t).cm_words
+             in
+             ( Printf.sprintf "T%02d%s" t (if t < 8 then "*" else " "),
+               100.0 *. float_of_int (M.usage_total u) /. float_of_int cap ))
+           usage)
+    in
+    let used =
+      Array.fold_left (fun acc u -> acc + M.usage_total u) 0 usage
+    in
+    "Fig 2: context-memory usage (%) of the basic mapping, MatM on HOM64\n"
+    ^ T.bar_chart ~title:"per-tile usage (* = load-store tile)" series
+    ^ Printf.sprintf
+        "total: %d of 1024 words used — the distribution, not the total,\n\
+         is what forces oversized context memories.\n"
+        used
+
+(* ---- Fig 5: traversal study on FFT ---------------------------------- *)
+
+let per_block_moves_pnops (m : M.t) =
+  Array.mapi
+    (fun bi _ ->
+      let usage = M.block_tile_usage m bi in
+      Array.fold_left
+        (fun (mv, pn) u -> (mv + u.M.moves, pn + u.M.pnops))
+        (0, 0) usage)
+    m.M.bbs
+
+let fig5 () =
+  let k = Option.get (Cgra_kernels.Kernels.by_slug "fft") in
+  let cdfg = K.cdfg k in
+  let cgra = Config.cgra Config.HOM64 in
+  let forward_cfg = Cgra_core.Flow_config.basic in
+  let weighted_cfg =
+    { forward_cfg with Cgra_core.Flow_config.traversal = Cgra_core.Flow_config.Weighted }
+  in
+  let map_with cfg =
+    match Cgra_core.Flow.run ~config:cfg cgra cdfg with
+    | Ok (m, _) -> m
+    | Error f -> failwith ("fig5: FFT should map on HOM64: " ^ f.Cgra_core.Flow.reason)
+  in
+  let fwd = per_block_moves_pnops (map_with forward_cfg) in
+  let wt = per_block_moves_pnops (map_with weighted_cfg) in
+  let rows =
+    List.init (Array.length fwd) (fun bi ->
+        let mf, pf = fwd.(bi) and mw, pw = wt.(bi) in
+        let ratio a b = if b = 0 then (if a = 0 then "1.00" else "-") else T.float_cell (float_of_int a /. float_of_int b) in
+        [ cdfg.Cgra_ir.Cdfg.blocks.(bi).Cgra_ir.Cdfg.name;
+          string_of_int mw; string_of_int mf; ratio mw mf;
+          string_of_int pw; string_of_int pf; ratio pw pf ])
+  in
+  let total f arr = Array.fold_left (fun acc x -> acc + f x) 0 arr in
+  let mv_w = total fst wt and mv_f = total fst fwd in
+  let pn_w = total snd wt and pn_f = total snd fwd in
+  let pct a b = 100.0 *. (1.0 -. (float_of_int a /. float_of_int (max 1 b))) in
+  "Fig 5: FFT per-block moves and pnops, weighted traversal vs forward\n"
+  ^ T.render
+      ~header:
+        [ "Block"; "moves(WT)"; "moves(fwd)"; "ratio"; "pnops(WT)";
+          "pnops(fwd)"; "ratio" ]
+      ~rows
+  ^ Printf.sprintf
+      "totals: moves %d vs %d (%.0f%% reduction), pnops %d vs %d (%.0f%% reduction)\n"
+      mv_w mv_f (pct mv_w mv_f) pn_w pn_f (pct pn_w pn_f)
+
+(* ---- Figs 6-8: latency sweeps --------------------------------------- *)
+
+let baseline_cycles k =
+  match Runner.run_of k Config.HOM64 Runner.Basic with
+  | Runner.Mapped r -> r.Runner.cycles
+  | Runner.Unmappable u ->
+    failwith ("basic mapping must fit HOM64 for " ^ k.K.name ^ ": " ^ u.reason)
+
+let latency_figure ~title ~flow () =
+  let rows =
+    List.map
+      (fun k ->
+        let base = float_of_int (baseline_cycles k) in
+        let values =
+          List.map
+            (fun config ->
+              match Runner.run_of k config flow with
+              | Runner.Mapped r -> float_of_int r.Runner.cycles /. base
+              | Runner.Unmappable _ -> 0.0)
+            configs
+        in
+        (k.K.name, values))
+      Runner.kernels
+  in
+  title ^ " (latency normalised to basic@HOM64; 0 = no mapping found)\n"
+  ^ T.grouped_chart ~title:(Runner.flow_label flow)
+      ~group_labels:(List.map Config.to_string configs)
+      rows
+
+let fig6 = latency_figure ~title:"Fig 6" ~flow:Runner.With_acmap
+let fig7 = latency_figure ~title:"Fig 7" ~flow:Runner.With_ecmap
+let fig8 = latency_figure ~title:"Fig 8" ~flow:Runner.Full
+
+(* ---- Fig 9: compilation time ---------------------------------------- *)
+
+let fig9 () =
+  let mean_time flow =
+    let samples =
+      List.concat_map
+        (fun k ->
+          List.map
+            (fun config -> Runner.compile_seconds_of (Runner.run_of k config flow))
+            configs)
+        Runner.kernels
+    in
+    List.fold_left ( +. ) 0.0 samples /. float_of_int (List.length samples)
+  in
+  let base = mean_time Runner.Basic in
+  let series =
+    List.map
+      (fun flow -> (Runner.flow_label flow, mean_time flow /. base))
+      Runner.flow_kinds
+  in
+  Printf.sprintf
+    "Fig 9: average compilation time normalised to the basic flow\n%s(basic flow mean: %.3f s per kernel-configuration)\n"
+    (T.bar_chart ~title:"compile-time ratio" series)
+    base
+
+(* ---- Fig 10: execution time vs CPU ---------------------------------- *)
+
+let fig10 () =
+  let header =
+    [ "Kernel"; "CPU cyc"; "HOM64 basic"; "norm"; "HET1 aware"; "norm";
+      "HET2 aware"; "norm" ]
+  in
+  let speedups = ref [] in
+  let rows =
+    List.map
+      (fun k ->
+        let cpu = (Runner.cpu_of k).Runner.cpu_sim.Cgra_cpu.Cpu_sim.cycles in
+        let cell config flow =
+          match Runner.run_of k config flow with
+          | Runner.Mapped r ->
+            let norm = float_of_int r.Runner.cycles /. float_of_int cpu in
+            if flow = Runner.Full then speedups := (1.0 /. norm) :: !speedups;
+            (string_of_int r.Runner.cycles, T.float_cell norm)
+          | Runner.Unmappable _ -> ("-", "-")
+        in
+        let b, bn = cell Config.HOM64 Runner.Basic in
+        let h1, h1n = cell Config.HET1 Runner.Full in
+        let h2, h2n = cell Config.HET2 Runner.Full in
+        [ k.K.name; string_of_int cpu; b; bn; h1; h1n; h2; h2n ])
+      Runner.kernels
+  in
+  let sp = !speedups in
+  let avg = List.fold_left ( +. ) 0.0 sp /. float_of_int (List.length sp) in
+  let mx = List.fold_left Float.max 0.0 sp in
+  let mn = List.fold_left Float.min infinity sp in
+  "Fig 10: execution time normalised to the or1k-class CPU\n"
+  ^ T.render ~header ~rows
+  ^ Printf.sprintf
+      "context-aware speed-up vs CPU: average %.1fx, max %.1fx, min %.1fx\n"
+      avg mx mn
+
+(* ---- Fig 11: area ---------------------------------------------------- *)
+
+let fig11 () =
+  let module A = Cgra_power.Area in
+  let cpu = A.cpu_breakdown () in
+  let cpu_total = A.total cpu in
+  let render_system name components =
+    let rows =
+      List.map
+        (fun c -> [ c.A.label; Printf.sprintf "%.0f" c.A.um2 ])
+        components
+      @ [ [ "TOTAL";
+            Printf.sprintf "%.0f (%.2fx CPU)" (A.total components)
+              (A.total components /. cpu_total) ] ]
+    in
+    name ^ "\n" ^ T.render ~header:[ "Component"; "um^2" ] ~rows
+  in
+  "Fig 11: area comparison with the CPU system\n"
+  ^ render_system "CPU system" cpu
+  ^ String.concat ""
+      (List.filter_map
+         (fun cfg ->
+           match cfg with
+           | Config.HOM32 -> None (* as in the paper's figure *)
+           | Config.HOM64 | Config.HET1 | Config.HET2 ->
+             Some
+               (render_system
+                  ("CGRA " ^ Config.to_string cfg)
+                  (A.cgra_breakdown (Config.cgra cfg))))
+         configs)
+
+(* ---- Table II: energy ------------------------------------------------ *)
+
+let table2 () =
+  let module E = Cgra_power.Energy in
+  let gains_vs_basic = ref [] and gains_vs_cpu = ref [] in
+  let rows =
+    List.map
+      (fun k ->
+        let cpu_uj = E.to_uj (Runner.cpu_of k).Runner.cpu_energy.E.total_pj in
+        let cgra config flow =
+          match Runner.run_of k config flow with
+          | Runner.Mapped r -> Some (E.to_uj r.Runner.energy.E.total_pj)
+          | Runner.Unmappable _ -> None
+        in
+        let basic = cgra Config.HOM64 Runner.Basic in
+        let het1 = cgra Config.HET1 Runner.Full in
+        let het2 = cgra Config.HET2 Runner.Full in
+        let cell v =
+          match v with
+          | None -> [ "-"; "-" ]
+          | Some uj ->
+            [ T.float_cell uj; Printf.sprintf "%.0fx" (cpu_uj /. uj) ]
+        in
+        (match basic, het1 with
+         | Some b, Some h ->
+           gains_vs_basic := (b /. h) :: !gains_vs_basic;
+           gains_vs_cpu := (cpu_uj /. h) :: !gains_vs_cpu
+         | _, _ -> ());
+        (match basic, het2 with
+         | Some b, Some h -> gains_vs_basic := (b /. h) :: !gains_vs_basic
+         | _, _ -> ());
+        [ k.K.name; T.float_cell cpu_uj ] @ cell basic @ cell het1 @ cell het2)
+      Runner.kernels
+  in
+  let stats l =
+    let n = float_of_int (List.length l) in
+    ( List.fold_left ( +. ) 0.0 l /. n,
+      List.fold_left Float.max 0.0 l,
+      List.fold_left Float.min infinity l )
+  in
+  let avg_b, max_b, min_b = stats !gains_vs_basic in
+  let avg_c, max_c, min_c = stats !gains_vs_cpu in
+  "Table II: energy in uJ (gain factors vs the CPU)\n"
+  ^ T.render
+      ~header:
+        [ "Kernel"; "CPU"; "HOM64 basic"; "gain"; "HET1 aware"; "gain";
+          "HET2 aware"; "gain" ]
+      ~rows
+  ^ Printf.sprintf
+      "context-aware vs basic mapping: average %.1fx (max %.1fx, min %.1fx)\n"
+      avg_b max_b min_b
+  ^ Printf.sprintf
+      "context-aware vs CPU:           average %.0fx (max %.0fx, min %.0fx)\n"
+      avg_c max_c min_c
+
+let run_all () =
+  String.concat "\n"
+    [ table1 (); fig2 (); fig5 (); fig6 (); fig7 (); fig8 (); fig9 ();
+      fig10 (); fig11 (); table2 () ]

@@ -1,0 +1,46 @@
+(** Regeneration of every table and figure of the paper's evaluation.
+
+    Each function runs (or reuses) the needed tool-chain cells and renders
+    a plain-text artifact shaped like the paper's: same rows, same series,
+    same normalisations.  [run_all] concatenates everything in paper
+    order. *)
+
+val table1 : unit -> string
+(** Table I — the four context-memory configurations. *)
+
+val fig2 : unit -> string
+(** Fig 2 — the motivation: per-tile context-word usage of the basic
+    (context-unaware) mapping of matrix multiplication on HOM64, showing
+    the hot load-store tiles and the waste elsewhere. *)
+
+val fig5 : unit -> string
+(** Fig 5 — per-basic-block pnop and move counts of the FFT kernel under
+    the weighted traversal, normalised to the forward traversal. *)
+
+val fig6 : unit -> string
+(** Fig 6 — latency per kernel and configuration, basic + ACMAP,
+    normalised to the basic mapping on HOM64; 0 marks "no mapping". *)
+
+val fig7 : unit -> string
+(** Fig 7 — same with basic + ACMAP + ECMAP. *)
+
+val fig8 : unit -> string
+(** Fig 8 — same with the full flow (+ CAB). *)
+
+val fig9 : unit -> string
+(** Fig 9 — average compilation time after each added step, normalised to
+    the basic flow. *)
+
+val fig10 : unit -> string
+(** Fig 10 — execution cycles of basic@HOM64 and context-aware@HET1/HET2
+    normalised to the CPU, with the speed-up summary. *)
+
+val fig11 : unit -> string
+(** Fig 11 — area breakdown of HOM64/HET1/HET2 against the CPU system. *)
+
+val table2 : unit -> string
+(** Table II — energy in uJ for CPU / basic@HOM64 / aware@HET1 /
+    aware@HET2 with gain factors and the summary statistics the abstract
+    quotes. *)
+
+val run_all : unit -> string

@@ -1,0 +1,98 @@
+module FC = Cgra_core.Flow_config
+module K = Cgra_kernels.Kernel_def
+
+type flow_kind = Basic | With_acmap | With_ecmap | Full
+
+let flow_kinds = [ Basic; With_acmap; With_ecmap; Full ]
+
+let flow_label = function
+  | Basic -> "basic"
+  | With_acmap -> "basic+ACMAP"
+  | With_ecmap -> "basic+ACMAP+ECMAP"
+  | Full -> "basic+ACMAP+ECMAP+CAB"
+
+let flow_config = function
+  | Basic -> FC.basic
+  | With_acmap -> FC.with_acmap
+  | With_ecmap -> FC.with_acmap_ecmap
+  | Full -> FC.context_aware
+
+type run = {
+  mapping : Cgra_core.Mapping.t;
+  sim : Cgra_sim.Simulator.result;
+  cycles : int;
+  energy : Cgra_power.Energy.breakdown;
+  compile_seconds : float;
+}
+
+type cell =
+  | Mapped of run
+  | Unmappable of { reason : string; compile_seconds : float }
+
+let cache : (string * Cgra_arch.Config.name * flow_kind, cell) Hashtbl.t =
+  Hashtbl.create 64
+
+let run_of k config flow =
+  let key = (k.K.slug, config, flow) in
+  match Hashtbl.find_opt cache key with
+  | Some cell -> cell
+  | None ->
+    let cdfg = K.cdfg k in
+    let cgra = Cgra_arch.Config.cgra config in
+    let t0 = Unix.gettimeofday () in
+    let cell =
+      match Cgra_core.Flow.run ~config:(flow_config flow) cgra cdfg with
+      | Error f ->
+        Unmappable
+          { reason = f.Cgra_core.Flow.reason;
+            compile_seconds = Unix.gettimeofday () -. t0 }
+      | Ok (mapping, _) -> (
+        let compile_seconds = Unix.gettimeofday () -. t0 in
+        match Cgra_asm.Assemble.assemble mapping with
+        | exception Cgra_asm.Assemble.Assembly_error e ->
+          (* register-file pressure the search does not model; report as
+             unmappable rather than crash the harness *)
+          Unmappable { reason = "assembly: " ^ e; compile_seconds }
+        | program ->
+        let mem = K.fresh_mem k in
+        let sim = Cgra_sim.Simulator.run program ~mem in
+        if mem <> K.run_golden k then
+          failwith
+            (Printf.sprintf
+               "harness: %s on %s (%s) simulated to a wrong memory image"
+               k.K.name
+               (Cgra_arch.Config.to_string config)
+               (flow_label flow));
+        let energy = Cgra_power.Energy.cgra cgra sim in
+        Mapped
+          { mapping; sim; cycles = sim.Cgra_sim.Simulator.cycles; energy;
+            compile_seconds })
+    in
+    Hashtbl.add cache key cell;
+    cell
+
+type cpu_run = {
+  cpu_sim : Cgra_cpu.Cpu_sim.result;
+  cpu_energy : Cgra_power.Energy.breakdown;
+}
+
+let cpu_cache : (string, cpu_run) Hashtbl.t = Hashtbl.create 8
+
+let cpu_of k =
+  match Hashtbl.find_opt cpu_cache k.K.slug with
+  | Some r -> r
+  | None ->
+    let prog = Cgra_cpu.Codegen.compile (K.cdfg k) in
+    let mem = K.fresh_mem k in
+    let cpu_sim = Cgra_cpu.Cpu_sim.run prog ~mem in
+    if mem <> K.run_golden k then
+      failwith (Printf.sprintf "harness: CPU run of %s is wrong" k.K.name);
+    let r = { cpu_sim; cpu_energy = Cgra_power.Energy.cpu cpu_sim } in
+    Hashtbl.add cpu_cache k.K.slug r;
+    r
+
+let compile_seconds_of = function
+  | Mapped r -> r.compile_seconds
+  | Unmappable u -> u.compile_seconds
+
+let kernels = Cgra_kernels.Kernels.all

@@ -1,0 +1,38 @@
+(** Shared machinery of the experiment harness: runs (kernel x
+    configuration x flow) cells through the full tool-chain — mapping,
+    assembly, cycle-level simulation with functional check against the
+    golden model — and memoizes the results so every figure reuses them. *)
+
+type flow_kind = Basic | With_acmap | With_ecmap | Full
+
+val flow_kinds : flow_kind list
+val flow_label : flow_kind -> string
+val flow_config : flow_kind -> Cgra_core.Flow_config.t
+
+type run = {
+  mapping : Cgra_core.Mapping.t;
+  sim : Cgra_sim.Simulator.result;
+  cycles : int;
+  energy : Cgra_power.Energy.breakdown;
+  compile_seconds : float;
+}
+
+type cell =
+  | Mapped of run
+  | Unmappable of { reason : string; compile_seconds : float }
+
+val run_of : Cgra_kernels.Kernel_def.t -> Cgra_arch.Config.name -> flow_kind -> cell
+(** Memoized.  Raises [Failure] if a produced mapping simulates to a
+    memory image different from the golden model — that would be a bug,
+    and the harness refuses to report numbers from it. *)
+
+type cpu_run = {
+  cpu_sim : Cgra_cpu.Cpu_sim.result;
+  cpu_energy : Cgra_power.Energy.breakdown;
+}
+
+val cpu_of : Cgra_kernels.Kernel_def.t -> cpu_run
+(** Memoized; also checked against the golden model. *)
+
+val compile_seconds_of : cell -> float
+val kernels : Cgra_kernels.Kernel_def.t list

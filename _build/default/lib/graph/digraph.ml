@@ -1,0 +1,148 @@
+type t = {
+  mutable n : int;
+  mutable succ : int list array; (* stored reversed, exposed in order *)
+  mutable pred : int list array;
+}
+
+let create () = { n = 0; succ = Array.make 8 []; pred = Array.make 8 [] }
+
+let grow g =
+  let cap = Array.length g.succ in
+  if g.n >= cap then begin
+    let ncap = max 8 (2 * cap) in
+    let s = Array.make ncap [] and p = Array.make ncap [] in
+    Array.blit g.succ 0 s 0 cap;
+    Array.blit g.pred 0 p 0 cap;
+    g.succ <- s;
+    g.pred <- p
+  end
+
+let add_node g =
+  grow g;
+  let id = g.n in
+  g.n <- id + 1;
+  id
+
+let node_count g = g.n
+
+let check g v =
+  if v < 0 || v >= g.n then invalid_arg "Digraph: node id out of range"
+
+let add_edge g ~src ~dst =
+  check g src;
+  check g dst;
+  g.succ.(src) <- dst :: g.succ.(src);
+  g.pred.(dst) <- src :: g.pred.(dst)
+
+let succs g v =
+  check g v;
+  List.rev g.succ.(v)
+
+let preds g v =
+  check g v;
+  List.rev g.pred.(v)
+
+let out_degree g v =
+  check g v;
+  List.length g.succ.(v)
+
+let in_degree g v =
+  check g v;
+  List.length g.pred.(v)
+
+let nodes g = List.init g.n (fun i -> i)
+
+let iter_edges g f =
+  for v = 0 to g.n - 1 do
+    List.iter (fun w -> f v w) (List.rev g.succ.(v))
+  done
+
+(* Kahn's algorithm; fails on a cycle. *)
+let topo_sort g =
+  let indeg = Array.init g.n (fun v -> List.length g.pred.(v)) in
+  let queue = Queue.create () in
+  for v = 0 to g.n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr seen;
+    order := v :: !order;
+    let visit w =
+      indeg.(w) <- indeg.(w) - 1;
+      if indeg.(w) = 0 then Queue.add w queue
+    in
+    List.iter visit (List.rev g.succ.(v))
+  done;
+  if !seen <> g.n then failwith "Digraph.topo_sort: graph has a cycle";
+  List.rev !order
+
+let is_acyclic g =
+  match topo_sort g with _ -> true | exception Failure _ -> false
+
+(* DFS-based order ignoring back edges: post-order reversed. *)
+let topo_sort_weak g =
+  let state = Array.make g.n 0 in
+  (* 0 unvisited, 1 on stack, 2 done *)
+  let order = ref [] in
+  let rec dfs v =
+    if state.(v) = 0 then begin
+      state.(v) <- 1;
+      List.iter (fun w -> if state.(w) = 0 then dfs w) (List.rev g.succ.(v));
+      state.(v) <- 2;
+      order := v :: !order
+    end
+  in
+  (* Start from source nodes first so CFG entry blocks lead the order. *)
+  for v = 0 to g.n - 1 do
+    if List.length g.pred.(v) = 0 then dfs v
+  done;
+  for v = 0 to g.n - 1 do
+    dfs v
+  done;
+  !order
+
+let reachable_from g roots =
+  let seen = Array.make g.n false in
+  let rec dfs v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter dfs (List.rev g.succ.(v))
+    end
+  in
+  List.iter (fun r -> check g r; dfs r) roots;
+  seen
+
+let longest_path_from_sources g =
+  let order = topo_sort g in
+  let dist = Array.make g.n 0 in
+  let relax v =
+    let bump w = if dist.(v) + 1 > dist.(w) then dist.(w) <- dist.(v) + 1 in
+    List.iter bump (List.rev g.succ.(v))
+  in
+  List.iter relax order;
+  dist
+
+let longest_path_to_sinks g =
+  let order = topo_sort g in
+  let dist = Array.make g.n 0 in
+  let relax v =
+    let best =
+      List.fold_left (fun acc w -> max acc (dist.(w) + 1)) 0 (List.rev g.succ.(v))
+    in
+    dist.(v) <- best
+  in
+  List.iter relax (List.rev order);
+  dist
+
+let to_dot ?(label = string_of_int) g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph g {\n";
+  List.iter
+    (fun v -> Buffer.add_string buf (Printf.sprintf "  n%d [label=%S];\n" v (label v)))
+    (nodes g);
+  iter_edges g (fun s d -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" s d));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Cdfg List Opcode Printf

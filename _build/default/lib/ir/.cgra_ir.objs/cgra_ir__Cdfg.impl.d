@@ -1,0 +1,1 @@
+lib/ir/cdfg.ml: Array Cgra_graph Format Hashtbl List Opcode Printf

@@ -1,0 +1,1 @@
+lib/ir/cdfg.mli: Cgra_graph Format Opcode

@@ -1,0 +1,1 @@
+lib/ir/opt.ml: Array Cdfg Cgra_graph Fun List Opcode

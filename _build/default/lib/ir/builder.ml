@@ -1,0 +1,71 @@
+type proto_block = {
+  pname : string;
+  mutable pnodes : Cdfg.node list; (* reversed *)
+  mutable pcount : int;
+  mutable plive_out : (Cdfg.sym * Cdfg.operand) list; (* reversed, latest first *)
+  mutable pterm : Cdfg.terminator option;
+}
+
+type t = {
+  kname : string;
+  mutable pblocks : proto_block list; (* reversed *)
+  mutable nblocks : int;
+  mutable syms : string list; (* reversed *)
+  mutable nsyms : int;
+}
+
+type block_handle = { bid : int; proto : proto_block }
+
+let create kname = { kname; pblocks = []; nblocks = 0; syms = []; nsyms = 0 }
+
+let fresh_sym b name =
+  let id = b.nsyms in
+  b.nsyms <- id + 1;
+  b.syms <- name :: b.syms;
+  id
+
+let add_block b pname =
+  let proto = { pname; pnodes = []; pcount = 0; plive_out = []; pterm = None } in
+  let bid = b.nblocks in
+  b.nblocks <- bid + 1;
+  b.pblocks <- proto :: b.pblocks;
+  { bid; proto }
+
+let block_id h = h.bid
+
+let add_node ?(mem_dep = []) _b h opcode operands =
+  if List.length operands <> Opcode.arity opcode then
+    invalid_arg
+      (Printf.sprintf "Builder.add_node: %s expects %d operands"
+         (Opcode.to_string opcode) (Opcode.arity opcode));
+  let id = h.proto.pcount in
+  h.proto.pcount <- id + 1;
+  h.proto.pnodes <- { Cdfg.opcode; operands; mem_dep } :: h.proto.pnodes;
+  Cdfg.Node id
+
+let set_live_out _b h sym op =
+  h.proto.plive_out <- (sym, op) :: List.remove_assoc sym h.proto.plive_out
+
+let set_terminator _b h term = h.proto.pterm <- Some term
+
+let finish b =
+  let freeze proto =
+    match proto.pterm with
+    | None -> failwith (Printf.sprintf "Builder.finish: block %s has no terminator" proto.pname)
+    | Some terminator ->
+      { Cdfg.name = proto.pname;
+        nodes = Array.of_list (List.rev proto.pnodes);
+        live_out = List.rev proto.plive_out;
+        terminator }
+  in
+  let blocks = List.rev_map freeze b.pblocks |> Array.of_list in
+  let c =
+    { Cdfg.kernel_name = b.kname;
+      blocks;
+      entry = 0;
+      sym_count = b.nsyms;
+      sym_names = Array.of_list (List.rev b.syms) }
+  in
+  match Cdfg.validate c with
+  | Ok () -> c
+  | Error msg -> failwith ("Builder.finish: invalid CDFG: " ^ msg)

@@ -1,0 +1,57 @@
+type trace = {
+  block_counts : int array;
+  block_order : int list;
+  steps : int;
+}
+
+exception Out_of_bounds of { block : string; node : int; addr : int }
+exception Step_limit_exceeded
+
+let eval_block (c : Cdfg.t) bi ~sym_env ~mem =
+  let b = c.Cdfg.blocks.(bi) in
+  let results = Array.make (Array.length b.nodes) 0 in
+  let value = function
+    | Cdfg.Node j -> results.(j)
+    | Cdfg.Sym s -> sym_env.(s)
+    | Cdfg.Imm k -> Opcode.wrap32 k
+  in
+  let mem_check i addr =
+    if addr < 0 || addr >= Array.length mem then
+      raise (Out_of_bounds { block = b.name; node = i; addr })
+  in
+  Array.iteri
+    (fun i n ->
+      match n.Cdfg.opcode with
+      | Opcode.Load ->
+        let addr = value (List.nth n.operands 0) in
+        mem_check i addr;
+        results.(i) <- mem.(addr)
+      | Opcode.Store ->
+        let addr = value (List.nth n.operands 0) in
+        let v = value (List.nth n.operands 1) in
+        mem_check i addr;
+        mem.(addr) <- v
+      | op -> results.(i) <- Opcode.eval op (List.map value n.operands))
+    b.nodes;
+  (* live_out right-hand sides are all read before any write, so
+     [i := j; j := i] style swaps behave like parallel assignment. *)
+  let updates = List.map (fun (s, op) -> (s, value op)) b.live_out in
+  List.iter (fun (s, v) -> sym_env.(s) <- v) updates;
+  match b.terminator with
+  | Cdfg.Jump t -> Some t
+  | Cdfg.Branch (cond, t, e) -> Some (if value cond <> 0 then t else e)
+  | Cdfg.Return -> None
+
+let run ?(init_syms = []) ?(max_steps = 1_000_000) (c : Cdfg.t) ~mem =
+  let sym_env = Array.make (max 1 c.Cdfg.sym_count) 0 in
+  List.iter (fun (s, v) -> sym_env.(s) <- Opcode.wrap32 v) init_syms;
+  let counts = Array.make (Array.length c.blocks) 0 in
+  let rec go bi order steps =
+    if steps >= max_steps then raise Step_limit_exceeded;
+    counts.(bi) <- counts.(bi) + 1;
+    match eval_block c bi ~sym_env ~mem with
+    | Some next -> go next (bi :: order) (steps + 1)
+    | None ->
+      { block_counts = counts; block_order = List.rev (bi :: order); steps = steps + 1 }
+  in
+  go c.entry [] 0

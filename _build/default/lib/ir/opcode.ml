@@ -1,0 +1,100 @@
+type t =
+  | Add
+  | Sub
+  | Mul
+  | Shl
+  | Shrl
+  | Shra
+  | And
+  | Or
+  | Xor
+  | Lt
+  | Le
+  | Eq
+  | Ne
+  | Gt
+  | Ge
+  | Min
+  | Max
+  | Select
+  | Load
+  | Store
+
+let arity = function
+  | Load -> 1
+  | Select -> 3
+  | Store -> 2
+  | Add | Sub | Mul | Shl | Shrl | Shra | And | Or | Xor
+  | Lt | Le | Eq | Ne | Gt | Ge | Min | Max -> 2
+
+let has_result = function Store -> false | _ -> true
+
+let needs_lsu = function Load | Store -> true | _ -> false
+
+let is_commutative = function
+  | Add | Mul | And | Or | Xor | Eq | Ne | Min | Max -> true
+  | Sub | Shl | Shrl | Shra | Lt | Le | Gt | Ge | Select | Load | Store -> false
+
+let to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Shl -> "shl"
+  | Shrl -> "shrl"
+  | Shra -> "shra"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Gt -> "gt"
+  | Ge -> "ge"
+  | Min -> "min"
+  | Max -> "max"
+  | Select -> "select"
+  | Load -> "load"
+  | Store -> "store"
+
+let all =
+  [ Add; Sub; Mul; Shl; Shrl; Shra; And; Or; Xor; Lt; Le; Eq; Ne; Gt; Ge;
+    Min; Max; Select; Load; Store ]
+
+let of_string s = List.find_opt (fun op -> to_string op = s) all
+
+let wrap32 v =
+  let m = v land 0xFFFFFFFF in
+  if m land 0x80000000 <> 0 then m - 0x100000000 else m
+
+let bool_int b = if b then 1 else 0
+
+let eval op args =
+  let bad () =
+    invalid_arg
+      (Printf.sprintf "Opcode.eval: %s expects %d operands, got %d"
+         (to_string op) (arity op) (List.length args))
+  in
+  match op, args with
+  | Add, [ a; b ] -> wrap32 (a + b)
+  | Sub, [ a; b ] -> wrap32 (a - b)
+  | Mul, [ a; b ] -> wrap32 (a * b)
+  | Shl, [ a; b ] -> wrap32 (a lsl (b land 31))
+  | Shrl, [ a; b ] -> wrap32 ((a land 0xFFFFFFFF) lsr (b land 31))
+  | Shra, [ a; b ] -> wrap32 (a asr (b land 31))
+  | And, [ a; b ] -> wrap32 (a land b)
+  | Or, [ a; b ] -> wrap32 (a lor b)
+  | Xor, [ a; b ] -> wrap32 (a lxor b)
+  | Lt, [ a; b ] -> bool_int (a < b)
+  | Le, [ a; b ] -> bool_int (a <= b)
+  | Eq, [ a; b ] -> bool_int (a = b)
+  | Ne, [ a; b ] -> bool_int (a <> b)
+  | Gt, [ a; b ] -> bool_int (a > b)
+  | Ge, [ a; b ] -> bool_int (a >= b)
+  | Min, [ a; b ] -> min a b
+  | Max, [ a; b ] -> max a b
+  | Select, [ c; a; b ] -> if c <> 0 then a else b
+  | Load, [ _ ] -> invalid_arg "Opcode.eval: Load is interpreted by the memory owner"
+  | Store, [ _; _ ] -> invalid_arg "Opcode.eval: Store is interpreted by the memory owner"
+  | (Add | Sub | Mul | Shl | Shrl | Shra | And | Or | Xor | Lt | Le | Eq | Ne
+    | Gt | Ge | Min | Max | Select | Load | Store), _ -> bad ()

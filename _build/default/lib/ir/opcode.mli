@@ -1,0 +1,56 @@
+(** Operation set of the CGRA functional units.
+
+    The paper's PEs are multi-operation FUs (Fig 1b): integer ALU, shifter,
+    comparator, select, plus a load/store unit on memory tiles.  Constants
+    are not operations — they live in the per-tile constant register file
+    (CRF) and appear as immediate operands. *)
+
+type t =
+  | Add
+  | Sub
+  | Mul
+  | Shl   (** logical shift left *)
+  | Shrl  (** logical shift right *)
+  | Shra  (** arithmetic shift right *)
+  | And
+  | Or
+  | Xor
+  | Lt
+  | Le
+  | Eq
+  | Ne
+  | Gt
+  | Ge
+  | Min
+  | Max
+  | Select  (** [Select c a b] is [a] when [c <> 0], else [b] *)
+  | Load    (** one operand: address *)
+  | Store   (** two operands: address, value; produces no result *)
+
+val arity : t -> int
+(** Number of operands the opcode consumes. *)
+
+val has_result : t -> bool
+(** [false] only for [Store]. *)
+
+val needs_lsu : t -> bool
+(** Load/store operations may only execute on tiles with a load-store
+    unit. *)
+
+val is_commutative : t -> bool
+
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Inverse of {!to_string}; used by the assembler's textual format. *)
+
+val all : t list
+
+val eval : t -> int list -> int
+(** Reference semantics on 32-bit two's-complement values.  [eval Store]
+    raises: stores are interpreted by the caller, which owns the memory.
+    Raises [Invalid_argument] on an arity mismatch. *)
+
+val wrap32 : int -> int
+(** Truncate an OCaml int to signed 32-bit two's complement — the datapath
+    width shared by the CGRA and the CPU baseline. *)

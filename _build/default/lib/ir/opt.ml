@@ -1,0 +1,336 @@
+let sym_uses_of_block (b : Cdfg.block) =
+  let used = ref [] in
+  let note = function Cdfg.Sym s -> used := s :: !used | Cdfg.Node _ | Cdfg.Imm _ -> () in
+  Array.iter (fun n -> List.iter note n.Cdfg.operands) b.nodes;
+  List.iter (fun (_, op) -> note op) b.live_out;
+  (match b.terminator with
+   | Cdfg.Branch (cond, _, _) -> note cond
+   | Cdfg.Jump _ | Cdfg.Return -> ());
+  !used
+
+let successors (b : Cdfg.block) =
+  match b.terminator with
+  | Cdfg.Jump t -> [ t ]
+  | Cdfg.Branch (_, t, e) -> [ t; e ]
+  | Cdfg.Return -> []
+
+let live_at_exit (c : Cdfg.t) =
+  let nblocks = Array.length c.blocks in
+  let nsyms = max 1 c.sym_count in
+  let live_in = Array.init nblocks (fun _ -> Array.make nsyms false) in
+  let live_out = Array.init nblocks (fun _ -> Array.make nsyms false) in
+  let uses = Array.map sym_uses_of_block c.blocks in
+  let defs =
+    Array.map (fun b -> List.map fst b.Cdfg.live_out) c.blocks
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for bi = nblocks - 1 downto 0 do
+      let out = live_out.(bi) in
+      List.iter
+        (fun succ ->
+          Array.iteri
+            (fun s v ->
+              if v && not out.(s) then begin
+                out.(s) <- true;
+                changed := true
+              end)
+            live_in.(succ))
+        (successors c.blocks.(bi));
+      let inb = live_in.(bi) in
+      let update s v =
+        if v && not inb.(s) then begin
+          inb.(s) <- true;
+          changed := true
+        end
+      in
+      List.iter (fun s -> update s true) uses.(bi);
+      Array.iteri
+        (fun s v -> if not (List.mem s defs.(bi)) then update s v)
+        out
+    done
+  done;
+  live_out
+
+let remove_dead_live_outs (c : Cdfg.t) =
+  let live_out = live_at_exit c in
+  let blocks =
+    Array.mapi
+      (fun bi b ->
+        {
+          b with
+          Cdfg.live_out =
+            List.filter (fun (s, _) -> live_out.(bi).(s)) b.Cdfg.live_out;
+        })
+      c.blocks
+  in
+  { c with blocks }
+
+(* One round of dead-node elimination in a block; returns None when nothing
+   was removed. *)
+let dce_block (b : Cdfg.block) =
+  let n = Array.length b.nodes in
+  let used = Array.make n false in
+  let note = function Cdfg.Node j -> used.(j) <- true | Cdfg.Sym _ | Cdfg.Imm _ -> () in
+  Array.iter (fun nd -> List.iter note nd.Cdfg.operands) b.nodes;
+  List.iter (fun (_, op) -> note op) b.live_out;
+  (match b.terminator with
+   | Cdfg.Branch (cond, _, _) -> note cond
+   | Cdfg.Jump _ | Cdfg.Return -> ());
+  let keep i = used.(i) || b.nodes.(i).Cdfg.opcode = Opcode.Store in
+  if Array.for_all Fun.id (Array.init n keep) then None
+  else begin
+    let remap = Array.make n (-1) in
+    let next = ref 0 in
+    for i = 0 to n - 1 do
+      if keep i then begin
+        remap.(i) <- !next;
+        incr next
+      end
+    done;
+    let fix = function
+      | Cdfg.Node j -> Cdfg.Node remap.(j)
+      | (Cdfg.Sym _ | Cdfg.Imm _) as op -> op
+    in
+    let fix_dep deps =
+      List.filter_map
+        (fun j -> if remap.(j) >= 0 then Some remap.(j) else None)
+        deps
+    in
+    let nodes =
+      Array.of_list
+        (List.filteri (fun i _ -> keep i) (Array.to_list b.nodes))
+      |> Array.map (fun nd ->
+             { nd with
+               Cdfg.operands = List.map fix nd.Cdfg.operands;
+               mem_dep = fix_dep nd.Cdfg.mem_dep })
+    in
+    Some
+      {
+        b with
+        Cdfg.nodes;
+        live_out = List.map (fun (s, op) -> (s, fix op)) b.live_out;
+        terminator =
+          (match b.terminator with
+           | Cdfg.Branch (cond, t, e) -> Cdfg.Branch (fix cond, t, e)
+           | (Cdfg.Jump _ | Cdfg.Return) as t -> t);
+      }
+  end
+
+let remove_dead_nodes (c : Cdfg.t) =
+  let rec fix b = match dce_block b with None -> b | Some b' -> fix b' in
+  { c with blocks = Array.map fix c.blocks }
+
+let optimize c =
+  let rec go c n =
+    if n = 0 then c
+    else
+      let c' = remove_dead_nodes (remove_dead_live_outs c) in
+      if c' = c then c else go c' (n - 1)
+  in
+  go c 8
+
+(* Resolve a block id through chains of trivial forwarding blocks.  A
+   self-loop of trivial blocks cannot occur in validated CDFGs reachable
+   from real code, but guard with a fuel counter anyway. *)
+let simplify_cfg (c : Cdfg.t) =
+  let nblocks = Array.length c.blocks in
+  let trivial = Array.make nblocks None in
+  Array.iteri
+    (fun i b ->
+      match b.Cdfg.nodes, b.Cdfg.live_out, b.Cdfg.terminator with
+      | [||], [], Cdfg.Jump t when t <> i -> trivial.(i) <- Some t
+      | _, _, _ -> ())
+    c.blocks;
+  let rec resolve fuel i =
+    if fuel = 0 then i
+    else match trivial.(i) with None -> i | Some t -> resolve (fuel - 1) t
+  in
+  let resolve i = resolve nblocks i in
+  let entry = resolve c.entry in
+  let blocks =
+    Array.map
+      (fun b ->
+        { b with
+          Cdfg.terminator =
+            (match b.Cdfg.terminator with
+             | Cdfg.Jump t -> Cdfg.Jump (resolve t)
+             | Cdfg.Branch (cond, t, e) -> Cdfg.Branch (cond, resolve t, resolve e)
+             | Cdfg.Return -> Cdfg.Return) })
+      c.blocks
+  in
+  (* drop blocks no longer reachable and renumber *)
+  let c' = { c with Cdfg.blocks; entry } in
+  let g = Cdfg.cfg c' in
+  let reach = Cgra_graph.Digraph.reachable_from g [ entry ] in
+  let remap = Array.make nblocks (-1) in
+  let next = ref 0 in
+  Array.iteri
+    (fun i r ->
+      if r then begin
+        remap.(i) <- !next;
+        incr next
+      end)
+    reach;
+  let kept =
+    Array.of_list
+      (List.filteri (fun i _ -> reach.(i)) (Array.to_list blocks))
+  in
+  let fix_term = function
+    | Cdfg.Jump t -> Cdfg.Jump remap.(t)
+    | Cdfg.Branch (cond, t, e) -> Cdfg.Branch (cond, remap.(t), remap.(e))
+    | Cdfg.Return -> Cdfg.Return
+  in
+  {
+    c with
+    Cdfg.blocks =
+      Array.map (fun b -> { b with Cdfg.terminator = fix_term b.Cdfg.terminator }) kept;
+    entry = remap.(entry);
+  }
+
+(* ---- if-conversion --------------------------------------------------- *)
+
+let shift_node offset (n : Cdfg.node) =
+  let fix = function
+    | Cdfg.Node j -> Cdfg.Node (j + offset)
+    | (Cdfg.Sym _ | Cdfg.Imm _) as op -> op
+  in
+  {
+    n with
+    Cdfg.operands = List.map fix n.Cdfg.operands;
+    mem_dep = List.map (fun j -> j + offset) n.Cdfg.mem_dep;
+  }
+
+(* Substitute symbol reads by the parent's live-out bindings: once an arm's
+   code is inlined into the parent, reads of a symbol the parent assigns
+   must see the assigned value, not the stale slot. *)
+let subst_syms bindings (n : Cdfg.node) =
+  let fix = function
+    | Cdfg.Sym s as op ->
+      (match List.assoc_opt s bindings with Some v -> v | None -> op)
+    | (Cdfg.Node _ | Cdfg.Imm _) as op -> op
+  in
+  { n with Cdfg.operands = List.map fix n.Cdfg.operands }
+
+let memory_free (b : Cdfg.block) =
+  Array.for_all
+    (fun n ->
+      match n.Cdfg.opcode with
+      | Opcode.Load | Opcode.Store -> false
+      | _ -> true)
+    b.Cdfg.nodes
+
+let cfg_preds (c : Cdfg.t) =
+  let preds = Array.make (Array.length c.blocks) 0 in
+  Array.iter
+    (fun b ->
+      match b.Cdfg.terminator with
+      | Cdfg.Jump t -> preds.(t) <- preds.(t) + 1
+      | Cdfg.Branch (_, t, e) ->
+        preds.(t) <- preds.(t) + 1;
+        preds.(e) <- preds.(e) + 1
+      | Cdfg.Return -> ())
+    c.blocks;
+  preds
+
+let if_convert_once (c : Cdfg.t) =
+  let g = cfg_preds c in
+  let single_pred i = g.(i) = 1 in
+  let changed = ref false in
+  let blocks = Array.copy c.blocks in
+  Array.iteri
+    (fun pi p ->
+      if not !changed then
+        match p.Cdfg.terminator with
+        | Cdfg.Branch (cond, ai, bi)
+          when ai <> bi && ai <> pi && bi <> pi && single_pred ai
+               && single_pred bi -> (
+          let a = blocks.(ai) and b = blocks.(bi) in
+          match a.Cdfg.terminator, b.Cdfg.terminator with
+          | Cdfg.Jump ja, Cdfg.Jump jb
+            when ja = jb && ja <> ai && ja <> bi && memory_free a
+                 && memory_free b ->
+            let np = Array.length p.Cdfg.nodes in
+            let na = Array.length a.Cdfg.nodes in
+            let bindings = p.Cdfg.live_out in
+            (* the branch condition is evaluated after the parent's
+               live-outs apply, so a symbol condition reads the assigned
+               value *)
+            let cond =
+              match cond with
+              | Cdfg.Sym s -> (
+                match List.assoc_opt s bindings with
+                | Some v -> v
+                | None -> cond)
+              | Cdfg.Node _ | Cdfg.Imm _ -> cond
+            in
+            let a_nodes =
+              Array.map (fun n -> subst_syms bindings (shift_node np n)) a.Cdfg.nodes
+            in
+            let b_nodes =
+              Array.map
+                (fun n -> subst_syms bindings (shift_node (np + na) n))
+                b.Cdfg.nodes
+            in
+            let fix_arm offset = function
+              | Cdfg.Node j -> Cdfg.Node (j + offset)
+              | Cdfg.Sym s as op ->
+                (match List.assoc_opt s bindings with
+                 | Some v -> v
+                 | None -> op)
+              | Cdfg.Imm _ as op -> op
+            in
+            let value_after arm_live offset s =
+              match List.assoc_opt s arm_live with
+              | Some v -> fix_arm offset v
+              | None -> (
+                match List.assoc_opt s bindings with
+                | Some v -> v
+                | None -> Cdfg.Sym s)
+            in
+            let syms_written =
+              List.sort_uniq compare
+                (List.map fst
+                   (bindings @ a.Cdfg.live_out @ b.Cdfg.live_out))
+            in
+            let selects = ref [] in
+            let next_node = ref (np + na + Array.length b.Cdfg.nodes) in
+            let live_out =
+              List.map
+                (fun s ->
+                  let va = value_after a.Cdfg.live_out np s in
+                  let vb = value_after b.Cdfg.live_out (np + na) s in
+                  if va = vb then (s, va)
+                  else begin
+                    let id = !next_node in
+                    incr next_node;
+                    selects :=
+                      { Cdfg.opcode = Opcode.Select;
+                        operands = [ cond; va; vb ];
+                        mem_dep = [] }
+                      :: !selects;
+                    (s, Cdfg.Node id)
+                  end)
+                syms_written
+            in
+            blocks.(pi) <-
+              {
+                p with
+                Cdfg.nodes =
+                  Array.concat
+                    [ p.Cdfg.nodes; a_nodes; b_nodes;
+                      Array.of_list (List.rev !selects) ];
+                live_out;
+                terminator = Cdfg.Jump ja;
+              };
+            changed := true
+          | _, _ -> ())
+        | _ -> ())
+    blocks;
+  if !changed then Some { c with Cdfg.blocks } else None
+
+let rec if_convert c =
+  match if_convert_once c with
+  | Some c' -> if_convert (simplify_cfg c')
+  | None -> c

@@ -1,0 +1,40 @@
+(** Clean-up passes run between lowering and mapping.
+
+    Mirrors what the original flow's LLVM frontend guarantees before the
+    mapper sees the CDFG: no dead symbol assignments and no dead
+    operations, so the instruction counts the context-memory constraint is
+    checked against reflect useful work only. *)
+
+val live_at_exit : Cdfg.t -> bool array array
+(** [live_at_exit cdfg] is, per block, the set of symbols whose value may
+    still be read after the block exits (classic backward may-liveness
+    over the CFG). *)
+
+val remove_dead_live_outs : Cdfg.t -> Cdfg.t
+(** Drops [live_out] assignments to symbols that are dead at the block's
+    exit. *)
+
+val remove_dead_nodes : Cdfg.t -> Cdfg.t
+(** Iteratively deletes operation nodes whose result is unused ([Store]
+    nodes are always kept) and renumbers operands. *)
+
+val optimize : Cdfg.t -> Cdfg.t
+(** {!remove_dead_live_outs} then {!remove_dead_nodes}, to fixpoint. *)
+
+val if_convert : Cdfg.t -> Cdfg.t
+(** Classic CGRA if-conversion: a diamond [Branch (c, A, B)] whose arms
+    have a single predecessor, contain no memory operations and join at
+    the same block is flattened into straight-line code, with a [Select]
+    per symbol the arms assign.  Both arms then execute unconditionally —
+    profitable on a CGRA because every executed block costs a controller
+    transition and its own context section.  Applied to fixpoint; opt-in
+    like {!simplify_cfg}. *)
+
+val simplify_cfg : Cdfg.t -> Cdfg.t
+(** Skips trivial forwarding blocks — no operations, no live-outs, an
+    unconditional [Jump] — by retargeting every edge through them.  Each
+    block executed costs a controller transition cycle on the CGRA, so
+    the lowering's join blocks are worth short-circuiting.  Unreachable
+    blocks left behind are removed and the rest renumbered.  Not part of
+    {!optimize}: callers opt in (the benchmark kernels keep their block
+    structure so the paper's per-block figures stay comparable). *)

@@ -1,0 +1,1 @@
+lib/kernels/convolution.ml: Array Inputs Kernel_def

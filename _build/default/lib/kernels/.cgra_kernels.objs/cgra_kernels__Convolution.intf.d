@@ -1,0 +1,1 @@
+lib/kernels/convolution.mli: Kernel_def

@@ -1,0 +1,1 @@
+lib/kernels/dc_filter.ml: Array Inputs Kernel_def

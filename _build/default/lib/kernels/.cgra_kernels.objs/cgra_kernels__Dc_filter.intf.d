@@ -1,0 +1,1 @@
+lib/kernels/dc_filter.mli: Kernel_def

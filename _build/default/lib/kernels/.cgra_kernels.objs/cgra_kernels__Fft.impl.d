@@ -1,0 +1,1 @@
+lib/kernels/fft.ml: Array Float Inputs Kernel_def

@@ -1,0 +1,1 @@
+lib/kernels/fft.mli: Kernel_def

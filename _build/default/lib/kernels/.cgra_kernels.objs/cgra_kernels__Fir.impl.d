@@ -1,0 +1,1 @@
+lib/kernels/fir.ml: Array Inputs Kernel_def

@@ -1,0 +1,1 @@
+lib/kernels/inputs.ml: Array Cgra_util

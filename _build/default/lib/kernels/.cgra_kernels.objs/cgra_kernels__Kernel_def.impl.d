@@ -1,0 +1,1 @@
+lib/kernels/kernel_def.ml: Array Cgra_ir Cgra_lang Hashtbl

@@ -1,0 +1,1 @@
+lib/kernels/kernel_def.mli: Cgra_ir

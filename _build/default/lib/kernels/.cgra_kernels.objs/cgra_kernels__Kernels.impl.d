@@ -1,0 +1,1 @@
+lib/kernels/kernels.ml: Convolution Dc_filter Fft Fir Kernel_def List Matm Non_sep_filter Sep_filter

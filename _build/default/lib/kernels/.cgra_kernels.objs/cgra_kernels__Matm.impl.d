@@ -1,0 +1,1 @@
+lib/kernels/matm.ml: Array Inputs Kernel_def

@@ -1,0 +1,1 @@
+lib/kernels/matm.mli: Kernel_def

@@ -1,0 +1,1 @@
+lib/kernels/non_sep_filter.ml: Array Inputs Kernel_def

@@ -1,0 +1,1 @@
+lib/kernels/sep_filter.ml: Array Inputs Kernel_def

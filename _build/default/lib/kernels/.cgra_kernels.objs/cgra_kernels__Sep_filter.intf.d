@@ -1,0 +1,1 @@
+lib/kernels/sep_filter.mli: Kernel_def

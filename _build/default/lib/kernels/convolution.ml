@@ -1,0 +1,58 @@
+(* Layout: img @ 0 (12x12 = 144), coef @ 144 (9), out @ 160 (10x10 = 100). *)
+
+let source =
+  {|
+kernel convolution {
+  const w = 12;
+  const ow = 10;
+  arr img @ 0;
+  arr coef @ 144;
+  arr out @ 160;
+  var i, j, p;
+  i = 0;
+  while (i < ow) {
+    j = 0;
+    while (j < ow) {
+      p = i * w + j;
+      out[i * ow + j] =
+        ((coef[0] * img[p]          + coef[1] * img[p + 1])
+       + (coef[2] * img[p + 2]      + coef[3] * img[p + w]))
+      + ((coef[4] * img[p + w + 1]  + coef[5] * img[p + w + 2])
+       + (coef[6] * img[p + 2 * w]  + coef[7] * img[p + 2 * w + 1])
+       + coef[8] * img[p + 2 * w + 2]) >> 3;
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+}
+|}
+
+let init_mem mem =
+  Inputs.fill_pos mem ~off:0 ~len:144 ~seed:301 ~range:255;
+  Inputs.fill mem ~off:144 ~len:9 ~seed:302 ~range:7
+
+let golden mem0 =
+  let mem = Array.copy mem0 in
+  for i = 0 to 9 do
+    for j = 0 to 9 do
+      let acc = ref 0 in
+      for di = 0 to 2 do
+        for dj = 0 to 2 do
+          acc := !acc + (mem.(144 + (di * 3) + dj) * mem.(((i + di) * 12) + j + dj))
+        done
+      done;
+      mem.(160 + (i * 10) + j) <- !acc asr 3
+    done
+  done;
+  mem
+
+let kernel =
+  {
+    Kernel_def.name = "Convolution";
+    slug = "convolution";
+    description = "3x3 convolution, 12x12 image, 10x10 valid output";
+    source;
+    mem_words = 272;
+    init_mem;
+    golden;
+  }

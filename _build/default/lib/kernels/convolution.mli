@@ -1,0 +1,3 @@
+(** 3x3 convolution over a 12x12 image (10x10 valid output). *)
+
+val kernel : Kernel_def.t

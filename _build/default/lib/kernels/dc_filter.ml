@@ -1,0 +1,45 @@
+(* Layout: x @ 0 (64), y @ 64 (64).
+   y[n] = x[n] - x[n-1] + alpha * y[n-1] (alpha = 230/256 ~ 0.9, Q8). *)
+
+let source =
+  {|
+kernel dc_filter {
+  const n = 64;
+  const alpha = 230;
+  arr x @ 0;
+  arr y @ 64;
+  var i, xp, yp;
+  i = 0;
+  xp = 0;
+  yp = 0;
+  while (i < n) {
+    yp = x[i] - xp + ((alpha * yp) >> 8);
+    xp = x[i];
+    y[i] = yp;
+    i = i + 1;
+  }
+}
+|}
+
+let init_mem mem = Inputs.fill mem ~off:0 ~len:64 ~seed:701 ~range:127
+
+let golden mem0 =
+  let mem = Array.copy mem0 in
+  let xp = ref 0 and yp = ref 0 in
+  for i = 0 to 63 do
+    yp := mem.(i) - !xp + ((230 * !yp) asr 8);
+    xp := mem.(i);
+    mem.(64 + i) <- !yp
+  done;
+  mem
+
+let kernel =
+  {
+    Kernel_def.name = "DC Filter";
+    slug = "dc_filter";
+    description = "DC-blocking IIR filter, 64 samples, Q8 alpha";
+    source;
+    mem_words = 128;
+    init_mem;
+    golden;
+  }

@@ -1,0 +1,3 @@
+(** DC-blocking IIR filter over 64 samples. *)
+
+val kernel : Kernel_def.t

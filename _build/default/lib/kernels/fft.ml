@@ -1,0 +1,132 @@
+(* Layout: xr @ 0 (16), xi @ 16 (16), wr @ 32 (8), wi @ 40 (8),
+   rev @ 48 (16), yr @ 64 (16), yi @ 80 (16).
+   Twiddles are Q8: wr[t] = round(256 cos(2 pi t / 16)),
+   wi[t] = round(-256 sin(2 pi t / 16)).  The butterfly truncates products
+   with an arithmetic shift, exactly as the kernel source does.
+   As a real FFT implementation would, the first stage (twiddle W^0 = 1)
+   is specialised to a multiplication-free loop, which lets the general
+   stages process two butterflies per iteration.  The many small
+   nested-loop basic blocks make this the kernel used for the traversal
+   study of Fig 5. *)
+
+let n = 16
+
+let source =
+  {|
+kernel fft {
+  const n = 16;
+  arr xr @ 0;
+  arr xi @ 16;
+  arr wr @ 32;
+  arr wi @ 40;
+  arr rev @ 48;
+  arr yr @ 64;
+  arr yi @ 80;
+  var i, le, half, step, k, m, t, a, b, tr, ti;
+  i = 0;
+  while (i < n) {
+    yr[i] = xr[rev[i]];
+    yi[i] = xi[rev[i]];
+    yr[i + 1] = xr[rev[i + 1]];
+    yi[i + 1] = xi[rev[i + 1]];
+    yr[i + 2] = xr[rev[i + 2]];
+    yi[i + 2] = xi[rev[i + 2]];
+    yr[i + 3] = xr[rev[i + 3]];
+    yi[i + 3] = xi[rev[i + 3]];
+    i = i + 4;
+  }
+  # first stage: le = 2, twiddle W^0 = 1 -> multiplication-free butterflies
+  k = 0;
+  while (k < n) {
+    tr = yr[k + 1];
+    ti = yi[k + 1];
+    yr[k + 1] = yr[k] - tr;
+    yi[k + 1] = yi[k] - ti;
+    yr[k] = yr[k] + tr;
+    yi[k] = yi[k] + ti;
+    k = k + 2;
+  }
+  # general stages: two butterflies per iteration (half is even)
+  le = 4;
+  step = 4;
+  while (le <= n) {
+    half = le >> 1;
+    k = 0;
+    while (k < n) {
+      m = 0;
+      while (m < half) {
+        unroll u = 0 to 2 {
+          t = (m + u) * step;
+          a = k + m + u;
+          b = a + half;
+          tr = (wr[t] * yr[b] - wi[t] * yi[b]) >> 8;
+          ti = (wr[t] * yi[b] + wi[t] * yr[b]) >> 8;
+          yr[b] = yr[a] - tr;
+          yi[b] = yi[a] - ti;
+          yr[a] = yr[a] + tr;
+          yi[a] = yi[a] + ti;
+        }
+        m = m + 2;
+      }
+      k = k + le;
+    }
+    le = le << 1;
+    step = step >> 1;
+  }
+}
+|}
+
+let bit_reverse4 i =
+  ((i land 1) lsl 3) lor ((i land 2) lsl 1) lor ((i land 4) lsr 1)
+  lor ((i land 8) lsr 3)
+
+let init_mem mem =
+  Inputs.fill mem ~off:0 ~len:32 ~seed:601 ~range:127;
+  for t = 0 to 7 do
+    let angle = 2.0 *. Float.pi *. float_of_int t /. 16.0 in
+    mem.(32 + t) <- int_of_float (Float.round (256.0 *. cos angle));
+    mem.(40 + t) <- int_of_float (Float.round (-256.0 *. sin angle))
+  done;
+  for i = 0 to 15 do
+    mem.(48 + i) <- bit_reverse4 i
+  done
+
+let golden mem0 =
+  let mem = Array.copy mem0 in
+  for i = 0 to n - 1 do
+    mem.(64 + i) <- mem.(mem.(48 + i));
+    mem.(80 + i) <- mem.(16 + mem.(48 + i))
+  done;
+  let butterfly t a b =
+    let tr = ((mem.(32 + t) * mem.(64 + b)) - (mem.(40 + t) * mem.(80 + b))) asr 8 in
+    let ti = ((mem.(32 + t) * mem.(80 + b)) + (mem.(40 + t) * mem.(64 + b))) asr 8 in
+    mem.(64 + b) <- mem.(64 + a) - tr;
+    mem.(80 + b) <- mem.(80 + a) - ti;
+    mem.(64 + a) <- mem.(64 + a) + tr;
+    mem.(80 + a) <- mem.(80 + a) + ti
+  in
+  let le = ref 2 and step = ref 8 in
+  while !le <= n do
+    let half = !le asr 1 in
+    let k = ref 0 in
+    while !k < n do
+      for m = 0 to half - 1 do
+        butterfly (m * !step) (!k + m) (!k + m + half)
+      done;
+      k := !k + !le
+    done;
+    le := !le lsl 1;
+    step := !step asr 1
+  done;
+  mem
+
+let kernel =
+  {
+    Kernel_def.name = "FFT";
+    slug = "fft";
+    description = "16-point radix-2 DIT FFT, Q8 twiddles, 2-way unrolled stages";
+    source;
+    mem_words = 96;
+    init_mem;
+    golden;
+  }

@@ -1,0 +1,3 @@
+(** 16-point radix-2 decimation-in-time FFT, Q8 fixed point. *)
+
+val kernel : Kernel_def.t

@@ -1,0 +1,46 @@
+(* Layout: x @ 0 (32 + 8 samples), h @ 64 (8 taps), y @ 96 (32 outputs). *)
+
+let source =
+  {|
+kernel fir {
+  const n = 32;
+  arr x @ 0;
+  arr h @ 64;
+  arr y @ 96;
+  var i;
+  i = 0;
+  while (i < n) {
+    y[i] = (((h[0] * x[i]     + h[1] * x[i + 1])
+           + (h[2] * x[i + 2] + h[3] * x[i + 3]))
+          + ((h[4] * x[i + 4] + h[5] * x[i + 5])
+           + (h[6] * x[i + 6] + h[7] * x[i + 7]))) >> 4;
+    i = i + 1;
+  }
+}
+|}
+
+let init_mem mem =
+  Inputs.fill mem ~off:0 ~len:40 ~seed:101 ~range:127;
+  Inputs.fill mem ~off:64 ~len:8 ~seed:102 ~range:15
+
+let golden mem0 =
+  let mem = Array.copy mem0 in
+  for i = 0 to 31 do
+    let acc = ref 0 in
+    for t = 0 to 7 do
+      acc := !acc + (mem.(64 + t) * mem.(i + t))
+    done;
+    mem.(96 + i) <- !acc asr 4
+  done;
+  mem
+
+let kernel =
+  {
+    Kernel_def.name = "FIR";
+    slug = "fir";
+    description = "8-tap FIR filter, 32 samples, tree accumulation";
+    source;
+    mem_words = 160;
+    init_mem;
+    golden;
+  }

@@ -1,0 +1,3 @@
+(** 8-tap FIR filter over 32 samples (tree-reassociated accumulation). *)
+
+val kernel : Kernel_def.t

@@ -1,0 +1,11 @@
+let fill mem ~off ~len ~seed ~range =
+  let rng = Cgra_util.Rng.create seed in
+  for i = off to off + len - 1 do
+    mem.(i) <- Cgra_util.Rng.int rng ((2 * range) + 1) - range
+  done
+
+let fill_pos mem ~off ~len ~seed ~range =
+  let rng = Cgra_util.Rng.create seed in
+  for i = off to off + len - 1 do
+    mem.(i) <- Cgra_util.Rng.int rng (range + 1)
+  done

@@ -1,0 +1,8 @@
+(** Deterministic input generation shared by the kernels. *)
+
+val fill : int array -> off:int -> len:int -> seed:int -> range:int -> unit
+(** Writes [len] pseudo-random values in [\[-range, range\]] starting at
+    [off], reproducibly from [seed]. *)
+
+val fill_pos : int array -> off:int -> len:int -> seed:int -> range:int -> unit
+(** Same but values in [\[0, range\]]. *)

@@ -1,0 +1,26 @@
+type t = {
+  name : string;
+  slug : string;
+  description : string;
+  source : string;
+  mem_words : int;
+  init_mem : int array -> unit;
+  golden : int array -> int array;
+}
+
+let cache : (string, Cgra_ir.Cdfg.t) Hashtbl.t = Hashtbl.create 8
+
+let cdfg k =
+  match Hashtbl.find_opt cache k.slug with
+  | Some c -> c
+  | None ->
+    let c = Cgra_lang.Compile.compile_exn k.source in
+    Hashtbl.add cache k.slug c;
+    c
+
+let fresh_mem k =
+  let mem = Array.make k.mem_words 0 in
+  k.init_mem mem;
+  mem
+
+let run_golden k = k.golden (fresh_mem k)

@@ -1,0 +1,28 @@
+(** Definition of one benchmark kernel.
+
+    Each of the paper's seven compute-intensive signal-processing kernels
+    (Section IV) is written in the kernel language, paired with a plain
+    OCaml golden model used to validate the interpreter, the CGRA
+    simulator and the CPU baseline against each other. *)
+
+type t = {
+  name : string;  (** paper label, e.g. "FIR" *)
+  slug : string;  (** identifier, e.g. "fir" *)
+  description : string;
+  source : string;  (** kernel-language program *)
+  mem_words : int;  (** data-memory image size *)
+  init_mem : int array -> unit;  (** writes the deterministic inputs *)
+  golden : int array -> int array;
+      (** expected final memory, computed in OCaml from the initial image
+          (the argument is not mutated) *)
+}
+
+val cdfg : t -> Cgra_ir.Cdfg.t
+(** Compile the kernel source (memoized).  Raises [Failure] if the bundled
+    source does not compile — a programming error caught by the tests. *)
+
+val fresh_mem : t -> int array
+(** A new initialised memory image. *)
+
+val run_golden : t -> int array
+(** [golden] applied to a fresh image. *)

@@ -1,0 +1,14 @@
+let all =
+  [ Fir.kernel;
+    Matm.kernel;
+    Convolution.kernel;
+    Sep_filter.kernel;
+    Non_sep_filter.kernel;
+    Fft.kernel;
+    Dc_filter.kernel ]
+
+let by_slug slug = List.find_opt (fun k -> k.Kernel_def.slug = slug) all
+
+let by_name name = List.find_opt (fun k -> k.Kernel_def.name = name) all
+
+let slugs = List.map (fun k -> k.Kernel_def.slug) all

@@ -1,0 +1,8 @@
+(** Registry of the seven paper kernels (Section IV, Table II order). *)
+
+val all : Kernel_def.t list
+(** FIR, MatM, Convolution, SepFilter, NonSepFilter, FFT, DC Filter. *)
+
+val by_slug : string -> Kernel_def.t option
+val by_name : string -> Kernel_def.t option
+val slugs : string list

@@ -1,0 +1,59 @@
+(* Layout: a @ 0 (81), b @ 81 (81), c @ 162 (81); row-major 9x9.
+   The inner product and the column loop are fully unrolled (one output row
+   per block iteration), as the original flow's unrolling produces — this
+   loads the load-store tiles heavily enough that the kernel cannot fit
+   32-word context memories (its behaviour in the paper's Figs 6-7) while
+   the basic mapping still fits HOM64. *)
+
+let n = 9
+
+let source =
+  {|
+kernel matm {
+  const n = 9;
+  arr a @ 0;
+  arr b @ 81;
+  arr c @ 162;
+  var i, row;
+  i = 0;
+  while (i < n) {
+    row = i * 9;
+    unroll j = 0 to 9 {
+      c[row + j] = (((a[row] * b[j]          + a[row + 1] * b[j + 9])
+                   + (a[row + 2] * b[j + 18] + a[row + 3] * b[j + 27]))
+                  + ((a[row + 4] * b[j + 36] + a[row + 5] * b[j + 45])
+                   + (a[row + 6] * b[j + 54] + a[row + 7] * b[j + 63])))
+                 + a[row + 8] * b[j + 72];
+    }
+    i = i + 1;
+  }
+}
+|}
+
+let init_mem mem =
+  Inputs.fill mem ~off:0 ~len:(n * n) ~seed:201 ~range:63;
+  Inputs.fill mem ~off:(n * n) ~len:(n * n) ~seed:202 ~range:63
+
+let golden mem0 =
+  let mem = Array.copy mem0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0 in
+      for k = 0 to n - 1 do
+        acc := !acc + (mem.((i * n) + k) * mem.((n * n) + (k * n) + j))
+      done;
+      mem.((2 * n * n) + (i * n) + j) <- !acc
+    done
+  done;
+  mem
+
+let kernel =
+  {
+    Kernel_def.name = "MatM";
+    slug = "matm";
+    description = "9x9 matrix multiplication, one fully-unrolled row per iteration";
+    source;
+    mem_words = 3 * n * n;
+    init_mem;
+    golden;
+  }

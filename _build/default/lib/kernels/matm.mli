@@ -1,0 +1,3 @@
+(** 8x8 integer matrix multiplication, inner product fully unrolled. *)
+
+val kernel : Kernel_def.t

@@ -1,0 +1,71 @@
+(* Layout: img @ 0 (13x12 = 156), coef @ 156 (25), out @ 184 (8x8 = 64).
+   Two output rows per iteration over a shared six-row window, columns
+   pairwise unrolled — the unrolling depth the original flow would pick.
+   The resulting per-block instruction load is what keeps this kernel out
+   of the small context-memory configurations for the non-aware flows
+   (its behaviour in the paper's Figs 6-7). *)
+
+let source =
+  {|
+kernel non_sep_filter {
+  const w = 12;
+  const ow = 8;
+  arr img @ 0;
+  arr coef @ 156;
+  arr out @ 184;
+  var i, j, p, acc;
+  i = 0;
+  while (i < ow) {
+    j = 0;
+    while (j < ow) {
+      p = i * w + j;
+      unroll di2 = 0 to 2 {
+        unroll dj = 0 to 2 {
+          acc = 0;
+          unroll di = 0 to 5 {
+            acc = acc + ((coef[5 * di] * img[p + w * (di + di2) + dj]
+                        + coef[5 * di + 1] * img[p + w * (di + di2) + dj + 1])
+                       + (coef[5 * di + 2] * img[p + w * (di + di2) + dj + 2]
+                        + coef[5 * di + 3] * img[p + w * (di + di2) + dj + 3])
+                       + coef[5 * di + 4] * img[p + w * (di + di2) + dj + 4]);
+          }
+          out[(i + di2) * ow + j + dj] = acc >> 5;
+        }
+      }
+      j = j + 2;
+    }
+    i = i + 2;
+  }
+}
+|}
+
+let init_mem mem =
+  Inputs.fill_pos mem ~off:0 ~len:156 ~seed:501 ~range:255;
+  Inputs.fill mem ~off:156 ~len:25 ~seed:502 ~range:7
+
+let golden mem0 =
+  let mem = Array.copy mem0 in
+  for i = 0 to 7 do
+    for j = 0 to 7 do
+      let acc = ref 0 in
+      for di = 0 to 4 do
+        for dj = 0 to 4 do
+          acc := !acc + (mem.(156 + (5 * di) + dj) * mem.(((i + di) * 12) + j + dj))
+        done
+      done;
+      mem.(184 + (i * 8) + j) <- !acc asr 5
+    done
+  done;
+  mem
+
+let kernel =
+  {
+    Kernel_def.name = "NonSepFilter";
+    slug = "non_sep_filter";
+    description =
+      "non-separable 5x5 filter, 12-wide image, 2x2 output tile per iteration";
+    source;
+    mem_words = 248;
+    init_mem;
+    golden;
+  }

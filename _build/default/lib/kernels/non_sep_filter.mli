@@ -1,0 +1,3 @@
+(** Non-separable 5x5 filter on a 12x12 image — the largest kernel body. *)
+
+val kernel : Kernel_def.t

@@ -1,0 +1,80 @@
+(* Layout: img @ 0 (16x16 = 256), coef @ 256 (5), tmp @ 272 (16x12 = 192),
+   out @ 464 (12x12 = 144).  Horizontal pass then vertical pass, as a
+   separable filter is actually computed. *)
+
+let source =
+  {|
+kernel sep_filter {
+  const w = 16;
+  const ow = 12;
+  arr img @ 0;
+  arr coef @ 256;
+  arr tmp @ 272;
+  arr out @ 464;
+  var r, c, p;
+  r = 0;
+  while (r < w) {
+    c = 0;
+    while (c < ow) {
+      p = r * w + c;
+      tmp[r * ow + c] =
+        ((coef[0] * img[p] + coef[1] * img[p + 1])
+       + (coef[2] * img[p + 2] + coef[3] * img[p + 3])
+       + coef[4] * img[p + 4]) >> 4;
+      c = c + 1;
+    }
+    r = r + 1;
+  }
+  r = 0;
+  while (r < ow) {
+    c = 0;
+    while (c < ow) {
+      p = r * ow + c;
+      out[p] =
+        ((coef[0] * tmp[p] + coef[1] * tmp[p + ow])
+       + (coef[2] * tmp[p + 2 * ow] + coef[3] * tmp[p + 3 * ow])
+       + coef[4] * tmp[p + 4 * ow]) >> 4;
+      c = c + 1;
+    }
+    r = r + 1;
+  }
+}
+|}
+
+let init_mem mem =
+  Inputs.fill_pos mem ~off:0 ~len:256 ~seed:401 ~range:255;
+  Inputs.fill mem ~off:256 ~len:5 ~seed:402 ~range:15
+
+let golden mem0 =
+  let mem = Array.copy mem0 in
+  let coef t = mem.(256 + t) in
+  for r = 0 to 15 do
+    for c = 0 to 11 do
+      let acc = ref 0 in
+      for t = 0 to 4 do
+        acc := !acc + (coef t * mem.((r * 16) + c + t))
+      done;
+      mem.(272 + (r * 12) + c) <- !acc asr 4
+    done
+  done;
+  for r = 0 to 11 do
+    for c = 0 to 11 do
+      let acc = ref 0 in
+      for t = 0 to 4 do
+        acc := !acc + (coef t * mem.(272 + ((r + t) * 12) + c))
+      done;
+      mem.(464 + (r * 12) + c) <- !acc asr 4
+    done
+  done;
+  mem
+
+let kernel =
+  {
+    Kernel_def.name = "SepFilter";
+    slug = "sep_filter";
+    description = "separable 5-tap filter, 16x16 image, two passes";
+    source;
+    mem_words = 640;
+    init_mem;
+    golden;
+  }

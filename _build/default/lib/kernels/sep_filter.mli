@@ -1,0 +1,3 @@
+(** Separable 5-tap 2D filter on a 16x16 image (two passes). *)
+
+val kernel : Kernel_def.t

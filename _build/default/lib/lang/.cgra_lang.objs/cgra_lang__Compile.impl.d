@@ -1,0 +1,1 @@
+lib/lang/compile.ml: Cgra_ir Lower Parser

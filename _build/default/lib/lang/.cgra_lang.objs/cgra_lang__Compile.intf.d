@@ -1,0 +1,1 @@
+lib/lang/compile.mli: Cgra_ir

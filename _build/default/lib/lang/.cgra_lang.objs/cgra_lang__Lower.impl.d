@@ -1,0 +1,1 @@
+lib/lang/lower.ml: Ast Cgra_ir Hashtbl List Printf

@@ -1,0 +1,15 @@
+let compile ?(simplify_cfg = false) src =
+  match Parser.parse_result src with
+  | Error e -> Error ("syntax error: " ^ e)
+  | Ok ast -> (
+    match Lower.lower ast with
+    | cdfg -> (
+      let cdfg = Cgra_ir.Opt.optimize cdfg in
+      let cdfg = if simplify_cfg then Cgra_ir.Opt.simplify_cfg cdfg else cdfg in
+      match Cgra_ir.Cdfg.validate cdfg with
+      | Ok () -> Ok cdfg
+      | Error e -> Error ("lowering produced an invalid CDFG: " ^ e))
+    | exception Lower.Lower_error e -> Error ("semantic error: " ^ e))
+
+let compile_exn src =
+  match compile src with Ok c -> c | Error e -> failwith e

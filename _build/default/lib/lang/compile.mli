@@ -1,0 +1,11 @@
+(** One-call frontend: kernel-language source to validated CDFG. *)
+
+val compile : ?simplify_cfg:bool -> string -> (Cgra_ir.Cdfg.t, string) result
+(** Parse, lower, clean up and validate.  [simplify_cfg] (default false)
+    additionally short-circuits trivial forwarding blocks — each block
+    costs a controller transition cycle on the CGRA.  The error string
+    carries the source position for syntax errors and a description for
+    semantic errors. *)
+
+val compile_exn : string -> Cgra_ir.Cdfg.t
+(** Like {!compile} but raises [Failure]. *)

@@ -1,0 +1,114 @@
+type token =
+  | Tint of int
+  | Tident of string
+  | Tkw of string
+  | Tpunct of string
+  | Teof
+
+let keywords = [ "kernel"; "var"; "arr"; "const"; "while"; "for"; "if"; "else"; "unroll"; "to" ]
+
+type t = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable col : int;
+  mutable ahead : (token * Ast.pos) option;
+}
+
+let of_string src = { src; off = 0; line = 1; col = 1; ahead = None }
+
+let error t msg = raise (Ast.Syntax_error ({ Ast.line = t.line; col = t.col }, msg))
+
+let at_end t = t.off >= String.length t.src
+
+let cur t = t.src.[t.off]
+
+let advance t =
+  if cur t = '\n' then begin
+    t.line <- t.line + 1;
+    t.col <- 1
+  end
+  else t.col <- t.col + 1;
+  t.off <- t.off + 1
+
+let rec skip_space t =
+  if at_end t then ()
+  else
+    match cur t with
+    | ' ' | '\t' | '\r' | '\n' ->
+      advance t;
+      skip_space t
+    | '#' ->
+      while (not (at_end t)) && cur t <> '\n' do
+        advance t
+      done;
+      skip_space t
+    | _ -> ()
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let lex_number t =
+  let start = t.off in
+  while (not (at_end t)) && is_digit (cur t) do
+    advance t
+  done;
+  let s = String.sub t.src start (t.off - start) in
+  match int_of_string_opt s with
+  | Some n -> Tint n
+  | None -> error t ("invalid integer literal " ^ s)
+
+let lex_word t =
+  let start = t.off in
+  while (not (at_end t)) && (is_alpha (cur t) || is_digit (cur t)) do
+    advance t
+  done;
+  let s = String.sub t.src start (t.off - start) in
+  if List.mem s keywords then Tkw s else Tident s
+
+(* Multi-character operators, longest first. *)
+let puncts =
+  [ ">>>"; "<<"; ">>"; "<="; ">="; "=="; "!=";
+    "("; ")"; "{"; "}"; "["; "]"; ";"; ","; "@"; "=";
+    "+"; "-"; "*"; "&"; "|"; "^"; "<"; ">" ]
+
+let lex_punct t =
+  let rest = String.length t.src - t.off in
+  let matches p =
+    let n = String.length p in
+    n <= rest && String.sub t.src t.off n = p
+  in
+  match List.find_opt matches puncts with
+  | Some p ->
+    String.iter (fun _ -> advance t) p;
+    Tpunct p
+  | None -> error t (Printf.sprintf "unexpected character %C" (cur t))
+
+let raw_next t =
+  skip_space t;
+  let pos = { Ast.line = t.line; col = t.col } in
+  let tok =
+    if at_end t then Teof
+    else if is_digit (cur t) then lex_number t
+    else if is_alpha (cur t) then lex_word t
+    else lex_punct t
+  in
+  (tok, pos)
+
+let fill t = if t.ahead = None then t.ahead <- Some (raw_next t)
+
+let peek t =
+  fill t;
+  match t.ahead with Some (tok, _) -> tok | None -> assert false
+
+let pos t =
+  fill t;
+  match t.ahead with Some (_, p) -> p | None -> assert false
+
+let next t =
+  fill t;
+  match t.ahead with
+  | Some (tok, _) ->
+    t.ahead <- None;
+    tok
+  | None -> assert false

@@ -1,0 +1,23 @@
+(** Lowering from kernel-language AST to {!Cgra_ir.Cdfg.t}.
+
+    Scalars become symbol variables; array accesses become address
+    arithmetic plus [Load]/[Store] nodes; [while] and [if] create basic
+    blocks with [Branch] terminators; [unroll] loops are expanded at
+    compile time with the induction variable bound as a constant.
+
+    Per block, the lowering performs local value numbering of pure
+    operations (notably the shared address computations) and constant
+    folding — the clean-ups the paper's LLVM frontend would do — and keeps
+    a scalar environment so reads after in-block assignments use the node
+    value rather than the stale symbol. *)
+
+exception Lower_error of string
+
+val lower : Ast.kernel -> Cgra_ir.Cdfg.t
+(** Raises {!Lower_error} on semantic errors (undeclared identifiers,
+    assignment to constants, non-constant [unroll] bounds, unknown
+    intrinsics). *)
+
+val const_eval : (string -> int option) -> Ast.expr -> int option
+(** Compile-time evaluation used for [const] declarations and [unroll]
+    bounds; the callback resolves named constants. *)

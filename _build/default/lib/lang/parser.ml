@@ -1,0 +1,232 @@
+let error lx msg = raise (Ast.Syntax_error (Lexer.pos lx, msg))
+
+let expect_punct lx p =
+  match Lexer.next lx with
+  | Lexer.Tpunct q when q = p -> ()
+  | tok ->
+    error lx
+      (Printf.sprintf "expected %S, got %s" p
+         (match tok with
+          | Lexer.Tint n -> string_of_int n
+          | Lexer.Tident s | Lexer.Tkw s -> s
+          | Lexer.Tpunct s -> Printf.sprintf "%S" s
+          | Lexer.Teof -> "end of input"))
+
+let expect_kw lx k =
+  match Lexer.next lx with
+  | Lexer.Tkw q when q = k -> ()
+  | _ -> error lx (Printf.sprintf "expected keyword %S" k)
+
+let expect_ident lx =
+  match Lexer.next lx with
+  | Lexer.Tident s -> s
+  | _ -> error lx "expected identifier"
+
+let expect_int lx =
+  match Lexer.next lx with
+  | Lexer.Tint n -> n
+  | _ -> error lx "expected integer literal"
+
+let binop_of_punct = function
+  | "+" -> Some Ast.Badd
+  | "-" -> Some Ast.Bsub
+  | "*" -> Some Ast.Bmul
+  | "<<" -> Some Ast.Bshl
+  | ">>>" -> Some Ast.Bshrl
+  | ">>" -> Some Ast.Bshra
+  | "&" -> Some Ast.Band
+  | "|" -> Some Ast.Bor
+  | "^" -> Some Ast.Bxor
+  | "<" -> Some Ast.Blt
+  | "<=" -> Some Ast.Ble
+  | "==" -> Some Ast.Beq
+  | "!=" -> Some Ast.Bne
+  | ">" -> Some Ast.Bgt
+  | ">=" -> Some Ast.Bge
+  | _ -> None
+
+(* Larger binds tighter. *)
+let precedence = function
+  | Ast.Bmul -> 7
+  | Ast.Badd | Ast.Bsub -> 6
+  | Ast.Bshl | Ast.Bshrl | Ast.Bshra -> 5
+  | Ast.Blt | Ast.Ble | Ast.Bgt | Ast.Bge -> 4
+  | Ast.Beq | Ast.Bne -> 3
+  | Ast.Band -> 2
+  | Ast.Bxor -> 1
+  | Ast.Bor -> 0
+
+let rec parse_primary lx =
+  match Lexer.next lx with
+  | Lexer.Tint n -> Ast.Int n
+  | Lexer.Tpunct "(" ->
+    let e = parse_expr lx in
+    expect_punct lx ")";
+    e
+  | Lexer.Tpunct "-" ->
+    let e = parse_primary lx in
+    Ast.Bin (Ast.Bsub, Ast.Int 0, e)
+  | Lexer.Tident name -> (
+    match Lexer.peek lx with
+    | Lexer.Tpunct "[" ->
+      ignore (Lexer.next lx);
+      let idx = parse_expr lx in
+      expect_punct lx "]";
+      Ast.Index (name, idx)
+    | Lexer.Tpunct "(" ->
+      ignore (Lexer.next lx);
+      let rec args acc =
+        let e = parse_expr lx in
+        match Lexer.next lx with
+        | Lexer.Tpunct "," -> args (e :: acc)
+        | Lexer.Tpunct ")" -> List.rev (e :: acc)
+        | _ -> error lx "expected ',' or ')' in call"
+      in
+      Ast.Call (name, args [])
+    | _ -> Ast.Var name)
+  | _ -> error lx "expected expression"
+
+and parse_expr ?(min_prec = 0) lx =
+  let lhs = parse_primary lx in
+  let rec loop lhs =
+    match Lexer.peek lx with
+    | Lexer.Tpunct p -> (
+      match binop_of_punct p with
+      | Some op when precedence op >= min_prec ->
+        ignore (Lexer.next lx);
+        let rhs = parse_expr ~min_prec:(precedence op + 1) lx in
+        loop (Ast.Bin (op, lhs, rhs))
+      | Some _ | None -> lhs)
+    | Lexer.Tint _ | Lexer.Tident _ | Lexer.Tkw _ | Lexer.Teof -> lhs
+  in
+  loop lhs
+
+let rec parse_stmt lx =
+  match Lexer.peek lx with
+  | Lexer.Tkw "while" ->
+    ignore (Lexer.next lx);
+    expect_punct lx "(";
+    let cond = parse_expr lx in
+    expect_punct lx ")";
+    let body = parse_block lx in
+    Ast.While (cond, body)
+  | Lexer.Tkw "if" ->
+    ignore (Lexer.next lx);
+    expect_punct lx "(";
+    let cond = parse_expr lx in
+    expect_punct lx ")";
+    let then_ = parse_block lx in
+    let else_ =
+      match Lexer.peek lx with
+      | Lexer.Tkw "else" ->
+        ignore (Lexer.next lx);
+        parse_block lx
+      | _ -> []
+    in
+    Ast.If (cond, then_, else_)
+  | Lexer.Tkw "for" ->
+    ignore (Lexer.next lx);
+    expect_punct lx "(";
+    let init_name = expect_ident lx in
+    expect_punct lx "=";
+    let init_e = parse_expr lx in
+    expect_punct lx ";";
+    let cond = parse_expr lx in
+    expect_punct lx ";";
+    let step_name = expect_ident lx in
+    expect_punct lx "=";
+    let step_e = parse_expr lx in
+    expect_punct lx ")";
+    let body = parse_block lx in
+    Ast.For
+      (Ast.Assign (init_name, init_e), cond, Ast.Assign (step_name, step_e), body)
+  | Lexer.Tkw "unroll" ->
+    ignore (Lexer.next lx);
+    let v = expect_ident lx in
+    expect_punct lx "=";
+    let lo = expect_int lx in
+    expect_kw lx "to";
+    let hi = expect_int lx in
+    let body = parse_block lx in
+    Ast.Unroll (v, lo, hi, body)
+  | _ ->
+    let name = expect_ident lx in
+    (match Lexer.next lx with
+     | Lexer.Tpunct "=" ->
+       let e = parse_expr lx in
+       expect_punct lx ";";
+       Ast.Assign (name, e)
+     | Lexer.Tpunct "[" ->
+       let idx = parse_expr lx in
+       expect_punct lx "]";
+       expect_punct lx "=";
+       let e = parse_expr lx in
+       expect_punct lx ";";
+       Ast.Store (name, idx, e)
+     | _ -> error lx "expected '=' or '[' after identifier")
+
+and parse_block lx =
+  expect_punct lx "{";
+  let rec stmts acc =
+    match Lexer.peek lx with
+    | Lexer.Tpunct "}" ->
+      ignore (Lexer.next lx);
+      List.rev acc
+    | _ -> stmts (parse_stmt lx :: acc)
+  in
+  stmts []
+
+let parse_decl lx =
+  match Lexer.next lx with
+  | Lexer.Tkw "var" ->
+    let rec names acc =
+      let n = expect_ident lx in
+      match Lexer.next lx with
+      | Lexer.Tpunct "," -> names (n :: acc)
+      | Lexer.Tpunct ";" -> List.rev (n :: acc)
+      | _ -> error lx "expected ',' or ';' in var declaration"
+    in
+    Ast.Dvar (names [])
+  | Lexer.Tkw "arr" ->
+    let n = expect_ident lx in
+    expect_punct lx "@";
+    let base = expect_int lx in
+    expect_punct lx ";";
+    Ast.Darr (n, base)
+  | Lexer.Tkw "const" ->
+    let n = expect_ident lx in
+    expect_punct lx "=";
+    let e = parse_expr lx in
+    expect_punct lx ";";
+    Ast.Dconst (n, e)
+  | _ -> error lx "expected declaration"
+
+let parse src =
+  let lx = Lexer.of_string src in
+  expect_kw lx "kernel";
+  let name = expect_ident lx in
+  expect_punct lx "{";
+  let rec decls acc =
+    match Lexer.peek lx with
+    | Lexer.Tkw ("var" | "arr" | "const") -> decls (parse_decl lx :: acc)
+    | _ -> List.rev acc
+  in
+  let decls = decls [] in
+  let rec stmts acc =
+    match Lexer.peek lx with
+    | Lexer.Tpunct "}" ->
+      ignore (Lexer.next lx);
+      List.rev acc
+    | _ -> stmts (parse_stmt lx :: acc)
+  in
+  let body = stmts [] in
+  (match Lexer.next lx with
+   | Lexer.Teof -> ()
+   | _ -> error lx "trailing input after kernel body");
+  { Ast.name; decls; body }
+
+let parse_result src =
+  match parse src with
+  | k -> Ok k
+  | exception Ast.Syntax_error (p, msg) ->
+    Error (Printf.sprintf "line %d, col %d: %s" p.Ast.line p.Ast.col msg)

@@ -1,0 +1,29 @@
+(** Recursive-descent parser for the kernel language.
+
+    Grammar (C-like precedence, tightest first: [*] ; [+ -] ;
+    [<< >> >>>] ; [< <= > >=] ; [== !=] ; [&] ; [^] ; [|]):
+
+    {v
+    kernel   ::= "kernel" ident "{" decl* stmt* "}"
+    decl     ::= "var" ident ("," ident)* ";"
+               | "arr" ident "@" int ";"
+               | "const" ident "=" expr ";"
+    stmt     ::= ident "=" expr ";"
+               | ident "[" expr "]" "=" expr ";"
+               | "while" "(" expr ")" block
+               | "for" "(" ident "=" expr ";" expr ";" ident "=" expr ")" block
+               | "if" "(" expr ")" block ("else" block)?
+               | "unroll" ident "=" expr "to" expr block
+    block    ::= "{" stmt* "}"
+    primary  ::= int | ident | ident "[" expr "]"
+               | ident "(" expr ("," expr)* ")" | "(" expr ")" | "-" primary
+    v}
+
+    [unroll] bounds must fold to constants at parse time only if literal;
+    otherwise they are checked during lowering. *)
+
+val parse : string -> Ast.kernel
+(** Raises {!Ast.Syntax_error} with position on malformed input. *)
+
+val parse_result : string -> (Ast.kernel, string) result
+(** [parse] with the error rendered as ["line L, col C: message"]. *)

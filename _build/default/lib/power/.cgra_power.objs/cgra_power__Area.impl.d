@@ -1,0 +1,1 @@
+lib/power/area.ml: Array Cgra_arch List

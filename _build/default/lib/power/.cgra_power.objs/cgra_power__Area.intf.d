@@ -1,0 +1,1 @@
+lib/power/area.mli: Cgra_arch

@@ -1,0 +1,1 @@
+lib/power/energy.ml: Area Array Cgra_arch Cgra_cpu Cgra_sim

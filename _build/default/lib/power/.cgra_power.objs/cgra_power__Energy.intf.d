@@ -1,0 +1,1 @@
+lib/power/energy.mli: Cgra_arch Cgra_cpu Cgra_sim

@@ -1,0 +1,49 @@
+(* Constants in um^2, 28nm-class.  Calibrated (see EXPERIMENTS.md) so that
+   area(HOM64 system) / area(CPU system) ~ 2.0 and HET1/HET2 ~ 1.5-1.6,
+   matching Fig 11's reported ratios. *)
+
+type component = { label : string; um2 : float }
+
+let alu_um2 = 900.0
+let rf_um2 = 700.0
+let crf_um2 = 500.0
+let decode_ctrl_um2 = 600.0
+let lsu_um2 = 350.0
+let cm_word_um2 = 80.0
+
+let data_memory_um2 = 52_000.0 (* 32 kB *)
+let interconnect_um2 = 6_000.0
+let global_ctrl_um2 = 2_500.0
+let global_cm_um2 = 4_300.0
+
+let cpu_core_um2 = 34_000.0
+let cpu_imem_um2 = 7_360.0 (* 4 kB *)
+let cpu_icache_um2 = 2_600.0
+
+let tile_um2 (t : Cgra_arch.Cgra.tile) =
+  alu_um2 +. rf_um2 +. crf_um2 +. decode_ctrl_um2
+  +. (if t.Cgra_arch.Cgra.has_lsu then lsu_um2 else 0.0)
+  +. (float_of_int t.cm_words *. cm_word_um2)
+
+let cgra_breakdown (c : Cgra_arch.Cgra.t) =
+  let tiles = Array.to_list c.Cgra_arch.Cgra.tiles in
+  let n = float_of_int (List.length tiles) in
+  let lsus = List.length (List.filter (fun t -> t.Cgra_arch.Cgra.has_lsu) tiles) in
+  let cm_words =
+    List.fold_left (fun acc t -> acc + t.Cgra_arch.Cgra.cm_words) 0 tiles
+  in
+  [ { label = "PE logic (ALU+RF+CRF+ctrl)";
+      um2 = n *. (alu_um2 +. rf_um2 +. crf_um2 +. decode_ctrl_um2) };
+    { label = "Load-store units"; um2 = float_of_int lsus *. lsu_um2 };
+    { label = "Context memories"; um2 = float_of_int cm_words *. cm_word_um2 };
+    { label = "Interconnect + controller";
+      um2 = interconnect_um2 +. global_ctrl_um2 +. global_cm_um2 };
+    { label = "Data memory"; um2 = data_memory_um2 } ]
+
+let cpu_breakdown () =
+  [ { label = "Core"; um2 = cpu_core_um2 };
+    { label = "Instruction cache"; um2 = cpu_icache_um2 };
+    { label = "Context/instruction memory"; um2 = cpu_imem_um2 };
+    { label = "Data memory"; um2 = data_memory_um2 } ]
+
+let total components = List.fold_left (fun acc c -> acc +. c.um2) 0.0 components

@@ -1,0 +1,28 @@
+(** Analytical area model (Fig 11).
+
+    The paper synthesised the designs with Synopsys DC on ST 28nm UTBB
+    FD-SOI; without a silicon flow this module substitutes per-component
+    area constants (in um^2) calibrated so the paper's reported *ratios*
+    hold: a HOM64 CGRA system is about twice the CPU system's area and the
+    heterogeneous configurations about 1.5x, with the context memories the
+    dominant reconfigurable-fabric cost.  Both systems include the same
+    32 kB data memory, as in the paper's comparison setup. *)
+
+type component = { label : string; um2 : float }
+
+val cgra_breakdown : Cgra_arch.Cgra.t -> component list
+(** PE logic, load-store units, context memories, interconnect + global
+    controller, data memory. *)
+
+val cpu_breakdown : unit -> component list
+(** Core, instruction cache, context/instruction memory, data memory —
+    the equivalence set of Section IV-C. *)
+
+val total : component list -> float
+
+val tile_um2 : Cgra_arch.Cgra.tile -> float
+(** Area of one tile including its context memory — the leakage model
+    scales with it. *)
+
+val cm_word_um2 : float
+(** Context-memory area per instruction word. *)

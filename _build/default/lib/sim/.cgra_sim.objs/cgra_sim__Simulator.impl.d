@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Cgra_arch Cgra_asm Cgra_core Cgra_ir List Printf

@@ -1,0 +1,199 @@
+module Isa = Cgra_arch.Isa
+module Cgra = Cgra_arch.Cgra
+module Cdfg = Cgra_ir.Cdfg
+module Opcode = Cgra_ir.Opcode
+module Asm = Cgra_asm.Assemble
+
+type activity = {
+  alu_ops : int;
+  mul_ops : int;
+  mem_ops : int;
+  moves : int;
+  fetches : int;
+  awake_cycles : int;
+}
+
+let zero_activity =
+  { alu_ops = 0; mul_ops = 0; mem_ops = 0; moves = 0; fetches = 0; awake_cycles = 0 }
+
+type result = {
+  cycles : int;
+  stall_cycles : int;
+  blocks_executed : int;
+  instructions : int;
+  activity : activity array;
+}
+
+exception Sim_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Sim_error s)) fmt
+
+(* Per-tile execution cursor within a section: remaining pnop cycles and
+   the instruction stream. *)
+type cursor = { mutable stream : Isa.instr list; mutable sleep : int }
+
+type tstate = {
+  rf : int array;
+  mutable act : activity;
+}
+
+
+
+let run ?(mem_ports = 8) ?(max_blocks = 1_000_000) (p : Asm.program) ~mem =
+  let m = p.Asm.mapping in
+  let cgra = m.Cgra_core.Mapping.cgra in
+  let cdfg = m.Cgra_core.Mapping.cdfg in
+  let nt = Cgra.tile_count cgra in
+  let tstates =
+    Array.init nt (fun _ ->
+        { rf = Array.make cgra.Cgra.rf_words 0; act = zero_activity })
+  in
+  let cycles = ref 0 and stalls = ref 0 and blocks = ref 0 and instrs = ref 0 in
+  let src_value t = function
+    | Isa.Rf r -> tstates.(t).rf.(r)
+    | Isa.Crf c ->
+      let crf = p.Asm.tiles.(t).Asm.crf in
+      if c >= Array.length crf then error "CRF index %d out of range" c
+      else crf.(c)
+    | Isa.Nbr (t', r) ->
+      (* neighbour-mux read: start-of-cycle RF state of an adjacent tile *)
+      if Cgra.distance cgra t t' > 1 then
+        error "tile %d reads non-neighbour tile %d" t t';
+      tstates.(t').rf.(r)
+  in
+  let cond = ref None in
+  (* Pending register writes applied at end of cycle (two-phase update). *)
+  let pending : (int * int * int) list ref = ref [] in
+  let write tile reg v = pending := (tile, reg, v) :: !pending in
+  let mem_check addr =
+    if addr < 0 || addr >= Array.length mem then
+      error "memory access out of bounds: %d" addr
+  in
+  let bump t f = tstates.(t).act <- f tstates.(t).act in
+  let exec_instr t instr =
+    incr instrs;
+    bump t (fun a -> { a with fetches = a.fetches + 1; awake_cycles = a.awake_cycles + 1 });
+    match instr with
+    | Isa.Ipnop _ -> assert false
+    | Isa.Iop { opcode; srcs; dst; set_cond } ->
+      let args = List.map (src_value t) srcs in
+      let result =
+        match opcode, args with
+        | Opcode.Load, [ addr ] ->
+          mem_check addr;
+          bump t (fun a -> { a with mem_ops = a.mem_ops + 1 });
+          Some mem.(addr)
+        | Opcode.Store, [ addr; v ] ->
+          mem_check addr;
+          bump t (fun a -> { a with mem_ops = a.mem_ops + 1 });
+          mem.(addr) <- v;
+          None
+        | Opcode.Load, _ | Opcode.Store, _ ->
+          error "memory opcode with wrong arity"
+        | op, args ->
+          bump t (fun a ->
+              { a with
+                alu_ops = a.alu_ops + 1;
+                mul_ops = (a.mul_ops + if op = Opcode.Mul then 1 else 0) });
+          Some (Opcode.eval op args)
+      in
+      (match result, dst with
+       | Some v, Some d -> write t d v
+       | Some _, None -> ()
+       | None, Some _ -> error "store with a destination"
+       | None, None -> ());
+      if set_cond then (
+        match result with
+        | Some v -> cond := Some (v <> 0)
+        | None -> error "set_cond on an instruction without result")
+    | Isa.Imov { from_tile; from_slot; dst } ->
+      bump t (fun a -> { a with moves = a.moves + 1 });
+      let v = tstates.(from_tile).rf.(from_slot) in
+      write t dst v
+    | Isa.Icopy { src; dst; set_cond } ->
+      bump t (fun a -> { a with moves = a.moves + 1 });
+      let v = src_value t src in
+      write t dst v;
+      if set_cond then cond := Some (v <> 0)
+  in
+  let run_section bi =
+    let len = p.Asm.section_length.(bi) in
+    let cursors =
+      Array.init nt (fun t ->
+          { stream = p.Asm.tiles.(t).Asm.sections.(bi); sleep = 0 })
+    in
+    cond := None;
+    for _cycle = 0 to len - 1 do
+      (* Phase 1: execute this cycle's instruction on every tile. *)
+      let mem_ops_before =
+        Array.fold_left (fun acc ts -> acc + ts.act.mem_ops) 0 tstates
+      in
+      Array.iteri
+        (fun t cur ->
+          if cur.sleep > 0 then cur.sleep <- cur.sleep - 1
+          else
+            match cur.stream with
+            | [] -> () (* trailing sleep: clock-gated until section end *)
+            | Isa.Ipnop n :: rest ->
+              (* fetching the pnop word costs one access, then the tile
+                 sleeps *)
+              bump t (fun a -> { a with fetches = a.fetches + 1 });
+              cur.sleep <- n - 1;
+              cur.stream <- rest
+            | instr :: rest ->
+              exec_instr t instr;
+              cur.stream <- rest)
+        cursors;
+      (* Phase 2: commit register writes. *)
+      List.iter (fun (t, r, v) -> tstates.(t).rf.(r) <- Opcode.wrap32 v) !pending;
+      pending := [];
+      (* Logarithmic-interconnect arbitration: accesses beyond the port
+         count this cycle stall the whole array. *)
+      let mem_ops_now =
+        Array.fold_left (fun acc ts -> acc + ts.act.mem_ops) 0 tstates
+      in
+      let this_cycle = mem_ops_now - mem_ops_before in
+      let extra = if this_cycle = 0 then 0 else ((this_cycle - 1) / mem_ports) in
+      stalls := !stalls + extra;
+      cycles := !cycles + 1 + extra
+    done;
+    Array.iter
+      (fun cur ->
+        if cur.stream <> [] then error "section b%d: unexecuted instructions" bi)
+      cursors
+  in
+  let rec go bi =
+    if !blocks >= max_blocks then error "runaway execution (max_blocks)";
+    incr blocks;
+    run_section bi;
+    (* Global controller: one transition cycle per block. *)
+    incr cycles;
+    match cdfg.Cdfg.blocks.(bi).Cdfg.terminator with
+    | Cdfg.Jump next -> go next
+    | Cdfg.Branch (_, bt, be) -> (
+      match !cond with
+      | None -> error "block %d: branch executed but no condition was set" bi
+      | Some c -> go (if c then bt else be))
+    | Cdfg.Return -> ()
+  in
+  go cdfg.Cdfg.entry;
+  {
+    cycles = !cycles;
+    stall_cycles = !stalls;
+    blocks_executed = !blocks;
+    instructions = !instrs;
+    activity = Array.map (fun ts -> ts.act) tstates;
+  }
+
+let total_activity r =
+  Array.fold_left
+    (fun acc a ->
+      {
+        alu_ops = acc.alu_ops + a.alu_ops;
+        mul_ops = acc.mul_ops + a.mul_ops;
+        mem_ops = acc.mem_ops + a.mem_ops;
+        moves = acc.moves + a.moves;
+        fetches = acc.fetches + a.fetches;
+        awake_cycles = acc.awake_cycles + a.awake_cycles;
+      })
+    zero_activity r.activity

@@ -1,0 +1,48 @@
+(** Cycle-level simulator of the CGRA executing an assembled program.
+
+    Tiles run lock-step through the context section of the current basic
+    block; the global controller sequences blocks using the condition bit
+    broadcast by [set_cond] instructions (Fig 1's control bits), adding
+    one transition cycle per block.  Loads and stores reach the shared
+    data memory through the logarithmic interconnect, modelled as
+    [mem_ports] concurrent accesses per cycle — excess accesses stall the
+    whole array (the paper's global stall signal).
+
+    Register-file semantics: writes land at the end of a cycle, reads see
+    the start-of-cycle state, matching the assembler's assumptions.
+
+    The simulator also gathers the per-tile activity counters the energy
+    model integrates. *)
+
+type activity = {
+  alu_ops : int;        (** non-memory operations executed *)
+  mul_ops : int;        (** of which multiplies (costlier) *)
+  mem_ops : int;        (** loads + stores issued *)
+  moves : int;          (** routing moves and local copies *)
+  fetches : int;        (** context words fetched (instructions + pnops) *)
+  awake_cycles : int;   (** cycles not clock-gated (executing, not pnop) *)
+}
+
+type result = {
+  cycles : int;            (** total, including stalls and transitions *)
+  stall_cycles : int;
+  blocks_executed : int;
+  instructions : int;      (** instructions executed (pnops excluded) *)
+  activity : activity array;  (** per tile *)
+}
+
+exception Sim_error of string
+
+val run :
+  ?mem_ports:int ->
+  ?max_blocks:int ->
+  Cgra_asm.Assemble.program ->
+  mem:int array ->
+  result
+(** [run program ~mem] executes from the entry block until [Return],
+    mutating [mem].  Symbol RF slots start at zero, matching the
+    reference interpreter.  Defaults: [mem_ports = 8],
+    [max_blocks = 1_000_000].  Raises {!Sim_error} on a malformed program
+    (missing condition, out-of-range memory access, runaway loop). *)
+
+val total_activity : result -> activity

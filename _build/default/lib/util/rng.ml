@@ -1,0 +1,49 @@
+(* SplitMix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators" (OOPSLA 2014).  Chosen because it is trivially splittable,
+   which lets every partial mapping carry an independent stream. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let split g =
+  let seed = int64 g in
+  { state = seed }
+
+let int g n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* mask to 62 bits so the conversion to a 63-bit OCaml int stays
+     non-negative *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 g) 2) in
+  v mod n
+
+let float g =
+  let v = Int64.to_float (Int64.shift_right_logical (int64 g) 11) in
+  v /. 9007199254740992.0 (* 2^53 *)
+
+let bool g = Int64.logand (int64 g) 1L = 1L
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick g = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int g (List.length l))

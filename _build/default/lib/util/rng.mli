@@ -1,0 +1,40 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    The mapper's stochastic pruning (Section III-B of the paper) must be
+    reproducible run-to-run, so all randomness in the project flows through
+    this module rather than [Stdlib.Random].  The generator is a SplitMix64
+    stream: 64-bit state, one multiply-xor-shift mixing round per draw. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator seeded with [seed].  Equal seeds
+    yield identical streams. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator that will replay [g]'s future. *)
+
+val split : t -> t
+(** [split g] draws from [g] and returns a new generator whose stream is
+    statistically independent of [g]'s subsequent draws. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int g n] is uniform in [\[0, n)].  Raises [Invalid_argument] if
+    [n <= 0]. *)
+
+val float : t -> float
+(** Uniform float in [\[0, 1)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list.  Raises [Invalid_argument] on an
+    empty list. *)

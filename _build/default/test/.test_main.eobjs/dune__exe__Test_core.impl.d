@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Cgra_arch Cgra_core Cgra_ir Format Gen List Printf QCheck QCheck_alcotest String

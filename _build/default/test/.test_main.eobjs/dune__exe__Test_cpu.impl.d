@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Array Cgra_cpu Cgra_ir Cgra_kernels Cgra_lang List Option

@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Array Cgra_arch Cgra_core Cgra_cpu Cgra_exp Cgra_kernels Cgra_power List Option Printf String

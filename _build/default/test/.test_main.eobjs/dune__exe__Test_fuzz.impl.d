@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Cgra_arch Cgra_asm Cgra_core Cgra_cpu Cgra_ir Cgra_sim Cgra_util Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Cgra_graph List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Cgra_arch Cgra_asm Cgra_core Cgra_ir Cgra_kernels Cgra_lang Cgra_sim List Option Printf

@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Cgra_ir Cgra_kernels Float List Option Printf

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Cgra_ir Cgra_lang List Printf

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_arch Test_asm_sim Test_core Test_cpu Test_e2e Test_fuzz Test_graph Test_ir Test_kernels Test_lang Test_power Test_util

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Array Cgra_arch Cgra_cpu Cgra_power Cgra_sim Float

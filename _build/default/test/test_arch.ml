@@ -1,0 +1,139 @@
+(* Tests for the CGRA model, Table I configurations and the ISA. *)
+
+module Cgra = Cgra_arch.Cgra
+module Config = Cgra_arch.Config
+module Isa = Cgra_arch.Isa
+module Op = Cgra_ir.Opcode
+
+let grid = Config.cgra Config.HOM64
+
+let test_table1_totals () =
+  Alcotest.(check int) "HOM64" 1024 (Config.total_cm Config.HOM64);
+  Alcotest.(check int) "HOM32" 512 (Config.total_cm Config.HOM32);
+  Alcotest.(check int) "HET1" 576 (Config.total_cm Config.HET1);
+  Alcotest.(check int) "HET2" 512 (Config.total_cm Config.HET2)
+
+let test_het_layout () =
+  (* paper tiles are 1-based: tiles 1-4 CM64; 5-8, 13-16 CM32; 9-12 CM16 *)
+  Alcotest.(check int) "HET1 tile 1" 64 (Config.cm_of_tile Config.HET1 0);
+  Alcotest.(check int) "HET1 tile 5" 32 (Config.cm_of_tile Config.HET1 4);
+  Alcotest.(check int) "HET1 tile 9" 16 (Config.cm_of_tile Config.HET1 8);
+  Alcotest.(check int) "HET1 tile 13" 32 (Config.cm_of_tile Config.HET1 12);
+  Alcotest.(check int) "HET2 tile 13" 16 (Config.cm_of_tile Config.HET2 12)
+
+let test_lsu_tiles () =
+  Alcotest.(check (list int)) "first two rows" [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (Cgra.lsu_tiles grid);
+  Alcotest.(check bool) "load on LSU tile" true (Cgra.can_execute grid 3 Op.Load);
+  Alcotest.(check bool) "no store on ALU tile" false
+    (Cgra.can_execute grid 12 Op.Store);
+  Alcotest.(check bool) "alu anywhere" true (Cgra.can_execute grid 12 Op.Mul)
+
+let test_neighbors_torus () =
+  (* tile 0 is a corner: torus wrap gives 4 distinct neighbours on 4x4 *)
+  Alcotest.(check int) "four neighbours" 4 (List.length (Cgra.neighbors grid 0));
+  Alcotest.(check bool) "wraps to tile 12" true
+    (List.mem 12 (Cgra.neighbors grid 0));
+  Alcotest.(check bool) "wraps to tile 3" true (List.mem 3 (Cgra.neighbors grid 0))
+
+let test_distance () =
+  Alcotest.(check int) "self" 0 (Cgra.distance grid 5 5);
+  Alcotest.(check int) "adjacent" 1 (Cgra.distance grid 0 1);
+  Alcotest.(check int) "wrap column" 1 (Cgra.distance grid 0 3);
+  Alcotest.(check int) "wrap row" 1 (Cgra.distance grid 0 12);
+  Alcotest.(check int) "max on 4x4 torus" 4 (Cgra.distance grid 0 10)
+
+let arb_tile_pair =
+  QCheck.make QCheck.Gen.(pair (int_bound 15) (int_bound 15))
+
+let prop_route_matches_distance =
+  QCheck.Test.make ~name:"route length equals torus distance" ~count:300
+    arb_tile_pair (fun (src, dst) ->
+      let path = Cgra.route grid ~src ~dst in
+      List.length path = Cgra.distance grid src dst)
+
+let prop_route_adjacent_hops =
+  QCheck.Test.make ~name:"route hops are adjacent and end at dst" ~count:300
+    arb_tile_pair (fun (src, dst) ->
+      let path = Cgra.route grid ~src ~dst in
+      let rec ok prev = function
+        | [] -> prev = dst
+        | hop :: rest -> Cgra.distance grid prev hop = 1 && ok hop rest
+      in
+      ok src path)
+
+let arb_instr =
+  let open QCheck.Gen in
+  let src =
+    oneof
+      [ map (fun i -> Isa.Rf i) (int_bound 31);
+        map (fun i -> Isa.Crf i) (int_bound 31);
+        map2 (fun t i -> Isa.Nbr (t, i)) (int_bound 15) (int_bound 31) ]
+  in
+  let opcode = oneofl Cgra_ir.Opcode.all in
+  let iop =
+    opcode >>= fun op ->
+    list_size (int_range 0 3) src >>= fun srcs ->
+    opt (int_bound 31) >>= fun dst ->
+    bool >|= fun set_cond -> Isa.Iop { opcode = op; srcs; dst; set_cond }
+  in
+  let imov =
+    map3
+      (fun t s d -> Isa.Imov { from_tile = t; from_slot = s; dst = d })
+      (int_bound 15) (int_bound 31) (int_bound 31)
+  in
+  let icopy =
+    map3
+      (fun s d c -> Isa.Icopy { src = s; dst = d; set_cond = c })
+      src (int_bound 31) bool
+  in
+  let ipnop = map (fun n -> Isa.Ipnop (n + 1)) (int_bound 1000) in
+  QCheck.make (oneof [ iop; imov; icopy; ipnop ])
+
+let prop_encode_decode =
+  QCheck.Test.make ~name:"ISA encode/decode roundtrip" ~count:500 arb_instr
+    (fun instr -> Isa.decode (Isa.encode instr) = Ok instr)
+
+let test_isa_durations () =
+  Alcotest.(check int) "pnop duration" 9 (Isa.duration (Isa.Ipnop 9));
+  Alcotest.(check int) "mov duration" 1
+    (Isa.duration (Isa.Imov { from_tile = 0; from_slot = 1; dst = 2 }));
+  Alcotest.(check bool) "is_pnop" true (Isa.is_pnop (Isa.Ipnop 1))
+
+let test_isa_strings () =
+  Alcotest.(check string) "op" "add r3, r1, c0"
+    (Isa.to_string
+       (Isa.Iop { opcode = Op.Add; srcs = [ Isa.Rf 1; Isa.Crf 0 ]; dst = Some 3; set_cond = false }));
+  Alcotest.(check string) "mov" "mov r2, T05.r7"
+    (Isa.to_string (Isa.Imov { from_tile = 5; from_slot = 7; dst = 2 }))
+
+let test_decode_bad_pnop () =
+  match Isa.decode (Isa.encode (Isa.Ipnop 1)) with
+  | Ok (Isa.Ipnop 1) ->
+    (* corrupt the length field to zero *)
+    let w = Int64.logand (Isa.encode (Isa.Ipnop 1)) 0xC000000000000000L in
+    (match Isa.decode w with
+     | Error _ -> ()
+     | Ok _ -> Alcotest.fail "zero-length pnop accepted")
+  | _ -> Alcotest.fail "pnop roundtrip broken"
+
+let test_custom_grid () =
+  let c = Cgra.make ~rows:3 ~cols:5 ~lsu_rows:1 ~cm_of_tile:(fun _ -> 8) () in
+  Alcotest.(check int) "15 tiles" 15 (Cgra.tile_count c);
+  Alcotest.(check int) "5 LSU tiles" 5 (List.length (Cgra.lsu_tiles c));
+  Alcotest.(check int) "torus distance" 1 (Cgra.distance c 0 10)
+
+let suite =
+  [ ( "arch",
+      [ Alcotest.test_case "Table I totals" `Quick test_table1_totals;
+        Alcotest.test_case "HET layouts" `Quick test_het_layout;
+        Alcotest.test_case "LSU placement" `Quick test_lsu_tiles;
+        Alcotest.test_case "torus neighbours" `Quick test_neighbors_torus;
+        Alcotest.test_case "torus distance" `Quick test_distance;
+        QCheck_alcotest.to_alcotest prop_route_matches_distance;
+        QCheck_alcotest.to_alcotest prop_route_adjacent_hops;
+        QCheck_alcotest.to_alcotest prop_encode_decode;
+        Alcotest.test_case "ISA durations" `Quick test_isa_durations;
+        Alcotest.test_case "ISA rendering" `Quick test_isa_strings;
+        Alcotest.test_case "decode rejects bad pnop" `Quick test_decode_bad_pnop;
+        Alcotest.test_case "custom grid" `Quick test_custom_grid ] ) ]

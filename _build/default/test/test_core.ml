@@ -1,0 +1,251 @@
+(* Tests for the mapper: occupancy accounting, scheduling, the flow and
+   its context-memory awareness. *)
+
+module Occ = Cgra_core.Occupancy
+module Sched = Cgra_core.Sched
+module Flow = Cgra_core.Flow
+module FC = Cgra_core.Flow_config
+module M = Cgra_core.Mapping
+module Cdfg = Cgra_ir.Cdfg
+module B = Cgra_ir.Builder
+module Op = Cgra_ir.Opcode
+module Config = Cgra_arch.Config
+
+(* ---- occupancy ----------------------------------------------------- *)
+
+let test_occupancy_basics () =
+  let o = Occ.create () in
+  Alcotest.(check int) "idle last" (-1) (Occ.last_busy o);
+  Alcotest.(check int) "idle pnops" 0 (Occ.pnops o);
+  Occ.occupy o 3;
+  Occ.occupy o 5;
+  Alcotest.(check bool) "3 busy" false (Occ.is_free o 3);
+  Alcotest.(check int) "first free after 3" 4 (Occ.first_free_at_or_after o 3);
+  Alcotest.(check int) "busy count" 2 (Occ.busy_count o);
+  (* idle runs before the last busy cycle: [0-2] and [4] *)
+  Alcotest.(check int) "pnops" 2 (Occ.pnops o);
+  (* optimistic drops the leading run *)
+  Alcotest.(check int) "optimistic" 1 (Occ.pnops_optimistic o);
+  Alcotest.(check (list int)) "busy cycles" [ 3; 5 ] (Occ.busy_cycles o)
+
+let test_occupancy_dense () =
+  let o = Occ.create () in
+  for c = 0 to 9 do
+    Occ.occupy o c
+  done;
+  Alcotest.(check int) "no gaps" 0 (Occ.pnops o);
+  Alcotest.(check int) "optimistic too" 0 (Occ.pnops_optimistic o)
+
+let test_occupancy_double_book () =
+  let o = Occ.create () in
+  Occ.occupy o 2;
+  Alcotest.(check bool) "double booking rejected" true
+    (try
+       Occ.occupy o 2;
+       false
+     with Invalid_argument _ -> true)
+
+let prop_optimistic_le_exact =
+  QCheck.Test.make ~name:"optimistic pnops <= exact pnops" ~count:300
+    QCheck.(list_of_size Gen.(int_range 0 30) (int_bound 63))
+    (fun cycles ->
+      let o = Occ.create () in
+      List.iter (fun c -> if Occ.is_free o c then Occ.occupy o c) cycles;
+      Occ.pnops_optimistic o <= Occ.pnops o)
+
+let prop_pnops_bounded_by_busy =
+  QCheck.Test.make ~name:"pnop runs bounded by busy count" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 30) (int_bound 63))
+    (fun cycles ->
+      let o = Occ.create () in
+      List.iter (fun c -> if Occ.is_free o c then Occ.occupy o c) cycles;
+      (* every interior idle run is delimited by busy cycles *)
+      Occ.pnops o <= Occ.busy_count o)
+
+(* ---- scheduling ------------------------------------------------------ *)
+
+let chain_cdfg () =
+  (* n0 -> n1 -> n2 plus an independent n3, all stored *)
+  let b = B.create "chain" in
+  let blk = B.add_block b "only" in
+  let n0 = B.add_node b blk Op.Add [ Cdfg.Imm 1; Cdfg.Imm 2 ] in
+  let n1 = B.add_node b blk Op.Add [ n0; Cdfg.Imm 1 ] in
+  let n2 = B.add_node b blk Op.Add [ n1; Cdfg.Imm 1 ] in
+  let n3 = B.add_node b blk Op.Add [ Cdfg.Imm 5; Cdfg.Imm 6 ] in
+  let _ = B.add_node b blk Op.Store [ Cdfg.Imm 0; n2 ] in
+  let _ = B.add_node b blk Op.Store [ Cdfg.Imm 1; n3 ] in
+  B.set_terminator b blk Cdfg.Return;
+  B.finish b
+
+let test_sched_levels () =
+  let cdfg = chain_cdfg () in
+  let info = Sched.analyse cdfg 0 in
+  Alcotest.(check int) "asap n0" 0 info.Sched.asap.(0);
+  Alcotest.(check int) "asap n2" 2 info.Sched.asap.(2);
+  Alcotest.(check int) "chain is critical" 0 info.Sched.mobility.(0);
+  Alcotest.(check bool) "independent node has slack" true
+    (info.Sched.mobility.(3) > 0);
+  Alcotest.(check int) "critical path" 4 (Sched.critical_path info)
+
+let test_sched_order_topological () =
+  let cdfg = chain_cdfg () in
+  let info = Sched.analyse cdfg 0 in
+  let pos = Array.make 6 0 in
+  List.iteri (fun i n -> pos.(n) <- i) info.Sched.order;
+  Alcotest.(check int) "all scheduled" 6 (List.length info.Sched.order);
+  Alcotest.(check bool) "producer first" true (pos.(0) < pos.(1) && pos.(1) < pos.(2))
+
+(* ---- flow ------------------------------------------------------------ *)
+
+let loop_cdfg () =
+  let b = B.create "loop" in
+  let i = B.fresh_sym b "i" in
+  let pre = B.add_block b "pre" in
+  let body = B.add_block b "body" in
+  let exit_ = B.add_block b "exit" in
+  B.set_live_out b pre i (Cdfg.Imm 0);
+  B.set_terminator b pre (Cdfg.Jump (B.block_id body));
+  let x = B.add_node b body Op.Load [ Cdfg.Sym i ] in
+  let y = B.add_node b body Op.Mul [ x; Cdfg.Imm 3 ] in
+  let a = B.add_node b body Op.Add [ Cdfg.Sym i; Cdfg.Imm 8 ] in
+  let _ = B.add_node b body Op.Store [ a; y ] in
+  let i1 = B.add_node b body Op.Add [ Cdfg.Sym i; Cdfg.Imm 1 ] in
+  let c = B.add_node b body Op.Lt [ i1; Cdfg.Imm 8 ] in
+  B.set_live_out b body i i1;
+  B.set_terminator b body (Cdfg.Branch (c, B.block_id body, B.block_id exit_));
+  B.set_terminator b exit_ Cdfg.Return;
+  B.finish b
+
+let test_flow_maps_and_fits () =
+  let cdfg = loop_cdfg () in
+  match Flow.run (Config.cgra Config.HOM64) cdfg with
+  | Error f -> Alcotest.fail f.Flow.reason
+  | Ok (m, stats) ->
+    Alcotest.(check bool) "fits" true (M.fits m);
+    Alcotest.(check int) "all ops mapped once" 6 (M.total_ops m);
+    Alcotest.(check bool) "homes assigned" true
+      (Array.for_all (fun h -> h >= 0) m.M.homes);
+    Alcotest.(check int) "traversal covers blocks" 3
+      (List.length stats.Flow.traversal_order)
+
+let test_flow_deterministic () =
+  let cdfg = loop_cdfg () in
+  let run () =
+    match Flow.run (Config.cgra Config.HOM64) cdfg with
+    | Ok (m, _) ->
+      List.map (fun bm -> (bm.M.bb, bm.M.length, List.length bm.M.slots))
+        (Array.to_list m.M.bbs)
+    | Error f -> Alcotest.fail f.Flow.reason
+  in
+  Alcotest.(check bool) "same result" true (run () = run ())
+
+let test_flow_respects_lsu () =
+  let cdfg = loop_cdfg () in
+  match Flow.run (Config.cgra Config.HOM64) cdfg with
+  | Error f -> Alcotest.fail f.Flow.reason
+  | Ok (m, _) ->
+    Array.iter
+      (fun bm ->
+        List.iter
+          (fun sl ->
+            match sl.M.action with
+            | M.Aop { node; _ } ->
+              let nodes = cdfg.Cdfg.blocks.(bm.M.bb).Cdfg.nodes in
+              if Cgra_ir.Opcode.needs_lsu nodes.(node).Cdfg.opcode then
+                Alcotest.(check bool) "memory op on LSU tile" true (sl.M.tile < 8)
+            | M.Amove _ | M.Acopy _ -> ())
+          bm.M.slots)
+      m.M.bbs
+
+let test_flow_fails_on_tiny_cm () =
+  let cdfg = loop_cdfg () in
+  let cgra = Cgra_arch.Cgra.make ~cm_of_tile:(fun _ -> 2) () in
+  match Flow.run cgra cdfg with
+  | Error _ -> ()
+  | Ok (m, _) ->
+    Alcotest.(check bool) "cannot fit 2-word CMs" false (M.fits m)
+
+let test_flow_rejects_sym_overflow () =
+  let b = B.create "many" in
+  for i = 0 to 40 do
+    ignore (B.fresh_sym b (Printf.sprintf "s%d" i))
+  done;
+  let blk = B.add_block b "only" in
+  B.set_terminator b blk Cdfg.Return;
+  let cdfg = B.finish b in
+  match Flow.run (Config.cgra Config.HOM64) cdfg with
+  | Error f ->
+    Alcotest.(check bool) "mentions RF" true
+      (String.length f.Flow.reason > 0)
+  | Ok _ -> Alcotest.fail "accepted more symbols than RF slots"
+
+let test_weighted_traversal_order () =
+  let cdfg = loop_cdfg () in
+  let fwd = Flow.traversal_order FC.Forward cdfg in
+  let wt = Flow.traversal_order FC.Weighted cdfg in
+  Alcotest.(check int) "forward starts at entry" 0 (List.hd fwd);
+  (* body has the highest Wbb, so the weighted traversal maps it first *)
+  Alcotest.(check int) "weighted starts at heaviest" 1 (List.hd wt);
+  Alcotest.(check int) "same coverage" (List.length fwd) (List.length wt)
+
+let test_mapping_usage_vs_capacity () =
+  let cdfg = loop_cdfg () in
+  match Flow.run ~config:FC.context_aware (Config.cgra Config.HET2) cdfg with
+  | Error f -> Alcotest.fail f.Flow.reason
+  | Ok (m, _) ->
+    let usage = M.tile_usage m in
+    Array.iteri
+      (fun t u ->
+        Alcotest.(check bool) "within capacity" true
+          (M.usage_total u <= (Config.cgra Config.HET2).Cgra_arch.Cgra.tiles.(t).cm_words))
+      usage
+
+let test_static_cycles () =
+  let cdfg = loop_cdfg () in
+  match Flow.run (Config.cgra Config.HOM64) cdfg with
+  | Error f -> Alcotest.fail f.Flow.reason
+  | Ok (m, _) ->
+    let mem = Array.make 32 0 in
+    let trace = Cgra_ir.Interp.run cdfg ~mem in
+    let expected =
+      Array.to_list m.M.bbs
+      |> List.mapi (fun bi bm -> trace.Cgra_ir.Interp.block_counts.(bi) * (bm.M.length + 1))
+      |> List.fold_left ( + ) 0
+    in
+    Alcotest.(check int) "static cycles formula" expected (M.static_cycles m trace)
+
+let test_pp_schedule () =
+  let cdfg = loop_cdfg () in
+  match Flow.run (Config.cgra Config.HOM64) cdfg with
+  | Error f -> Alcotest.fail f.Flow.reason
+  | Ok (m, _) ->
+    let s = Format.asprintf "%a" M.pp_schedule (m, 1) in
+    let lines = String.split_on_char '\n' s in
+    (* header + 16 tile rows + legend *)
+    Alcotest.(check int) "grid rows" 18 (List.length lines);
+    Alcotest.(check bool) "has ops" true (String.contains s 'o')
+
+let test_steps_labels () =
+  Alcotest.(check string) "basic" "basic" (FC.steps_of FC.basic);
+  Alcotest.(check string) "full" "basic+WT+ACMAP+ECMAP+CAB"
+    (FC.steps_of FC.context_aware)
+
+let suite =
+  [ ( "core",
+      [ Alcotest.test_case "occupancy basics" `Quick test_occupancy_basics;
+        Alcotest.test_case "occupancy dense" `Quick test_occupancy_dense;
+        Alcotest.test_case "occupancy double booking" `Quick test_occupancy_double_book;
+        QCheck_alcotest.to_alcotest prop_optimistic_le_exact;
+        QCheck_alcotest.to_alcotest prop_pnops_bounded_by_busy;
+        Alcotest.test_case "sched levels" `Quick test_sched_levels;
+        Alcotest.test_case "sched order" `Quick test_sched_order_topological;
+        Alcotest.test_case "flow maps and fits" `Quick test_flow_maps_and_fits;
+        Alcotest.test_case "flow deterministic" `Quick test_flow_deterministic;
+        Alcotest.test_case "flow respects LSU" `Quick test_flow_respects_lsu;
+        Alcotest.test_case "flow fails on tiny CM" `Quick test_flow_fails_on_tiny_cm;
+        Alcotest.test_case "flow rejects symbol overflow" `Quick test_flow_rejects_sym_overflow;
+        Alcotest.test_case "weighted traversal" `Quick test_weighted_traversal_order;
+        Alcotest.test_case "usage within capacity" `Quick test_mapping_usage_vs_capacity;
+        Alcotest.test_case "static cycles" `Quick test_static_cycles;
+        Alcotest.test_case "schedule rendering" `Quick test_pp_schedule;
+        Alcotest.test_case "flow labels" `Quick test_steps_labels ] ) ]

@@ -1,0 +1,116 @@
+(* Tests for the or1k-like CPU baseline: code generation and simulation. *)
+
+module CG = Cgra_cpu.Codegen
+module CS = Cgra_cpu.Cpu_sim
+module Isa = Cgra_cpu.Cpu_isa
+module K = Cgra_kernels.Kernel_def
+module Cdfg = Cgra_ir.Cdfg
+module Op = Cgra_ir.Opcode
+
+let test_all_kernels_golden () =
+  List.iter
+    (fun k ->
+      let prog = CG.compile (K.cdfg k) in
+      let mem = K.fresh_mem k in
+      let r = CS.run prog ~mem in
+      Alcotest.(check bool) (k.K.name ^ " golden") true (mem = K.run_golden k);
+      Alcotest.(check bool) "cycles >= instructions" true
+        (r.CS.cycles >= r.CS.instructions))
+    Cgra_kernels.Kernels.all
+
+let test_spill_exercised () =
+  let k = Option.get (Cgra_kernels.Kernels.by_slug "non_sep_filter") in
+  let prog = CG.compile (K.cdfg k) in
+  Alcotest.(check bool) "spill area used" true (prog.CG.spill_words > 0)
+
+let test_no_spill_small () =
+  let k = Option.get (Cgra_kernels.Kernels.by_slug "dc_filter") in
+  let prog = CG.compile (K.cdfg k) in
+  Alcotest.(check int) "no spill" 0 prog.CG.spill_words
+
+let test_addressing_fold () =
+  (* a single-use add feeding a load folds into the offset field *)
+  let cdfg =
+    Cgra_lang.Compile.compile_exn
+      "kernel k { arr a @ 8; var x, i; i = 2; x = a[i]; a[i + 1] = x; }"
+  in
+  let prog = CG.compile cdfg in
+  let all = Array.to_list prog.CG.blocks |> List.concat in
+  let has_offset_load =
+    List.exists (function Isa.Load (_, _, off) -> off > 0 | _ -> false) all
+  in
+  Alcotest.(check bool) "register+offset addressing" true has_offset_load
+
+let test_imm_folding () =
+  let cdfg =
+    Cgra_lang.Compile.compile_exn
+      "kernel k { arr o @ 0; var x, i; i = o[1]; x = i + 7; o[0] = x; }"
+  in
+  let prog = CG.compile cdfg in
+  let all = Array.to_list prog.CG.blocks |> List.concat in
+  Alcotest.(check bool) "alui used" true
+    (List.exists (function Isa.Alui (Op.Add, _, _, 7) -> true | _ -> false) all)
+
+let test_min_expansion () =
+  let cdfg =
+    Cgra_lang.Compile.compile_exn
+      "kernel k { arr o @ 0; var x, a, b; a = o[1]; b = o[2]; x = min(a, b); o[0] = x; }"
+  in
+  let prog = CG.compile cdfg in
+  let all = Array.to_list prog.CG.blocks |> List.concat in
+  Alcotest.(check bool) "cmov used for min" true
+    (List.exists (function Isa.Cmov _ -> true | _ -> false) all);
+  let mem = [| 0; 3; 9; 0 |] in
+  ignore (CS.run prog ~mem);
+  Alcotest.(check int) "min value" 3 mem.(0)
+
+let test_cost_model () =
+  Alcotest.(check int) "mul is 3 cycles" 3
+    (Isa.cost (Isa.Alu (Op.Mul, 1, 2, 3)) ~taken:false);
+  Alcotest.(check int) "load is 2 cycles" 2
+    (Isa.cost (Isa.Load (1, 2, 0)) ~taken:false);
+  Alcotest.(check int) "taken branch 3" 3 (Isa.cost (Isa.Bnz (1, 0)) ~taken:true);
+  Alcotest.(check int) "untaken branch 1" 1 (Isa.cost (Isa.Bnz (1, 0)) ~taken:false)
+
+let test_branch_counting () =
+  let k = Option.get (Cgra_kernels.Kernels.by_slug "dc_filter") in
+  let prog = CG.compile (K.cdfg k) in
+  let mem = K.fresh_mem k in
+  let r = CS.run prog ~mem in
+  (* 64 loop iterations: 64 back-branches + 1 exit + entry jump *)
+  Alcotest.(check bool) "branches counted" true (r.CS.branches >= 65)
+
+let test_runaway_guard () =
+  let b = Cgra_ir.Builder.create "spin" in
+  let blk = Cgra_ir.Builder.add_block b "spin" in
+  Cgra_ir.Builder.set_terminator b blk (Cdfg.Jump (Cgra_ir.Builder.block_id blk));
+  let prog = CG.compile (Cgra_ir.Builder.finish b) in
+  Alcotest.(check bool) "runaway guard fires" true
+    (try
+       ignore (CS.run ~max_blocks:10 prog ~mem:(Array.make 1 0));
+       false
+     with CS.Cpu_error _ -> true)
+
+let test_oob_guard () =
+  let cdfg =
+    Cgra_lang.Compile.compile_exn "kernel k { arr a @ 0; a[100] = 1; }"
+  in
+  let prog = CG.compile cdfg in
+  Alcotest.(check bool) "out of bounds caught" true
+    (try
+       ignore (CS.run prog ~mem:(Array.make 4 0));
+       false
+     with CS.Cpu_error _ -> true)
+
+let suite =
+  [ ( "cpu",
+      [ Alcotest.test_case "all kernels golden" `Slow test_all_kernels_golden;
+        Alcotest.test_case "spilling exercised" `Quick test_spill_exercised;
+        Alcotest.test_case "no spill for small kernels" `Quick test_no_spill_small;
+        Alcotest.test_case "addressing-mode folding" `Quick test_addressing_fold;
+        Alcotest.test_case "immediate folding" `Quick test_imm_folding;
+        Alcotest.test_case "min expands to cmov" `Quick test_min_expansion;
+        Alcotest.test_case "cost model" `Quick test_cost_model;
+        Alcotest.test_case "branch counting" `Quick test_branch_counting;
+        Alcotest.test_case "runaway guard" `Quick test_runaway_guard;
+        Alcotest.test_case "bounds guard" `Quick test_oob_guard ] ) ]

@@ -1,0 +1,155 @@
+(* Differential fuzzing of the whole tool-chain.
+
+   Random loop kernels are built directly as CDFGs and executed three
+   ways: the reference interpreter, the CGRA pipeline (map -> assemble ->
+   cycle-level simulation) and the CPU baseline.  All three memory images
+   must agree — any divergence is a bug in the mapper, the register
+   allocator, the simulators or the cost bookkeeping.
+
+   The generated programs: a loop over [iters] iterations whose body is a
+   random DFG over the loop counter, loads from a read-only input region
+   and earlier results, ending with stores to iteration-distinct
+   addresses (so no in-block aliasing arises and scheduling freedom is
+   maximal). *)
+
+module B = Cgra_ir.Builder
+module Cdfg = Cgra_ir.Cdfg
+module Op = Cgra_ir.Opcode
+module Config = Cgra_arch.Config
+
+type spec = {
+  seed : int;
+  n_ops : int;  (* random ALU nodes in the body *)
+  n_stores : int;
+  iters : int;
+}
+
+let mem_words = 80
+let input_words = 16 (* region [0, 16) is read-only input *)
+let out_base = 16 (* stores land in [16, 16 + 8*iters) *)
+
+let safe_ops =
+  [| Op.Add; Op.Sub; Op.Mul; Op.Min; Op.Max; Op.And; Op.Or; Op.Xor; Op.Lt;
+     Op.Ge |]
+
+let build { seed; n_ops; n_stores; iters } =
+  let rng = Cgra_util.Rng.create seed in
+  let b = B.create (Printf.sprintf "fuzz%d" seed) in
+  let i = B.fresh_sym b "i" in
+  let acc = B.fresh_sym b "acc" in
+  let pre = B.add_block b "pre" in
+  let body = B.add_block b "body" in
+  let exit_ = B.add_block b "exit" in
+  B.set_live_out b pre i (Cdfg.Imm 0);
+  B.set_live_out b pre acc (Cdfg.Imm 1);
+  B.set_terminator b pre (Cdfg.Jump (B.block_id body));
+  (* the body: a few loads from the input region, then random ALU nodes *)
+  let values = ref [ Cdfg.Sym i; Cdfg.Sym acc ] in
+  let pick_value () = Cgra_util.Rng.pick rng !values in
+  for _ = 1 to 2 do
+    let addr = Cgra_util.Rng.int rng input_words in
+    let v = B.add_node b body Op.Load [ Cdfg.Imm addr ] in
+    values := v :: !values
+  done;
+  for _ = 1 to n_ops do
+    let op = safe_ops.(Cgra_util.Rng.int rng (Array.length safe_ops)) in
+    let x = pick_value () and y = pick_value () in
+    (* keep magnitudes bounded so multiplies do not overflow repeatedly *)
+    let y = if op = Op.Mul then Cdfg.Imm (1 + Cgra_util.Rng.int rng 7) else y in
+    let v = B.add_node b body op [ x; y ] in
+    values := v :: !values
+  done;
+  (* stores to iteration-distinct addresses: out_base + 8*i + slot *)
+  let i8 = B.add_node b body Op.Shl [ Cdfg.Sym i; Cdfg.Imm 3 ] in
+  for s = 0 to n_stores - 1 do
+    let addr = B.add_node b body Op.Add [ i8; Cdfg.Imm (out_base + s) ] in
+    let _ = B.add_node b body Op.Store [ addr; pick_value () ] in
+    ()
+  done;
+  let i1 = B.add_node b body Op.Add [ Cdfg.Sym i; Cdfg.Imm 1 ] in
+  let c = B.add_node b body Op.Lt [ i1; Cdfg.Imm iters ] in
+  B.set_live_out b body i i1;
+  B.set_live_out b body acc (pick_value ());
+  B.set_terminator b body (Cdfg.Branch (c, B.block_id body, B.block_id exit_));
+  B.set_terminator b exit_ Cdfg.Return;
+  B.finish b
+
+let init_mem seed =
+  let mem = Array.make mem_words 0 in
+  let rng = Cgra_util.Rng.create (seed * 77) in
+  for k = 0 to input_words - 1 do
+    mem.(k) <- Cgra_util.Rng.int rng 200 - 100
+  done;
+  mem
+
+let run_interp cdfg seed =
+  let mem = init_mem seed in
+  ignore (Cgra_ir.Interp.run cdfg ~mem);
+  mem
+
+let run_cgra cdfg seed config flow =
+  match Cgra_core.Flow.run ~config:flow (Config.cgra config) cdfg with
+  | Error f -> Error ("map: " ^ f.Cgra_core.Flow.reason)
+  | Ok (m, _) -> (
+    match Cgra_asm.Assemble.assemble m with
+    | exception Cgra_asm.Assemble.Assembly_error e -> Error ("asm: " ^ e)
+    | prog -> (
+      let mem = init_mem seed in
+      match Cgra_sim.Simulator.run prog ~mem with
+      | exception Cgra_sim.Simulator.Sim_error e -> Error ("sim: " ^ e)
+      | _ -> Ok mem))
+
+let run_cpu cdfg seed =
+  let prog = Cgra_cpu.Codegen.compile cdfg in
+  let mem = init_mem seed in
+  ignore (Cgra_cpu.Cpu_sim.run prog ~mem);
+  mem
+
+let arb_spec =
+  QCheck.make
+    ~print:(fun s ->
+      Printf.sprintf "seed=%d ops=%d stores=%d iters=%d" s.seed s.n_ops
+        s.n_stores s.iters)
+    QCheck.Gen.(
+      map4
+        (fun seed n_ops n_stores iters -> { seed; n_ops; n_stores; iters })
+        (int_bound 100_000) (int_range 3 14) (int_range 1 4) (int_range 1 5))
+
+let prop_interp_vs_cgra =
+  QCheck.Test.make ~name:"random kernels: interp = CGRA (basic@HOM64)"
+    ~count:20 arb_spec (fun spec ->
+      let cdfg = Cgra_ir.Opt.optimize (build spec) in
+      let golden = run_interp cdfg spec.seed in
+      match run_cgra cdfg spec.seed Config.HOM64 Cgra_core.Flow_config.basic with
+      | Ok mem -> mem = golden
+      | Error e -> QCheck.Test.fail_report e)
+
+let prop_interp_vs_cgra_aware =
+  QCheck.Test.make ~name:"random kernels: interp = CGRA (aware@HET2)"
+    ~count:12 arb_spec (fun spec ->
+      let cdfg = Cgra_ir.Opt.optimize (build spec) in
+      let golden = run_interp cdfg spec.seed in
+      match
+        run_cgra cdfg spec.seed Config.HET2 Cgra_core.Flow_config.context_aware
+      with
+      | Ok mem -> mem = golden
+      | Error e -> QCheck.Test.fail_report e)
+
+let prop_interp_vs_cpu =
+  QCheck.Test.make ~name:"random kernels: interp = CPU" ~count:40 arb_spec
+    (fun spec ->
+      let cdfg = Cgra_ir.Opt.optimize (build spec) in
+      run_interp cdfg spec.seed = run_cpu cdfg spec.seed)
+
+let prop_opt_preserves =
+  QCheck.Test.make ~name:"random kernels: optimize preserves semantics"
+    ~count:60 arb_spec (fun spec ->
+      let raw = build spec in
+      run_interp raw spec.seed = run_interp (Cgra_ir.Opt.optimize raw) spec.seed)
+
+let suite =
+  [ ( "fuzz",
+      [ QCheck_alcotest.to_alcotest prop_interp_vs_cgra;
+        QCheck_alcotest.to_alcotest prop_interp_vs_cgra_aware;
+        QCheck_alcotest.to_alcotest prop_interp_vs_cpu;
+        QCheck_alcotest.to_alcotest prop_opt_preserves ] ) ]

@@ -1,0 +1,125 @@
+(* Tests for the digraph substrate. *)
+
+module D = Cgra_graph.Digraph
+
+let diamond () =
+  (* 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 *)
+  let g = D.create () in
+  for _ = 1 to 4 do
+    ignore (D.add_node g)
+  done;
+  D.add_edge g ~src:0 ~dst:1;
+  D.add_edge g ~src:0 ~dst:2;
+  D.add_edge g ~src:1 ~dst:3;
+  D.add_edge g ~src:2 ~dst:3;
+  g
+
+let test_degrees () =
+  let g = diamond () in
+  Alcotest.(check int) "out 0" 2 (D.out_degree g 0);
+  Alcotest.(check int) "in 3" 2 (D.in_degree g 3);
+  Alcotest.(check (list int)) "succs 0" [ 1; 2 ] (D.succs g 0);
+  Alcotest.(check (list int)) "preds 3" [ 1; 2 ] (List.sort compare (D.preds g 3))
+
+let test_topo () =
+  let g = diamond () in
+  let order = D.topo_sort g in
+  let pos = Array.make 4 0 in
+  List.iteri (fun i v -> pos.(v) <- i) order;
+  Alcotest.(check bool) "0 before 3" true (pos.(0) < pos.(3));
+  Alcotest.(check bool) "1 before 3" true (pos.(1) < pos.(3))
+
+let test_cycle_detect () =
+  let g = D.create () in
+  let a = D.add_node g and b = D.add_node g in
+  D.add_edge g ~src:a ~dst:b;
+  D.add_edge g ~src:b ~dst:a;
+  Alcotest.(check bool) "cyclic" false (D.is_acyclic g);
+  Alcotest.check_raises "topo fails"
+    (Failure "Digraph.topo_sort: graph has a cycle") (fun () ->
+      ignore (D.topo_sort g))
+
+let test_topo_weak_on_cycle () =
+  let g = D.create () in
+  let a = D.add_node g and b = D.add_node g and c = D.add_node g in
+  D.add_edge g ~src:a ~dst:b;
+  D.add_edge g ~src:b ~dst:c;
+  D.add_edge g ~src:c ~dst:b;
+  (* loop *)
+  let order = D.topo_sort_weak g in
+  Alcotest.(check int) "all nodes" 3 (List.length order);
+  Alcotest.(check bool) "a first" true (List.nth order 0 = a)
+
+let test_longest_paths () =
+  let g = diamond () in
+  let from_src = D.longest_path_from_sources g in
+  Alcotest.(check (array int)) "asap levels" [| 0; 1; 1; 2 |] from_src;
+  let to_sink = D.longest_path_to_sinks g in
+  Alcotest.(check (array int)) "alap depths" [| 2; 1; 1; 0 |] to_sink
+
+let test_reachable () =
+  let g = D.create () in
+  let a = D.add_node g and b = D.add_node g and c = D.add_node g in
+  D.add_edge g ~src:a ~dst:b;
+  ignore c;
+  let r = D.reachable_from g [ a ] in
+  Alcotest.(check (array bool)) "a,b reachable" [| true; true; false |] r
+
+let test_duplicate_edges () =
+  let g = D.create () in
+  let a = D.add_node g and b = D.add_node g in
+  D.add_edge g ~src:a ~dst:b;
+  D.add_edge g ~src:a ~dst:b;
+  Alcotest.(check int) "kept" 2 (D.out_degree g a);
+  Alcotest.(check int) "in too" 2 (D.in_degree g b)
+
+let test_dot () =
+  let g = diamond () in
+  let s = D.to_dot g in
+  Alcotest.(check bool) "mentions edge" true
+    (String.length s > 0 && String.split_on_char '\n' s
+     |> List.exists (fun l -> String.trim l = "n0 -> n1;"))
+
+(* Random DAG: edges only from lower to higher ids. *)
+let gen_dag =
+  QCheck.Gen.(
+    sized (fun n ->
+        let n = max 2 (min 20 n) in
+        list_size (int_bound (3 * n))
+          (pair (int_bound (n - 1)) (int_bound (n - 1)))
+        >|= fun edges -> (n, edges)))
+
+let arb_dag = QCheck.make gen_dag
+
+let prop_topo_respects_edges =
+  QCheck.Test.make ~name:"topo_sort respects DAG edges" ~count:200 arb_dag
+    (fun (n, edges) ->
+      let g = D.create () in
+      for _ = 1 to n do
+        ignore (D.add_node g)
+      done;
+      List.iter
+        (fun (a, b) ->
+          if a <> b then
+            let src = min a b and dst = max a b in
+            D.add_edge g ~src ~dst)
+        edges;
+      let order = D.topo_sort g in
+      let pos = Array.make n 0 in
+      List.iteri (fun i v -> pos.(v) <- i) order;
+      List.length order = n
+      && List.for_all
+           (fun (a, b) -> a = b || pos.(min a b) < pos.(max a b))
+           edges)
+
+let suite =
+  [ ( "graph",
+      [ Alcotest.test_case "degrees" `Quick test_degrees;
+        Alcotest.test_case "topological sort" `Quick test_topo;
+        Alcotest.test_case "cycle detection" `Quick test_cycle_detect;
+        Alcotest.test_case "weak topo on cycle" `Quick test_topo_weak_on_cycle;
+        Alcotest.test_case "longest paths" `Quick test_longest_paths;
+        Alcotest.test_case "reachability" `Quick test_reachable;
+        Alcotest.test_case "duplicate edges" `Quick test_duplicate_edges;
+        Alcotest.test_case "dot export" `Quick test_dot;
+        QCheck_alcotest.to_alcotest prop_topo_respects_edges ] ) ]

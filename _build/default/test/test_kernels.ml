@@ -1,0 +1,94 @@
+(* Tests for the kernel suite: every kernel compiles, validates and its
+   interpreter run matches the independent OCaml golden model. *)
+
+module K = Cgra_kernels.Kernel_def
+module Cdfg = Cgra_ir.Cdfg
+
+let test_registry () =
+  Alcotest.(check int) "seven kernels" 7 (List.length Cgra_kernels.Kernels.all);
+  Alcotest.(check bool) "by_slug finds fir" true
+    (Cgra_kernels.Kernels.by_slug "fir" <> None);
+  Alcotest.(check bool) "by_name finds DC Filter" true
+    (Cgra_kernels.Kernels.by_name "DC Filter" <> None);
+  Alcotest.(check bool) "unknown slug" true
+    (Cgra_kernels.Kernels.by_slug "nope" = None);
+  Alcotest.(check int) "slugs align" 7 (List.length Cgra_kernels.Kernels.slugs)
+
+let test_compile_and_validate () =
+  List.iter
+    (fun k ->
+      let cdfg = K.cdfg k in
+      match Cdfg.validate cdfg with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (k.K.name ^ ": " ^ e))
+    Cgra_kernels.Kernels.all
+
+let test_interp_matches_golden () =
+  List.iter
+    (fun k ->
+      let mem = K.fresh_mem k in
+      ignore (Cgra_ir.Interp.run (K.cdfg k) ~mem);
+      Alcotest.(check bool) (k.K.name ^ " matches golden") true
+        (mem = K.run_golden k))
+    Cgra_kernels.Kernels.all
+
+let test_golden_pure () =
+  let k = List.hd Cgra_kernels.Kernels.all in
+  let mem = K.fresh_mem k in
+  let snapshot = Array.copy mem in
+  ignore (k.K.golden mem);
+  Alcotest.(check bool) "golden does not mutate input" true (mem = snapshot)
+
+let test_fft_is_a_dft () =
+  (* the fixed-point FFT must approximate a direct DFT of the same input *)
+  let k = Option.get (Cgra_kernels.Kernels.by_slug "fft") in
+  let mem = K.run_golden k in
+  let xr = Array.init 16 (fun i -> float_of_int mem.(i)) in
+  let xi = Array.init 16 (fun i -> float_of_int mem.(16 + i)) in
+  let worst = ref 0.0 in
+  for kk = 0 to 15 do
+    let sr = ref 0.0 and si = ref 0.0 in
+    for n = 0 to 15 do
+      let ang = -2.0 *. Float.pi *. float_of_int (kk * n) /. 16.0 in
+      sr := !sr +. (xr.(n) *. cos ang) -. (xi.(n) *. sin ang);
+      si := !si +. (xr.(n) *. sin ang) +. (xi.(n) *. cos ang)
+    done;
+    let dr = Float.abs (!sr -. float_of_int mem.(64 + kk)) in
+    let di = Float.abs (!si -. float_of_int mem.(80 + kk)) in
+    worst := Float.max !worst (Float.max dr di)
+  done;
+  (* Q8 truncation over 4 stages: allow a small absolute error *)
+  Alcotest.(check bool)
+    (Printf.sprintf "fixed-point FFT close to DFT (worst %.1f)" !worst)
+    true (!worst < 24.0)
+
+let test_kernel_shapes () =
+  let shape slug =
+    let k = Option.get (Cgra_kernels.Kernels.by_slug slug) in
+    let cdfg = K.cdfg k in
+    (Cdfg.block_count cdfg, Cdfg.node_count cdfg)
+  in
+  let blocks, _ = shape "fft" in
+  Alcotest.(check bool) "FFT has many blocks (Fig 5 study)" true (blocks >= 10);
+  let _, nodes = shape "non_sep_filter" in
+  Alcotest.(check bool) "NonSep is the big one" true (nodes > 300);
+  let _, dc = shape "dc_filter" in
+  Alcotest.(check bool) "DC filter small" true (dc < 20)
+
+let test_mem_bounds () =
+  List.iter
+    (fun k ->
+      let mem = K.fresh_mem k in
+      Alcotest.(check int) (k.K.name ^ " image size") k.K.mem_words
+        (Array.length mem))
+    Cgra_kernels.Kernels.all
+
+let suite =
+  [ ( "kernels",
+      [ Alcotest.test_case "registry" `Quick test_registry;
+        Alcotest.test_case "compile and validate" `Quick test_compile_and_validate;
+        Alcotest.test_case "interp matches golden" `Quick test_interp_matches_golden;
+        Alcotest.test_case "golden is pure" `Quick test_golden_pure;
+        Alcotest.test_case "FFT approximates a DFT" `Quick test_fft_is_a_dft;
+        Alcotest.test_case "kernel shapes" `Quick test_kernel_shapes;
+        Alcotest.test_case "memory image sizes" `Quick test_mem_bounds ] ) ]

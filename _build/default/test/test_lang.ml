@@ -1,0 +1,240 @@
+(* Tests for the kernel-language frontend: lexer, parser, lowering. *)
+
+module L = Cgra_lang.Lexer
+module P = Cgra_lang.Parser
+module Ast = Cgra_lang.Ast
+module C = Cgra_lang.Compile
+module Cdfg = Cgra_ir.Cdfg
+module Op = Cgra_ir.Opcode
+
+let test_lexer_tokens () =
+  let lx = L.of_string "kernel k { x = a[3] >> 2; }" in
+  let rec drain acc =
+    match L.next lx with L.Teof -> List.rev acc | t -> drain (t :: acc)
+  in
+  Alcotest.(check int) "token count" 13 (List.length (drain []))
+
+let test_lexer_comments_positions () =
+  let lx = L.of_string "# comment line\n  foo" in
+  let p = L.pos lx in
+  Alcotest.(check int) "line 2" 2 p.Ast.line;
+  Alcotest.(check int) "col 3" 3 p.Ast.col;
+  (match L.next lx with
+   | L.Tident "foo" -> ()
+   | _ -> Alcotest.fail "expected ident foo")
+
+let test_lexer_multichar_ops () =
+  let lx = L.of_string ">>> >> << <= == !=" in
+  let expected = [ ">>>"; ">>"; "<<"; "<="; "=="; "!=" ] in
+  List.iter
+    (fun e ->
+      match L.next lx with
+      | L.Tpunct p -> Alcotest.(check string) "punct" e p
+      | _ -> Alcotest.fail "expected punct")
+    expected
+
+let test_lexer_bad_char () =
+  let lx = L.of_string "$" in
+  Alcotest.(check bool) "syntax error" true
+    (try
+       ignore (L.next lx);
+       false
+     with Ast.Syntax_error _ -> true)
+
+let parse_expr_of s =
+  let k = P.parse (Printf.sprintf "kernel k { var x; x = %s; }" s) in
+  match k.Ast.body with
+  | [ Ast.Assign (_, e) ] -> e
+  | _ -> Alcotest.fail "expected single assignment"
+
+let test_precedence () =
+  (match parse_expr_of "1 + 2 * 3" with
+   | Ast.Bin (Ast.Badd, Ast.Int 1, Ast.Bin (Ast.Bmul, Ast.Int 2, Ast.Int 3)) -> ()
+   | _ -> Alcotest.fail "mul binds tighter than add");
+  (match parse_expr_of "1 + 2 >> 3" with
+   | Ast.Bin (Ast.Bshra, Ast.Bin (Ast.Badd, _, _), Ast.Int 3) -> ()
+   | _ -> Alcotest.fail "shift binds looser than add");
+  (match parse_expr_of "1 < 2 & 3 == 4" with
+   | Ast.Bin (Ast.Band, Ast.Bin (Ast.Blt, _, _), Ast.Bin (Ast.Beq, _, _)) -> ()
+   | _ -> Alcotest.fail "and binds looser than comparisons")
+
+let test_unary_minus () =
+  match parse_expr_of "-x * 2" with
+  | Ast.Bin (Ast.Bmul, Ast.Bin (Ast.Bsub, Ast.Int 0, Ast.Var "x"), Ast.Int 2) -> ()
+  | _ -> Alcotest.fail "unary minus binds tightest"
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      match P.parse_result src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted bad program: " ^ src))
+    [ "kernel { }";
+      "kernel k { var x }";
+      "kernel k { x = ; }";
+      "kernel k { while x < 2 { } }";
+      "kernel k { } trailing" ]
+
+let compile_exn = C.compile_exn
+
+let test_semantic_errors () =
+  List.iter
+    (fun src ->
+      match C.compile src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted bad program: " ^ src))
+    [ "kernel k { x = 1; }" (* undeclared *);
+      "kernel k { const c = 1; c = 2; }" (* assign to const *);
+      "kernel k { var x; x = foo(1); }" (* unknown intrinsic *);
+      "kernel k { var x; x = a[0]; }" (* undeclared array *);
+      "kernel k { var j; unroll j = 0 to 2 { } }" (* shadowing unroll *) ]
+
+let run_program ?(mem_words = 32) src =
+  let cdfg = compile_exn src in
+  let mem = Array.make mem_words 0 in
+  ignore (Cgra_ir.Interp.run cdfg ~mem);
+  (cdfg, mem)
+
+let test_compile_if_else () =
+  let _, mem =
+    run_program
+      {|kernel k { arr o @ 0; var x; x = 3;
+        if (x > 2) { o[0] = 10; } else { o[0] = 20; }
+        if (x > 5) { o[1] = 1; } else { o[1] = 2; } }|}
+  in
+  Alcotest.(check int) "then taken" 10 mem.(0);
+  Alcotest.(check int) "else taken" 2 mem.(1)
+
+let test_compile_unroll_and_consts () =
+  let cdfg, mem =
+    run_program
+      {|kernel k { const n = 4; arr o @ 0; var acc; acc = 0;
+        unroll t = 0 to 4 { acc = acc + t * t; }
+        o[n] = acc; }|}
+  in
+  Alcotest.(check int) "sum of squares" 14 mem.(4);
+  Alcotest.(check int) "single block plus folds" 1 (Cdfg.block_count cdfg)
+
+let test_compile_min_max_select_abs () =
+  let _, mem =
+    run_program
+      {|kernel k { arr o @ 0; var x; x = 0 - 7;
+        o[0] = min(x, 3); o[1] = max(x, 3); o[2] = abs(x);
+        o[3] = select(x < 0, 11, 22); }|}
+  in
+  Alcotest.(check int) "min" (-7) mem.(0);
+  Alcotest.(check int) "max" 3 mem.(1);
+  Alcotest.(check int) "abs" 7 mem.(2);
+  Alcotest.(check int) "select" 11 mem.(3)
+
+let count_ops cdfg op =
+  Array.fold_left
+    (fun acc b ->
+      acc
+      + Array.fold_left
+          (fun acc n -> if n.Cdfg.opcode = op then acc + 1 else acc)
+          0 b.Cdfg.nodes)
+    0 cdfg.Cdfg.blocks
+
+let test_load_cse () =
+  let cdfg =
+    compile_exn
+      {|kernel k { arr a @ 0; arr o @ 16; var x;
+        x = a[0] + a[0] + a[0]; o[0] = x; }|}
+  in
+  Alcotest.(check int) "one load" 1 (count_ops cdfg Op.Load)
+
+let test_load_cse_blocked_by_store () =
+  let cdfg =
+    compile_exn
+      {|kernel k { arr a @ 0; var x, y;
+        x = a[0]; a[0] = x + 1; y = a[0]; a[1] = y; }|}
+  in
+  Alcotest.(check int) "store invalidates" 2 (count_ops cdfg Op.Load)
+
+let test_mem_dep_edges () =
+  let cdfg =
+    compile_exn
+      {|kernel k { arr a @ 0; var x; x = a[0]; a[0] = x + 1; x = a[0]; a[1] = x; }|}
+  in
+  let b = cdfg.Cdfg.blocks.(0) in
+  let has_dep = Array.exists (fun n -> n.Cdfg.mem_dep <> []) b.Cdfg.nodes in
+  Alcotest.(check bool) "dependencies recorded" true has_dep;
+  (* the second load must depend on the first store *)
+  let ok = ref false in
+  Array.iteri
+    (fun i n ->
+      if n.Cdfg.opcode = Op.Load && n.Cdfg.mem_dep <> [] then begin
+        List.iter
+          (fun j ->
+            if b.Cdfg.nodes.(j).Cdfg.opcode = Op.Store && j < i then ok := true)
+          n.Cdfg.mem_dep
+      end)
+    b.Cdfg.nodes;
+  Alcotest.(check bool) "load after store ordered" true !ok
+
+let test_algebraic_folds () =
+  let cdfg =
+    compile_exn
+      {|kernel k { arr o @ 0; var x; x = 5;
+        o[0] = x + 0; o[1] = x * 1; o[2] = (2 + 3) * 4; }|}
+  in
+  Alcotest.(check int) "adds folded away" 0 (count_ops cdfg Op.Mul)
+
+let test_for_sugar () =
+  let _, mem =
+    run_program
+      {|kernel k { arr o @ 0; var i, s; s = 0;
+        for (i = 0; i < 5; i = i + 1) { s = s + i; }
+        o[0] = s; o[1] = i; }|}
+  in
+  Alcotest.(check int) "sum 0..4" 10 mem.(0);
+  Alcotest.(check int) "final counter" 5 mem.(1)
+
+let test_for_equals_while () =
+  let compile = Cgra_lang.Compile.compile_exn in
+  let as_for =
+    compile
+      "kernel k { arr o @ 0; var i; for (i = 0; i < 4; i = i + 1) { o[i] = i * i; } }"
+  in
+  let as_while =
+    compile
+      "kernel k { arr o @ 0; var i; i = 0; while (i < 4) { o[i] = i * i; i = i + 1; } }"
+  in
+  let run cdfg =
+    let mem = Array.make 8 0 in
+    ignore (Cgra_ir.Interp.run cdfg ~mem);
+    mem
+  in
+  Alcotest.(check bool) "identical behaviour" true (run as_for = run as_while)
+
+let test_nested_while () =
+  let _, mem =
+    run_program
+      {|kernel k { arr o @ 0; var i, j, c; c = 0; i = 0;
+        while (i < 3) { j = 0; while (j < 4) { c = c + 1; j = j + 1; }
+                        i = i + 1; }
+        o[0] = c; }|}
+  in
+  Alcotest.(check int) "3*4 iterations" 12 mem.(0)
+
+let suite =
+  [ ( "lang",
+      [ Alcotest.test_case "lexer tokens" `Quick test_lexer_tokens;
+        Alcotest.test_case "lexer comments and positions" `Quick test_lexer_comments_positions;
+        Alcotest.test_case "lexer multichar ops" `Quick test_lexer_multichar_ops;
+        Alcotest.test_case "lexer bad char" `Quick test_lexer_bad_char;
+        Alcotest.test_case "precedence" `Quick test_precedence;
+        Alcotest.test_case "unary minus" `Quick test_unary_minus;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "semantic errors" `Quick test_semantic_errors;
+        Alcotest.test_case "if/else" `Quick test_compile_if_else;
+        Alcotest.test_case "unroll + consts" `Quick test_compile_unroll_and_consts;
+        Alcotest.test_case "intrinsics" `Quick test_compile_min_max_select_abs;
+        Alcotest.test_case "load CSE" `Quick test_load_cse;
+        Alcotest.test_case "load CSE blocked by store" `Quick test_load_cse_blocked_by_store;
+        Alcotest.test_case "memory dependence edges" `Quick test_mem_dep_edges;
+        Alcotest.test_case "algebraic folds" `Quick test_algebraic_folds;
+        Alcotest.test_case "for sugar" `Quick test_for_sugar;
+        Alcotest.test_case "for = while" `Quick test_for_equals_while;
+        Alcotest.test_case "nested while" `Quick test_nested_while ] ) ]

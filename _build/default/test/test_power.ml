@@ -1,0 +1,106 @@
+(* Tests for the area and energy models. *)
+
+module A = Cgra_power.Area
+module E = Cgra_power.Energy
+module Config = Cgra_arch.Config
+
+let cpu_total = A.total (A.cpu_breakdown ())
+
+let ratio config = A.total (A.cgra_breakdown (Config.cgra config)) /. cpu_total
+
+let test_area_ratios () =
+  (* the paper's Fig 11: HOM64 about 2x the CPU, HET about 1.5x *)
+  Alcotest.(check bool) "HOM64 ~2x" true
+    (ratio Config.HOM64 > 1.85 && ratio Config.HOM64 < 2.15);
+  Alcotest.(check bool) "HET1 ~1.5-1.7x" true
+    (ratio Config.HET1 > 1.45 && ratio Config.HET1 < 1.75);
+  Alcotest.(check bool) "HET2 below HET1" true
+    (ratio Config.HET2 < ratio Config.HET1)
+
+let test_area_monotone_in_cm () =
+  Alcotest.(check bool) "HOM64 > HOM32" true
+    (ratio Config.HOM64 > ratio Config.HOM32)
+
+let test_tile_area () =
+  let hom = Config.cgra Config.HOM64 and het = Config.cgra Config.HET2 in
+  Alcotest.(check bool) "CM64 tile bigger than CM16 tile" true
+    (A.tile_um2 hom.Cgra_arch.Cgra.tiles.(12)
+     > A.tile_um2 het.Cgra_arch.Cgra.tiles.(12));
+  Alcotest.(check bool) "LSU adds area" true
+    (A.tile_um2 hom.Cgra_arch.Cgra.tiles.(0)
+     > A.tile_um2 hom.Cgra_arch.Cgra.tiles.(12))
+
+(* A synthetic simulator result with fixed activity on every tile. *)
+let synthetic_result ~cycles ~per_tile =
+  {
+    Cgra_sim.Simulator.cycles;
+    stall_cycles = 0;
+    blocks_executed = 1;
+    instructions = 16 * (per_tile.Cgra_sim.Simulator.alu_ops + per_tile.mem_ops + per_tile.moves);
+    activity = Array.make 16 per_tile;
+  }
+
+let activity =
+  {
+    Cgra_sim.Simulator.alu_ops = 10;
+    mul_ops = 2;
+    mem_ops = 3;
+    moves = 4;
+    fetches = 20;
+    awake_cycles = 17;
+  }
+
+let test_energy_scales_with_cm () =
+  let r = synthetic_result ~cycles:100 ~per_tile:activity in
+  let e64 = E.cgra (Config.cgra Config.HOM64) r in
+  let e32 = E.cgra (Config.cgra Config.HOM32) r in
+  let e16 =
+    E.cgra (Cgra_arch.Cgra.make ~cm_of_tile:(fun _ -> 16) ()) r
+  in
+  Alcotest.(check bool) "fetch energy decreases with CM size" true
+    (e64.E.fetch_pj > e32.E.fetch_pj && e32.E.fetch_pj > e16.E.fetch_pj);
+  Alcotest.(check bool) "leakage decreases with CM size" true
+    (e64.E.leakage_pj > e32.E.leakage_pj);
+  Alcotest.(check bool) "total decreases" true (e64.E.total_pj > e16.E.total_pj)
+
+let test_energy_breakdown_sums () =
+  let r = synthetic_result ~cycles:50 ~per_tile:activity in
+  let e = E.cgra (Config.cgra Config.HET1) r in
+  let sum =
+    e.E.fetch_pj +. e.E.compute_pj +. e.E.moves_pj +. e.E.memory_pj
+    +. e.E.leakage_pj
+  in
+  Alcotest.(check bool) "components sum to total" true
+    (Float.abs (sum -. e.E.total_pj) < 1e-9)
+
+let test_cpu_energy_positive_parts () =
+  let r =
+    {
+      Cgra_cpu.Cpu_sim.cycles = 1000;
+      instructions = 500;
+      loads = 100;
+      stores = 50;
+      muls = 20;
+      branches = 60;
+      blocks_executed = 61;
+    }
+  in
+  let e = E.cpu r in
+  Alcotest.(check bool) "all parts positive" true
+    (e.E.fetch_pj > 0.0 && e.E.memory_pj > 0.0 && e.E.leakage_pj > 0.0);
+  Alcotest.(check bool) "leakage grows with runtime" true
+    ((E.cpu { r with Cgra_cpu.Cpu_sim.cycles = 2000 }).E.leakage_pj
+     > e.E.leakage_pj)
+
+let test_to_uj () =
+  Alcotest.(check (float 1e-12)) "unit conversion" 1.5 (E.to_uj 1.5e6)
+
+let suite =
+  [ ( "power",
+      [ Alcotest.test_case "area ratios match Fig 11" `Quick test_area_ratios;
+        Alcotest.test_case "area monotone in CM" `Quick test_area_monotone_in_cm;
+        Alcotest.test_case "tile area" `Quick test_tile_area;
+        Alcotest.test_case "energy scales with CM" `Quick test_energy_scales_with_cm;
+        Alcotest.test_case "breakdown sums" `Quick test_energy_breakdown_sums;
+        Alcotest.test_case "cpu energy parts" `Quick test_cpu_energy_positive_parts;
+        Alcotest.test_case "pJ to uJ" `Quick test_to_uj ] ) ]

@@ -1,0 +1,100 @@
+(* Unit and property tests for Cgra_util: the deterministic RNG and the
+   text renderers. *)
+
+module Rng = Cgra_util.Rng
+module T = Cgra_util.Text_table
+
+let test_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let da = List.init 16 (fun _ -> Rng.int64 a) in
+  let db = List.init 16 (fun _ -> Rng.int64 b) in
+  Alcotest.(check bool) "different seeds differ" true (da <> db)
+
+let test_split_independent () =
+  let g = Rng.create 42 in
+  let child = Rng.split g in
+  let after_split = List.init 8 (fun _ -> Rng.int64 g) in
+  let child_draws = List.init 8 (fun _ -> Rng.int64 child) in
+  Alcotest.(check bool) "split stream differs" true (after_split <> child_draws)
+
+let test_copy_replays () =
+  let g = Rng.create 9 in
+  ignore (Rng.int64 g);
+  let c = Rng.copy g in
+  Alcotest.(check int64) "copy replays" (Rng.int64 g) (Rng.int64 c)
+
+let test_int_bounds_exn () =
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int (Rng.create 0) 0))
+
+let test_pick_empty () =
+  Alcotest.check_raises "empty list" (Invalid_argument "Rng.pick: empty list")
+    (fun () -> ignore (Rng.pick (Rng.create 0) []))
+
+let test_shuffle_permutation () =
+  let g = Rng.create 3 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let prop_int_in_range =
+  QCheck.Test.make ~name:"Rng.int stays in range" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let g = Rng.create seed in
+      let v = Rng.int g bound in
+      v >= 0 && v < bound)
+
+let prop_float_unit =
+  QCheck.Test.make ~name:"Rng.float in [0,1)" ~count:500 QCheck.small_int
+    (fun seed ->
+      let g = Rng.create seed in
+      let v = Rng.float g in
+      v >= 0.0 && v < 1.0)
+
+let test_render_alignment () =
+  let s =
+    T.render ~header:[ "a"; "bb" ] ~rows:[ [ "xxx"; "y" ]; [ "z" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check bool) "has separator" true
+    (List.exists (fun l -> String.length l > 0 && l.[0] = '-') lines);
+  Alcotest.(check bool) "short row padded" true
+    (List.exists (fun l -> String.trim l = "z") lines)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_bar_chart_zero () =
+  let s = T.bar_chart ~title:"t" [ ("a", 0.0); ("b", 2.0) ] in
+  Alcotest.(check bool) "zero renders (none)" true (contains s "(none)")
+
+let test_float_cell () =
+  Alcotest.(check string) "integral" "3" (T.float_cell 3.0);
+  Alcotest.(check string) "small" "0.007" (T.float_cell 0.007);
+  Alcotest.(check string) "mid" "1.43" (T.float_cell 1.434)
+
+let suite =
+  [ ( "util",
+      [ Alcotest.test_case "rng determinism" `Quick test_determinism;
+        Alcotest.test_case "rng seed sensitivity" `Quick test_seed_sensitivity;
+        Alcotest.test_case "rng split independence" `Quick test_split_independent;
+        Alcotest.test_case "rng copy replays" `Quick test_copy_replays;
+        Alcotest.test_case "rng int bad bound" `Quick test_int_bounds_exn;
+        Alcotest.test_case "rng pick empty" `Quick test_pick_empty;
+        Alcotest.test_case "rng shuffle permutation" `Quick test_shuffle_permutation;
+        QCheck_alcotest.to_alcotest prop_int_in_range;
+        QCheck_alcotest.to_alcotest prop_float_unit;
+        Alcotest.test_case "table render" `Quick test_render_alignment;
+        Alcotest.test_case "bar chart zero" `Quick test_bar_chart_zero;
+        Alcotest.test_case "float cell" `Quick test_float_cell ] ) ]
