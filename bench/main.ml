@@ -1,10 +1,14 @@
 (* Benchmark and reproduction harness.
 
    Usage:
-     main.exe                 regenerate every artifact, then run the
-                              Bechamel micro-benchmarks and the ablations
-     main.exe <artifact>      one of: table1 fig5 fig6 fig7 fig8 fig9
-                              fig10 fig11 table2 all micro ablation
+     main.exe [--jobs N]            regenerate every artifact, then run the
+                                    Bechamel micro-benchmarks and ablations
+     main.exe [--jobs N] <artifact> one of: table1 fig5 fig6 fig7 fig8 fig9
+                                    fig10 fig11 table2 all micro ablation
+
+   --jobs N (also -j N, --jobs=N) evaluates the experiment grid with N
+   domains before rendering; default is the machine's recommended domain
+   count.  Artifact output is byte-identical at any N.
 
    Artifact regeneration prints the same rows/series as the paper's
    evaluation section (see EXPERIMENTS.md for the paper-vs-measured
@@ -34,7 +38,9 @@ let print_artifact name =
   | Some f ->
     print_endline (f ());
     print_newline ()
-  | None -> Printf.printf "unknown artifact %s\n" name
+  | None ->
+    Printf.eprintf "unknown artifact %s\n" name;
+    exit 1
 
 let run_all_artifacts () = List.iter (fun (n, _) -> print_artifact n) artifacts
 
@@ -122,7 +128,7 @@ let ablation_beam () =
       let config =
         { Cgra_core.Flow_config.context_aware with beam_width = beam }
       in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Cgra_util.Clock.now () in
       (match Cgra_core.Flow.run ~config cgra cdfg with
        | Ok (m, _) ->
          let prog = Cgra_asm.Assemble.assemble m in
@@ -130,11 +136,11 @@ let ablation_beam () =
          let r = Cgra_sim.Simulator.run prog ~mem in
          Printf.printf "  beam %3d: mapped, %d cycles, %d moves, %.2fs\n%!"
            beam r.Cgra_sim.Simulator.cycles (Cgra_core.Mapping.total_moves m)
-           (Unix.gettimeofday () -. t0)
+           (Cgra_util.Clock.elapsed_s t0)
        | Error f ->
          Printf.printf "  beam %3d: FAILED (%s), %.2fs\n%!" beam
            f.Cgra_core.Flow.reason
-           (Unix.gettimeofday () -. t0)))
+           (Cgra_util.Clock.elapsed_s t0)))
     [ 4; 8; 16; 32; 48 ]
 
 let ablation_seeds () =
@@ -248,16 +254,48 @@ let run_ablations () =
   ablation_cfg_simplification ();
   ablation_if_conversion ()
 
+(* --jobs N / -j N / --jobs=N anywhere on the command line. *)
+let parse_jobs args =
+  let starts_with prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  let bad n =
+    Printf.eprintf "invalid --jobs value %S\n" n;
+    exit 1
+  in
+  let parse n = match int_of_string_opt n with Some j -> j | None -> bad n in
+  let rec go jobs acc = function
+    | [] -> (jobs, List.rev acc)
+    | ("--jobs" | "-j") :: n :: rest -> go (Some (parse n)) acc rest
+    | [ ("--jobs" | "-j") ] -> bad "<missing>"
+    | arg :: rest when starts_with "--jobs=" arg ->
+      let n = String.sub arg 7 (String.length arg - 7) in
+      go (Some (parse n)) acc rest
+    | arg :: rest -> go jobs (arg :: acc) rest
+  in
+  go None [] args
+
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: [] ->
+  let jobs, rest = parse_jobs (List.tl (Array.to_list Sys.argv)) in
+  let warm () = Cgra_exp.Runner.warm ?jobs () in
+  match rest with
+  | [] ->
+    warm ();
     run_all_artifacts ();
     run_micro ();
     run_ablations ()
-  | _ :: [ "all" ] -> run_all_artifacts ()
-  | _ :: [ "micro" ] -> run_micro ()
-  | _ :: [ "ablation" ] -> run_ablations ()
-  | _ :: [ name ] -> print_artifact name
+  | [ "all" ] ->
+    warm ();
+    run_all_artifacts ()
+  | [ "micro" ] -> run_micro ()
+  | [ "ablation" ] -> run_ablations ()
+  | [ name ] ->
+    (* a single artifact only needs its own cells; fan out only when the
+       user explicitly asked for domains *)
+    if jobs <> None then warm ();
+    print_artifact name
   | _ ->
-    prerr_endline "usage: main.exe [table1|fig5..fig11|table2|all|micro|ablation]";
+    prerr_endline
+      "usage: main.exe [--jobs N] [table1|fig5..fig11|table2|all|micro|ablation]";
     exit 1

@@ -2,12 +2,13 @@ module Cdfg = Cgra_ir.Cdfg
 module Cgra = Cgra_arch.Cgra
 module Rng = Cgra_util.Rng
 
-type failure = { reason : string; at_block : int option }
+type failure = { reason : string; at_block : int option; work : int }
 
 type stats = {
   recomputes : int;
   population_peak : int;
   traversal_order : int list;
+  work : int;
 }
 
 type result = (Mapping.t * stats, failure) Stdlib.result
@@ -44,9 +45,10 @@ let block_words cgra (bm : Mapping.bb_mapping) =
   Array.init nt (fun t ->
       instr.(t) + Occupancy.pnops occ.(t))
 
-let run_once ~t0 ~config cgra cdfg =
+let run_once ~t0 ~work ~config cgra cdfg =
   match Cdfg.validate cdfg with
-  | Error msg -> Error { reason = "invalid CDFG: " ^ msg; at_block = None }
+  | Error msg ->
+    Error { reason = "invalid CDFG: " ^ msg; at_block = None; work = !work }
   | Ok () ->
     if cdfg.Cdfg.sym_count > cgra.Cgra.rf_words then
       Error
@@ -56,6 +58,7 @@ let run_once ~t0 ~config cgra cdfg =
               "kernel needs %d symbol-variable RF slots, tile RF has %d"
               cdfg.Cdfg.sym_count cgra.Cgra.rf_words;
           at_block = None;
+          work = !work;
         }
     else begin
       let order = traversal_order config.Flow_config.traversal cdfg in
@@ -69,9 +72,22 @@ let run_once ~t0 ~config cgra cdfg =
         | [] -> Ok (List.rev acc)
         | bi :: rest -> (
           match
-            Search.map_block ~config ~cgra ~committed ~homes ~rng cdfg bi
+            Search.map_block ~config ~cgra ~committed ~homes ~rng ~work cdfg bi
           with
-          | Error reason -> Error { reason; at_block = Some bi }
+          | exception Cgra_graph.Digraph.Cycle ids ->
+            (* A cyclic per-block DFG that slipped past validation (e.g. a
+               hand-built CDFG mutated after [Builder.finish]) must not
+               crash the harness: surface it as an ordinary mapping
+               failure. *)
+            Error
+              {
+                reason =
+                  Printf.sprintf "block %d: cyclic DFG through nodes %s" bi
+                    (String.concat ", " (List.map string_of_int ids));
+                at_block = Some bi;
+                work = !work;
+              }
+          | Error reason -> Error { reason; at_block = Some bi; work = !work }
           | Ok outcome ->
             List.iter
               (fun (s, h) ->
@@ -108,7 +124,7 @@ let run_once ~t0 ~config cgra cdfg =
             bbs;
             homes;
             flow_label = Flow_config.steps_of config;
-            compile_seconds = Unix.gettimeofday () -. t0;
+            compile_seconds = Cgra_util.Clock.elapsed_s t0;
           }
         in
         if Mapping.fits mapping then
@@ -118,6 +134,7 @@ let run_once ~t0 ~config cgra cdfg =
                 recomputes = !recomputes;
                 population_peak = !peak;
                 traversal_order = order;
+                work = !work;
               } )
         else
           let culprits =
@@ -130,19 +147,21 @@ let run_once ~t0 ~config cgra cdfg =
             {
               reason = "context memory overflow: " ^ culprits;
               at_block = None;
+              work = !work;
             }
     end
 
 let run ?(config = Flow_config.default) cgra cdfg =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Cgra_util.Clock.now () in
+  let work = ref 0 in
   (* The stochastic pruning can dead-end; the context-aware flows re-seed
      and retry a couple of times before declaring the configuration
-     unmappable.  [compile_seconds] covers all attempts. *)
+     unmappable.  [compile_seconds] and [work] cover all attempts. *)
   let rec attempt k =
     let seeded =
       { config with Flow_config.seed = config.Flow_config.seed + (1000 * k) }
     in
-    match run_once ~t0 ~config:seeded cgra cdfg with
+    match run_once ~t0 ~work ~config:seeded cgra cdfg with
     | Ok _ as ok -> ok
     | Error _ as e ->
       if k >= config.Flow_config.retries then e else attempt (k + 1)

@@ -12,12 +12,17 @@
 type failure = {
   reason : string;
   at_block : int option;  (** block where the search died, if any *)
+  work : int;  (** binding attempts spent before giving up (all retries) *)
 }
 
 type stats = {
   recomputes : int;
   population_peak : int;
   traversal_order : int list;
+  work : int;
+      (** total binding attempts — the deterministic compile-effort
+          counter used by Fig 9, identical across hosts and [--jobs]
+          values (wall-clock time is not) *)
 }
 
 type result = (Mapping.t * stats, failure) Stdlib.result

@@ -35,6 +35,7 @@ type ctx = {
   committed : int array;
   homes : int array;
   home_mask : int; (* bit t set when tile t hosts a committed symbol home *)
+  work : int ref; (* binding attempts — the deterministic effort counter *)
 }
 
 let ntiles ctx = Cgra.tile_count ctx.cgra
@@ -300,6 +301,7 @@ let operand_value = function
    symbol homes, books the cycle.  Returns None when routing fails (CAB
    blocked every path). *)
 let place_node ctx p ~node_id ~tile =
+  incr ctx.work;
   let node = ctx.block.Cdfg.nodes.(node_id) in
   let p = copy_pstate p in
   (* [acc] collects (ready, source tile) per operand, reversed. *)
@@ -698,7 +700,7 @@ let finalize ctx p =
 
 (* ---- driver ---------------------------------------------------------- *)
 
-let map_block ~config ~cgra ~committed ~homes ~rng cdfg bi =
+let map_block ~config ~cgra ~committed ~homes ~rng ~work cdfg bi =
   let block = cdfg.Cdfg.blocks.(bi) in
   let home_mask =
     Array.fold_left (fun m h -> if h >= 0 then m lor (1 lsl h) else m) 0 homes
@@ -714,6 +716,7 @@ let map_block ~config ~cgra ~committed ~homes ~rng cdfg bi =
       committed;
       homes;
       home_mask;
+      work;
     }
   in
   let info = Sched.analyse cdfg bi in

@@ -29,10 +29,15 @@ val map_block :
   committed:int array ->
   homes:int array ->
   rng:Cgra_util.Rng.t ->
+  work:int ref ->
   Cgra_ir.Cdfg.t ->
   int ->
   (outcome, string) result
-(** [map_block ~config ~cgra ~committed ~homes ~rng cdfg bi] maps block
-    [bi].  [committed.(t)] is the exact context-word usage of tile [t] by
-    already-committed blocks; [homes.(s)] is the home tile of symbol [s]
-    or [-1] when not yet fixed.  Neither array is mutated. *)
+(** [map_block ~config ~cgra ~committed ~homes ~rng ~work cdfg bi] maps
+    block [bi].  [committed.(t)] is the exact context-word usage of tile
+    [t] by already-committed blocks; [homes.(s)] is the home tile of
+    symbol [s] or [-1] when not yet fixed.  Neither array is mutated.
+    [work] is incremented once per binding attempt — a deterministic
+    search-effort counter (unlike wall-clock time it is identical across
+    hosts, load and parallelism, so figures derived from it are
+    reproducible byte-for-byte). *)

@@ -1,5 +1,8 @@
 module FC = Cgra_core.Flow_config
 module K = Cgra_kernels.Kernel_def
+module Clock = Cgra_util.Clock
+module Pool = Cgra_util.Pool
+module Rng = Cgra_util.Rng
 
 type flow_kind = Basic | With_acmap | With_ecmap | Full
 
@@ -17,82 +20,173 @@ let flow_config = function
   | With_ecmap -> FC.with_acmap_ecmap
   | Full -> FC.context_aware
 
+(* Every grid cell runs on its own split of the SplitMix64 stream, keyed by
+   the cell's identity.  The cell's results therefore do not depend on how
+   many other cells ran before it, in which order, or on how many domains —
+   which is what makes every artifact byte-identical at any [--jobs]. *)
+let cell_key slug config flow =
+  slug ^ "/" ^ Cgra_arch.Config.to_string config ^ "/" ^ flow_label flow
+
+let cell_flow_config slug config flow =
+  let fc = flow_config flow in
+  { fc with FC.seed = Rng.seed_of ~base:fc.FC.seed (cell_key slug config flow) }
+
 type run = {
   mapping : Cgra_core.Mapping.t;
   sim : Cgra_sim.Simulator.result;
   cycles : int;
   energy : Cgra_power.Energy.breakdown;
   compile_seconds : float;
+  compile_work : int;
 }
 
 type cell =
   | Mapped of run
-  | Unmappable of { reason : string; compile_seconds : float }
+  | Unmappable of {
+      reason : string;
+      compile_seconds : float;
+      compile_work : int;
+    }
 
-let cache : (string * Cgra_arch.Config.name * flow_kind, cell) Hashtbl.t =
+(* ---- thread-safe memoisation ---------------------------------------- *)
+
+(* The run cache is shared by every figure and by the parallel warm-up.
+   Each key holds either a finished value or a [Computing] marker placed by
+   the domain that claimed it; other domains block on the condition
+   variable until the producer publishes, so a cell is *computed exactly
+   once* no matter how many domains ask for it concurrently.  Exceptions
+   (e.g. the golden-model check failing — a harness bug) are cached and
+   re-raised to every consumer rather than recomputed. *)
+type 'a slot =
+  | Computing
+  | Ready of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+let memo_mutex = Mutex.create ()
+let memo_cond = Condition.create ()
+let computes = Atomic.make 0
+
+let memo table key compute =
+  Mutex.lock memo_mutex;
+  let rec claim () =
+    match Hashtbl.find_opt table key with
+    | None ->
+      Hashtbl.replace table key Computing;
+      `Compute
+    | Some (Ready v) -> `Value v
+    | Some (Failed (e, bt)) -> `Reraise (e, bt)
+    | Some Computing ->
+      Condition.wait memo_cond memo_mutex;
+      claim ()
+  in
+  let decision = claim () in
+  Mutex.unlock memo_mutex;
+  match decision with
+  | `Value v -> v
+  | `Reraise (e, bt) -> Printexc.raise_with_backtrace e bt
+  | `Compute ->
+    Atomic.incr computes;
+    let outcome =
+      match compute () with
+      | v -> Ready v
+      | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock memo_mutex;
+    Hashtbl.replace table key outcome;
+    Condition.broadcast memo_cond;
+    Mutex.unlock memo_mutex;
+    (match outcome with
+     | Ready v -> v
+     | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+     | Computing -> assert false)
+
+let cache : (string * Cgra_arch.Config.name * flow_kind, cell slot) Hashtbl.t =
   Hashtbl.create 64
 
 let run_of k config flow =
-  let key = (k.K.slug, config, flow) in
-  match Hashtbl.find_opt cache key with
-  | Some cell -> cell
-  | None ->
-    let cdfg = K.cdfg k in
-    let cgra = Cgra_arch.Config.cgra config in
-    let t0 = Unix.gettimeofday () in
-    let cell =
-      match Cgra_core.Flow.run ~config:(flow_config flow) cgra cdfg with
+  memo cache (k.K.slug, config, flow) (fun () ->
+      let cdfg = K.cdfg k in
+      let cgra = Cgra_arch.Config.cgra config in
+      let fc = cell_flow_config k.K.slug config flow in
+      let t0 = Clock.now () in
+      match Cgra_core.Flow.run ~config:fc cgra cdfg with
       | Error f ->
         Unmappable
           { reason = f.Cgra_core.Flow.reason;
-            compile_seconds = Unix.gettimeofday () -. t0 }
-      | Ok (mapping, _) -> (
-        let compile_seconds = Unix.gettimeofday () -. t0 in
+            compile_seconds = Clock.elapsed_s t0;
+            compile_work = f.Cgra_core.Flow.work }
+      | Ok (mapping, stats) -> (
+        let compile_seconds = Clock.elapsed_s t0 in
+        let compile_work = stats.Cgra_core.Flow.work in
         match Cgra_asm.Assemble.assemble mapping with
         | exception Cgra_asm.Assemble.Assembly_error e ->
           (* register-file pressure the search does not model; report as
              unmappable rather than crash the harness *)
-          Unmappable { reason = "assembly: " ^ e; compile_seconds }
+          Unmappable
+            { reason = "assembly: " ^ e; compile_seconds; compile_work }
         | program ->
-        let mem = K.fresh_mem k in
-        let sim = Cgra_sim.Simulator.run program ~mem in
-        if mem <> K.run_golden k then
-          failwith
-            (Printf.sprintf
-               "harness: %s on %s (%s) simulated to a wrong memory image"
-               k.K.name
-               (Cgra_arch.Config.to_string config)
-               (flow_label flow));
-        let energy = Cgra_power.Energy.cgra cgra sim in
-        Mapped
-          { mapping; sim; cycles = sim.Cgra_sim.Simulator.cycles; energy;
-            compile_seconds })
-    in
-    Hashtbl.add cache key cell;
-    cell
+          let mem = K.fresh_mem k in
+          let sim = Cgra_sim.Simulator.run program ~mem in
+          if mem <> K.run_golden k then
+            failwith
+              (Printf.sprintf
+                 "harness: %s on %s (%s) simulated to a wrong memory image"
+                 k.K.name
+                 (Cgra_arch.Config.to_string config)
+                 (flow_label flow));
+          let energy = Cgra_power.Energy.cgra cgra sim in
+          Mapped
+            { mapping; sim; cycles = sim.Cgra_sim.Simulator.cycles; energy;
+              compile_seconds; compile_work }))
 
 type cpu_run = {
   cpu_sim : Cgra_cpu.Cpu_sim.result;
   cpu_energy : Cgra_power.Energy.breakdown;
 }
 
-let cpu_cache : (string, cpu_run) Hashtbl.t = Hashtbl.create 8
+let cpu_cache : (string, cpu_run slot) Hashtbl.t = Hashtbl.create 8
 
 let cpu_of k =
-  match Hashtbl.find_opt cpu_cache k.K.slug with
-  | Some r -> r
-  | None ->
-    let prog = Cgra_cpu.Codegen.compile (K.cdfg k) in
-    let mem = K.fresh_mem k in
-    let cpu_sim = Cgra_cpu.Cpu_sim.run prog ~mem in
-    if mem <> K.run_golden k then
-      failwith (Printf.sprintf "harness: CPU run of %s is wrong" k.K.name);
-    let r = { cpu_sim; cpu_energy = Cgra_power.Energy.cpu cpu_sim } in
-    Hashtbl.add cpu_cache k.K.slug r;
-    r
+  memo cpu_cache k.K.slug (fun () ->
+      let prog = Cgra_cpu.Codegen.compile (K.cdfg k) in
+      let mem = K.fresh_mem k in
+      let cpu_sim = Cgra_cpu.Cpu_sim.run prog ~mem in
+      if mem <> K.run_golden k then
+        failwith (Printf.sprintf "harness: CPU run of %s is wrong" k.K.name);
+      { cpu_sim; cpu_energy = Cgra_power.Energy.cpu cpu_sim })
 
 let compile_seconds_of = function
   | Mapped r -> r.compile_seconds
   | Unmappable u -> u.compile_seconds
 
+let compile_work_of = function
+  | Mapped r -> r.compile_work
+  | Unmappable u -> u.compile_work
+
 let kernels = Cgra_kernels.Kernels.all
+
+(* ---- parallel warm-up ------------------------------------------------ *)
+
+let grid () =
+  List.concat_map
+    (fun k ->
+      List.concat_map
+        (fun config -> List.map (fun flow -> `Cell (k, config, flow)) flow_kinds)
+        Cgra_arch.Config.all
+      @ [ `Cpu k ])
+    kernels
+
+let warm ?jobs () =
+  Pool.iter ?jobs
+    (function
+      | `Cell (k, config, flow) -> ignore (run_of k config flow)
+      | `Cpu k -> ignore (cpu_of k))
+    (grid ())
+
+let compute_count () = Atomic.get computes
+
+let clear_caches () =
+  Mutex.lock memo_mutex;
+  Hashtbl.reset cache;
+  Hashtbl.reset cpu_cache;
+  Mutex.unlock memo_mutex

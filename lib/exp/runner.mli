@@ -1,7 +1,17 @@
 (** Shared machinery of the experiment harness: runs (kernel x
     configuration x flow) cells through the full tool-chain — mapping,
     assembly, cycle-level simulation with functional check against the
-    golden model — and memoizes the results so every figure reuses them. *)
+    golden model — and memoizes the results so every figure reuses them.
+
+    The memo cache is thread-safe: {!run_of} and {!cpu_of} may be called
+    from any number of domains concurrently (e.g. via {!warm}), and each
+    cell is computed exactly once — concurrent requests for an in-flight
+    cell block until the producing domain publishes it.
+
+    Determinism: every cell's stochastic search runs on its own split of
+    the SplitMix64 stream, keyed by (kernel, configuration, flow), so cell
+    results are independent of evaluation order and of the number of
+    domains — all artifacts are byte-identical at any [--jobs] value. *)
 
 type flow_kind = Basic | With_acmap | With_ecmap | Full
 
@@ -9,22 +19,37 @@ val flow_kinds : flow_kind list
 val flow_label : flow_kind -> string
 val flow_config : flow_kind -> Cgra_core.Flow_config.t
 
+val cell_flow_config :
+  string -> Cgra_arch.Config.name -> flow_kind -> Cgra_core.Flow_config.t
+(** [cell_flow_config slug config flow] is {!flow_config} with the seed
+    replaced by the cell-keyed split described above.  Exposed so tests
+    can reproduce a single cell outside the cache. *)
+
 type run = {
   mapping : Cgra_core.Mapping.t;
   sim : Cgra_sim.Simulator.result;
   cycles : int;
   energy : Cgra_power.Energy.breakdown;
   compile_seconds : float;
+      (** wall-clock mapping time, monotonic clock; host-dependent *)
+  compile_work : int;
+      (** deterministic search effort (binding attempts) — use this, not
+          [compile_seconds], for anything that must reproduce exactly *)
 }
 
 type cell =
   | Mapped of run
-  | Unmappable of { reason : string; compile_seconds : float }
+  | Unmappable of {
+      reason : string;
+      compile_seconds : float;
+      compile_work : int;
+    }
 
 val run_of : Cgra_kernels.Kernel_def.t -> Cgra_arch.Config.name -> flow_kind -> cell
-(** Memoized.  Raises [Failure] if a produced mapping simulates to a
-    memory image different from the golden model — that would be a bug,
-    and the harness refuses to report numbers from it. *)
+(** Memoized; safe to call concurrently.  Raises [Failure] if a produced
+    mapping simulates to a memory image different from the golden model —
+    that would be a bug, and the harness refuses to report numbers from
+    it (the failure is cached and re-raised to every consumer). *)
 
 type cpu_run = {
   cpu_sim : Cgra_cpu.Cpu_sim.result;
@@ -35,4 +60,21 @@ val cpu_of : Cgra_kernels.Kernel_def.t -> cpu_run
 (** Memoized; also checked against the golden model. *)
 
 val compile_seconds_of : cell -> float
+val compile_work_of : cell -> int
 val kernels : Cgra_kernels.Kernel_def.t list
+
+val warm : ?jobs:int -> unit -> unit
+(** Evaluate the whole grid — every (kernel, configuration, flow) cell
+    plus the CPU baselines — with up to [jobs] domains (default
+    {!Cgra_util.Pool.default_jobs}), filling the cache so subsequent
+    figure rendering is pure table lookup.  Byte-identical artifacts at
+    any [jobs]. *)
+
+val compute_count : unit -> int
+(** Number of cells actually computed (not served from cache) since
+    process start, across both caches.  For tests: a concurrent storm of
+    [run_of] calls on one key must raise this by exactly 1. *)
+
+val clear_caches : unit -> unit
+(** Drop both caches (tests only).  Do not call while cells are being
+    computed. *)

@@ -57,7 +57,9 @@ let iter_edges g f =
     List.iter (fun w -> f v w) (List.rev g.succ.(v))
   done
 
-(* Kahn's algorithm; fails on a cycle. *)
+exception Cycle of int list
+
+(* Kahn's algorithm; reports the nodes stuck on cycles. *)
 let topo_sort g =
   let indeg = Array.init g.n (fun v -> List.length g.pred.(v)) in
   let queue = Queue.create () in
@@ -76,11 +78,17 @@ let topo_sort g =
     in
     List.iter visit (List.rev g.succ.(v))
   done;
-  if !seen <> g.n then failwith "Digraph.topo_sort: graph has a cycle";
-  List.rev !order
+  if !seen <> g.n then
+    (* Exactly the nodes never drained: each sits on or downstream-inside a
+       cycle (its in-degree never reached zero). *)
+    Error
+      (List.filter (fun v -> indeg.(v) > 0) (List.init g.n (fun i -> i)))
+  else Ok (List.rev !order)
 
-let is_acyclic g =
-  match topo_sort g with _ -> true | exception Failure _ -> false
+let topo_sort_exn g =
+  match topo_sort g with Ok order -> order | Error ids -> raise (Cycle ids)
+
+let is_acyclic g = Result.is_ok (topo_sort g)
 
 (* DFS-based order ignoring back edges: post-order reversed. *)
 let topo_sort_weak g =
@@ -116,7 +124,7 @@ let reachable_from g roots =
   seen
 
 let longest_path_from_sources g =
-  let order = topo_sort g in
+  let order = topo_sort_exn g in
   let dist = Array.make g.n 0 in
   let relax v =
     let bump w = if dist.(v) + 1 > dist.(w) then dist.(w) <- dist.(v) + 1 in
@@ -126,7 +134,7 @@ let longest_path_from_sources g =
   dist
 
 let longest_path_to_sinks g =
-  let order = topo_sort g in
+  let order = topo_sort_exn g in
   let dist = Array.make g.n 0 in
   let relax v =
     let best =

@@ -34,10 +34,20 @@ val nodes : t -> int list
 val iter_edges : t -> (int -> int -> unit) -> unit
 (** [iter_edges g f] calls [f src dst] once per edge. *)
 
-val topo_sort : t -> int list
-(** Topological order of all nodes.  Raises [Failure] if the graph has a
-    cycle (DFGs must be acyclic; the control-flow graph is sorted with
-    {!topo_sort_weak} instead). *)
+exception Cycle of int list
+(** Raised by the [_exn] entry points on a cyclic graph; carries the ids of
+    the nodes stuck on cycles. *)
+
+val topo_sort : t -> (int list, int list) result
+(** Topological order of all nodes, or [Error ids] if the graph has a
+    cycle — [ids] are the nodes whose in-degree never drained, i.e. the
+    nodes on (or locked behind) the offending cycles.  DFGs must be
+    acyclic; the control-flow graph is sorted with {!topo_sort_weak}
+    instead. *)
+
+val topo_sort_exn : t -> int list
+(** Like {!topo_sort} but raises {!Cycle} on a cyclic graph.  For callers
+    that have already validated acyclicity. *)
 
 val topo_sort_weak : t -> int list
 (** Topological order that tolerates cycles: back edges (relative to a DFS
@@ -51,10 +61,12 @@ val reachable_from : t -> int list -> bool array
 
 val longest_path_from_sources : t -> int array
 (** For an acyclic graph, the array of longest-path lengths (in edges) from
-    any source node.  Used for ASAP levels. *)
+    any source node.  Used for ASAP levels.  Raises {!Cycle} on a cyclic
+    graph. *)
 
 val longest_path_to_sinks : t -> int array
-(** Longest-path lengths to any sink node.  Used for ALAP levels. *)
+(** Longest-path lengths to any sink node.  Used for ALAP levels.  Raises
+    {!Cycle} on a cyclic graph. *)
 
 val to_dot : ?label:(int -> string) -> t -> string
 (** Graphviz rendering for debugging and docs. *)

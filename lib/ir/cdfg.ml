@@ -132,8 +132,11 @@ let validate c =
             anyway as a safety net for future builders. *)
          Array.iter
            (fun b ->
-             if not (Cgra_graph.Digraph.is_acyclic (dfg_graph b)) then
-               fail "block %s: cyclic DFG" b.name)
+             match Cgra_graph.Digraph.topo_sort (dfg_graph b) with
+             | Ok _ -> ()
+             | Error ids ->
+               fail "block %s: cyclic DFG through nodes %s" b.name
+                 (String.concat ", " (List.map string_of_int ids)))
            c.blocks;
          Ok ()
        with Bad msg -> Error msg)

@@ -8,15 +8,26 @@ type t = {
   golden : int array -> int array;
 }
 
+(* Compiled-CDFG cache, shared by every (config, flow) cell of a kernel.
+   The experiment harness maps cells from several domains concurrently, and
+   an unguarded Hashtbl corrupts under parallel mutation — so all access
+   holds [cache_mutex].  Compilation is a few ms per kernel and happens at
+   most once per kernel per process, so compiling inside the lock is
+   fine (and guarantees a single canonical CDFG value per kernel). *)
 let cache : (string, Cgra_ir.Cdfg.t) Hashtbl.t = Hashtbl.create 8
+let cache_mutex = Mutex.create ()
 
 let cdfg k =
-  match Hashtbl.find_opt cache k.slug with
-  | Some c -> c
-  | None ->
-    let c = Cgra_lang.Compile.compile_exn k.source in
-    Hashtbl.add cache k.slug c;
-    c
+  Mutex.lock cache_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock cache_mutex)
+    (fun () ->
+      match Hashtbl.find_opt cache k.slug with
+      | Some c -> c
+      | None ->
+        let c = Cgra_lang.Compile.compile_exn k.source in
+        Hashtbl.add cache k.slug c;
+        c)
 
 let fresh_mem k =
   let mem = Array.make k.mem_words 0 in

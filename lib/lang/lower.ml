@@ -46,6 +46,9 @@ type env = {
   syms : (string, Cdfg.sym) Hashtbl.t;
   arrays : (string, int) Hashtbl.t;
   mutable consts : (string * int) list; (* shadowing via prepend *)
+  mutable name_counter : int;
+      (* per-kernel block-name counter: naming must not depend on what else
+         this process compiled before (or concurrently, with [--jobs]) *)
 }
 
 (* Mutable per-block lowering state.  [vars] maps scalars assigned in this
@@ -201,11 +204,9 @@ let close env bctx term =
     bctx.vars;
   B.set_terminator env.builder bctx.handle term
 
-let fresh_name =
-  let counter = ref 0 in
-  fun prefix ->
-    incr counter;
-    Printf.sprintf "%s%d" prefix !counter
+let fresh_name env prefix =
+  env.name_counter <- env.name_counter + 1;
+  Printf.sprintf "%s%d" prefix env.name_counter
 
 let rec lower_stmts env bctx stmts =
   match stmts with
@@ -235,9 +236,9 @@ let rec lower_stmts env bctx stmts =
     | Ast.For (init, cond, step, body) ->
       lower_stmts env bctx (init :: Ast.While (cond, body @ [ step ]) :: rest)
     | Ast.While (cond, body) ->
-      let header = new_block env (fresh_name "while") in
-      let body_b = new_block env (fresh_name "body") in
-      let after = new_block env (fresh_name "after") in
+      let header = new_block env (fresh_name env "while") in
+      let body_b = new_block env (fresh_name env "body") in
+      let after = new_block env (fresh_name env "after") in
       close env bctx (Cdfg.Jump (B.block_id header.handle));
       let cond_op = lower_expr env header cond in
       close env header
@@ -247,13 +248,13 @@ let rec lower_stmts env bctx stmts =
       lower_stmts env after rest
     | Ast.If (cond, then_s, else_s) ->
       let cond_op = lower_expr env bctx cond in
-      let then_b = new_block env (fresh_name "then") in
-      let after = new_block env (fresh_name "endif") in
+      let then_b = new_block env (fresh_name env "then") in
+      let after = new_block env (fresh_name env "endif") in
       let else_target, else_close =
         match else_s with
         | [] -> (B.block_id after.handle, None)
         | _ ->
-          let else_b = new_block env (fresh_name "else") in
+          let else_b = new_block env (fresh_name env "else") in
           (B.block_id else_b.handle, Some else_b)
       in
       close env bctx
@@ -270,7 +271,8 @@ let rec lower_stmts env bctx stmts =
 let lower (k : Ast.kernel) =
   let builder = B.create k.Ast.name in
   let env =
-    { builder; syms = Hashtbl.create 8; arrays = Hashtbl.create 8; consts = [] }
+    { builder; syms = Hashtbl.create 8; arrays = Hashtbl.create 8; consts = [];
+      name_counter = 0 }
   in
   let declare = function
     | Ast.Dvar names ->

@@ -1,0 +1,5 @@
+external now_ns : unit -> int64 = "cgra_clock_monotonic_ns"
+
+let now () = Int64.to_float (now_ns ()) /. 1e9
+
+let elapsed_s t0 = Float.max 0.0 (now () -. t0)

@@ -1,0 +1,18 @@
+(** Monotonic clock for duration measurement.
+
+    [Unix.gettimeofday] is wall-clock time and goes backwards under NTP
+    adjustment; durations derived from it can be negative.  Everything in
+    this project that measures *elapsed time* (compile seconds, ablation
+    timings, the parallel-harness speedup report) must go through this
+    module instead. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on CLOCK_MONOTONIC.  The absolute value is meaningless
+    (typically time since boot); only differences are. *)
+
+val now : unit -> float
+(** Seconds on the monotonic clock, as a float.  Same caveat. *)
+
+val elapsed_s : float -> float
+(** [elapsed_s t0] is [now () -. t0]: seconds elapsed since the instant
+    [t0] previously obtained from {!now}.  Never negative. *)

@@ -1,0 +1,25 @@
+/* Monotonic clock for duration measurement.
+
+   Unix.gettimeofday is wall-clock time: NTP slews and steps make it jump,
+   including backwards, so durations derived from it can come out negative
+   or wildly wrong.  CLOCK_MONOTONIC never goes backwards.  The OCaml unix
+   library shipped with this compiler does not expose clock_gettime, hence
+   this stub. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+
+#include <time.h>
+
+CAMLprim value cgra_clock_monotonic_ns(value unit)
+{
+  CAMLparam1(unit);
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  CAMLreturn(caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec));
+}

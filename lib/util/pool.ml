@@ -1,0 +1,43 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+type 'b slot = Ok_ of 'b | Exn of exn * Printexc.raw_backtrace
+
+let map ?jobs f xs =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let n = List.length xs in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then List.map f xs
+  else begin
+    let items = Array.of_list xs in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    (* Each worker grabs the next unclaimed index until the grid is drained.
+       [results] is written racily across domains, but every index is
+       written by exactly one domain and read only after all joins — the
+       join is the synchronisation point. *)
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let r =
+            match f items.(i) with
+            | v -> Ok_ v
+            | exception e -> Exn (e, Printexc.get_raw_backtrace ())
+          in
+          results.(i) <- Some r;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let others = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join others;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok_ v) -> v
+         | Some (Exn (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false (* every index was claimed *))
+  end
+
+let iter ?jobs f xs = ignore (map ?jobs f xs)

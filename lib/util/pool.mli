@@ -1,0 +1,32 @@
+(** Domain-based worker pool for embarrassingly parallel grids.
+
+    The experiment harness maps every (kernel, configuration, flow) cell of
+    the evaluation grid independently; this module fans those cells out
+    over OCaml 5 domains.  The design is work-stealing-lite: one shared
+    atomic index hands out list elements to whichever domain is free next,
+    so uneven cell costs (some cells map in milliseconds, some retry for
+    seconds) still balance without any per-domain queues.
+
+    Determinism contract: the *scheduling* order is nondeterministic, but
+    the result list is always in input order, and [f] must not communicate
+    between elements — under those conditions every [jobs] value produces
+    the same result list. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the number of workers used when
+    [~jobs] is omitted. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs] computed by up to [jobs] domains
+    (clamped to [1 .. length xs]; [jobs <= 1] runs sequentially in the
+    calling domain without spawning).  Results are returned in input
+    order.
+
+    Exceptions: every element is attempted; if any application raised, the
+    exception of the smallest-index failing element is re-raised (with its
+    original backtrace) after all workers have joined, so no domain is
+    leaked and the choice of re-raised exception does not depend on
+    scheduling. *)
+
+val iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit
+(** [iter ~jobs f xs] is [map ~jobs f xs] with unit results. *)

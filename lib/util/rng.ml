@@ -23,12 +23,35 @@ let split g =
   let seed = int64 g in
   { state = seed }
 
+(* FNV-1a over the key, xor-folded with the base seed, finished with the
+   SplitMix64 mixer: a deterministic, platform-independent way to give
+   every (kernel, config, flow) grid cell its own independent stream.
+   [Hashtbl.hash] is deliberately avoided — its value is not pinned across
+   compiler versions, and cell seeds must be stable forever. *)
+let seed_of ~base key =
+  let h = ref (Int64.logxor (Int64.of_int base) 0xCBF29CE484222325L) in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    key;
+  Int64.to_int (Int64.shift_right_logical (mix64 !h) 2)
+
 let int g n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
-  (* mask to 62 bits so the conversion to a 63-bit OCaml int stays
-     non-negative *)
-  let v = Int64.to_int (Int64.shift_right_logical (int64 g) 2) in
-  v mod n
+  (* Draws are uniform over [0, 2^62); [v mod n] alone is biased towards
+     the low residues whenever n does not divide 2^62.  Classic rejection:
+     retry draws from the truncated top block [lim, 2^62) so every residue
+     keeps exactly [2^62 / n] preimages.  [max_int] is 2^62 - 1, so
+     [rem = 2^62 mod n] and the last accepted value is [max_int - rem]. *)
+  let rem = (max_int mod n + 1) mod n in
+  let top = max_int - rem in
+  let rec draw () =
+    (* shift to 62 bits so the conversion to a 63-bit OCaml int stays
+       non-negative *)
+    let v = Int64.to_int (Int64.shift_right_logical (int64 g) 2) in
+    if v <= top then v mod n else draw ()
+  in
+  draw ()
 
 let float g =
   let v = Int64.to_float (Int64.shift_right_logical (int64 g) 11) in

@@ -19,12 +19,20 @@ val split : t -> t
 (** [split g] draws from [g] and returns a new generator whose stream is
     statistically independent of [g]'s subsequent draws. *)
 
+val seed_of : base:int -> string -> int
+(** [seed_of ~base key] deterministically derives a non-negative seed from
+    a base seed and a textual key (FNV-1a folded through the SplitMix64
+    mixer).  Used to give every experiment-grid cell its own independent
+    stream regardless of evaluation order, so parallel and sequential runs
+    agree byte-for-byte. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit value. *)
 
 val int : t -> int -> int
-(** [int g n] is uniform in [\[0, n)].  Raises [Invalid_argument] if
-    [n <= 0]. *)
+(** [int g n] is uniform in [\[0, n)] — exactly uniform, via rejection
+    sampling of the top partial block of the 62-bit draw range, not the
+    modulo-biased [draw mod n].  Raises [Invalid_argument] if [n <= 0]. *)
 
 val float : t -> float
 (** Uniform float in [\[0, 1)]. *)

@@ -225,6 +225,40 @@ let test_pp_schedule () =
     Alcotest.(check int) "grid rows" 18 (List.length lines);
     Alcotest.(check bool) "has ops" true (String.contains s 'o')
 
+(* Regression: a malformed CDFG whose block DFG is cyclic must come back
+   from the flow as a typed [Error], never as an escaped exception (the
+   digraph layer used to raise a bare [Failure] from deep inside the
+   scheduler). *)
+let test_flow_rejects_cyclic_dfg () =
+  let cyclic : Cdfg.t =
+    { Cdfg.kernel_name = "cyclic";
+      blocks =
+        [| { Cdfg.name = "b0";
+             nodes =
+               [| { Cdfg.opcode = Op.Add;
+                    operands = [ Cdfg.Node 1; Cdfg.Imm 1 ];
+                    mem_dep = [] };
+                  { Cdfg.opcode = Op.Add;
+                    operands = [ Cdfg.Node 0; Cdfg.Imm 1 ];
+                    mem_dep = [] } |];
+             live_out = [];
+             terminator = Cdfg.Return } |];
+      entry = 0;
+      sym_count = 0;
+      sym_names = [||] }
+  in
+  (* the raw data-flow digraph reports the offending nodes... *)
+  (match Cgra_graph.Digraph.topo_sort (Cdfg.dfg_graph cyclic.Cdfg.blocks.(0)) with
+   | Ok _ -> Alcotest.fail "dfg cycle not detected"
+   | Error ids ->
+     Alcotest.(check (list int)) "cycle nodes" [ 0; 1 ] (List.sort compare ids));
+  (* ...and the flow turns the malformed input into a typed error *)
+  match Flow.run ~config:FC.basic (Config.cgra Config.HOM64) cyclic with
+  | Ok _ -> Alcotest.fail "cyclic CDFG must not map"
+  | Error f ->
+    Alcotest.(check bool) "reason mentions the offending node" true
+      (String.length f.Flow.reason > 0)
+
 let test_steps_labels () =
   Alcotest.(check string) "basic" "basic" (FC.steps_of FC.basic);
   Alcotest.(check string) "full" "basic+WT+ACMAP+ECMAP+CAB"
@@ -247,5 +281,7 @@ let suite =
         Alcotest.test_case "weighted traversal" `Quick test_weighted_traversal_order;
         Alcotest.test_case "usage within capacity" `Quick test_mapping_usage_vs_capacity;
         Alcotest.test_case "static cycles" `Quick test_static_cycles;
+        Alcotest.test_case "flow rejects cyclic DFG" `Quick
+          test_flow_rejects_cyclic_dfg;
         Alcotest.test_case "schedule rendering" `Quick test_pp_schedule;
         Alcotest.test_case "flow labels" `Quick test_steps_labels ] ) ]

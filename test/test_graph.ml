@@ -21,9 +21,14 @@ let test_degrees () =
   Alcotest.(check (list int)) "succs 0" [ 1; 2 ] (D.succs g 0);
   Alcotest.(check (list int)) "preds 3" [ 1; 2 ] (List.sort compare (D.preds g 3))
 
+let topo_exn g =
+  match D.topo_sort g with
+  | Ok order -> order
+  | Error _ -> Alcotest.fail "expected acyclic graph"
+
 let test_topo () =
   let g = diamond () in
-  let order = D.topo_sort g in
+  let order = topo_exn g in
   let pos = Array.make 4 0 in
   List.iteri (fun i v -> pos.(v) <- i) order;
   Alcotest.(check bool) "0 before 3" true (pos.(0) < pos.(3));
@@ -35,9 +40,26 @@ let test_cycle_detect () =
   D.add_edge g ~src:a ~dst:b;
   D.add_edge g ~src:b ~dst:a;
   Alcotest.(check bool) "cyclic" false (D.is_acyclic g);
-  Alcotest.check_raises "topo fails"
-    (Failure "Digraph.topo_sort: graph has a cycle") (fun () ->
-      ignore (D.topo_sort g))
+  (match D.topo_sort g with
+   | Ok _ -> Alcotest.fail "topo_sort must report the cycle"
+   | Error ids ->
+     Alcotest.(check (list int)) "offending nodes" [ a; b ]
+       (List.sort compare ids));
+  Alcotest.check_raises "topo_sort_exn raises typed Cycle"
+    (D.Cycle [ a; b ]) (fun () -> ignore (D.topo_sort_exn g))
+
+let test_cycle_excludes_dag_prefix () =
+  (* a DAG prefix feeding a cycle: only the cycle members are reported *)
+  let g = D.create () in
+  let a = D.add_node g and b = D.add_node g and c = D.add_node g in
+  D.add_edge g ~src:a ~dst:b;
+  D.add_edge g ~src:b ~dst:c;
+  D.add_edge g ~src:c ~dst:b;
+  match D.topo_sort g with
+  | Ok _ -> Alcotest.fail "graph has a cycle"
+  | Error ids ->
+    Alcotest.(check (list int)) "only cycle members" [ b; c ]
+      (List.sort compare ids)
 
 let test_topo_weak_on_cycle () =
   let g = D.create () in
@@ -104,7 +126,11 @@ let prop_topo_respects_edges =
             let src = min a b and dst = max a b in
             D.add_edge g ~src ~dst)
         edges;
-      let order = D.topo_sort g in
+      let order =
+        match D.topo_sort g with
+        | Ok order -> order
+        | Error _ -> QCheck.Test.fail_report "DAG reported as cyclic"
+      in
       let pos = Array.make n 0 in
       List.iteri (fun i v -> pos.(v) <- i) order;
       List.length order = n
@@ -117,6 +143,8 @@ let suite =
       [ Alcotest.test_case "degrees" `Quick test_degrees;
         Alcotest.test_case "topological sort" `Quick test_topo;
         Alcotest.test_case "cycle detection" `Quick test_cycle_detect;
+        Alcotest.test_case "cycle excludes DAG prefix" `Quick
+          test_cycle_excludes_dag_prefix;
         Alcotest.test_case "weak topo on cycle" `Quick test_topo_weak_on_cycle;
         Alcotest.test_case "longest paths" `Quick test_longest_paths;
         Alcotest.test_case "reachability" `Quick test_reachable;

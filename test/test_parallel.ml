@@ -1,0 +1,128 @@
+(* Tests for the parallel experiment harness: the domain pool, the
+   thread-safe run cache, and the jobs-invariance of the artifacts. *)
+
+module Pool = Cgra_util.Pool
+module Runner = Cgra_exp.Runner
+
+(* ---- Pool.map -------------------------------------------------------- *)
+
+let test_pool_order () =
+  let xs = List.init 100 Fun.id in
+  let ys = Pool.map ~jobs:4 (fun x -> x * x) xs in
+  Alcotest.(check (list int)) "order preserved" (List.map (fun x -> x * x) xs) ys
+
+let test_pool_jobs_one () =
+  let xs = List.init 10 Fun.id in
+  Alcotest.(check (list int)) "sequential path" xs (Pool.map ~jobs:1 Fun.id xs)
+
+let test_pool_more_jobs_than_items () =
+  Alcotest.(check (list int)) "jobs > items" [ 2; 4 ]
+    (Pool.map ~jobs:16 (fun x -> 2 * x) [ 1; 2 ]);
+  Alcotest.(check (list int)) "empty input" [] (Pool.map ~jobs:4 Fun.id [])
+
+let test_pool_exception () =
+  let boom = Failure "boom at 7" in
+  Alcotest.check_raises "exception re-raised" boom (fun () ->
+      ignore
+        (Pool.map ~jobs:4
+           (fun x -> if x = 7 then raise boom else x)
+           (List.init 32 Fun.id)))
+
+let test_pool_runs_everything () =
+  (* every item is processed exactly once even with contention *)
+  let n = 500 in
+  let hits = Array.make n (Atomic.make 0) in
+  Array.iteri (fun i _ -> hits.(i) <- Atomic.make 0) hits;
+  Pool.iter ~jobs:8 (fun i -> Atomic.incr hits.(i)) (List.init n Fun.id);
+  Array.iteri
+    (fun i c ->
+      if Atomic.get c <> 1 then
+        Alcotest.failf "item %d processed %d times" i (Atomic.get c))
+    hits
+
+(* ---- run cache: compute-once under concurrency ----------------------- *)
+
+let test_cache_computes_once () =
+  Runner.clear_caches ();
+  let k = List.hd Runner.kernels in
+  let before = Runner.compute_count () in
+  (* a storm of concurrent requests for the same cell *)
+  let cells =
+    Pool.map ~jobs:8
+      (fun _ -> Runner.run_of k Cgra_arch.Config.HOM64 Runner.Basic)
+      (List.init 16 Fun.id)
+  in
+  Alcotest.(check int) "computed exactly once" 1
+    (Runner.compute_count () - before);
+  match cells with
+  | [] -> assert false
+  | first :: rest ->
+    List.iter
+      (fun c ->
+        Alcotest.(check bool) "all callers see the same value" true (c == first))
+      rest
+
+(* ---- jobs invariance -------------------------------------------------- *)
+
+(* The full-artifact check lives in the bench driver (bench/main.exe all
+   --jobs N is byte-identical for any N; see EXPERIMENTS.md); here a
+   cheaper in-process version on a sub-grid keeps `dune runtest`
+   exercising the property: every observable of a cell — mapping shape,
+   cycle count, deterministic compile effort — must not depend on the
+   number of domains that evaluated the grid. *)
+let test_jobs_invariant () =
+  let sub_grid =
+    List.concat_map
+      (fun k -> List.map (fun flow -> (k, flow)) Runner.flow_kinds)
+      (List.filteri (fun i _ -> i < 2) Runner.kernels)
+  in
+  let signature (k, flow) =
+    match Runner.run_of k Cgra_arch.Config.HET2 flow with
+    | Runner.Mapped r ->
+      Printf.sprintf "%s/%s: %d cycles, %d moves, %d work"
+        k.Cgra_kernels.Kernel_def.slug (Runner.flow_label flow)
+        r.Runner.cycles
+        (Cgra_core.Mapping.total_moves r.Runner.mapping)
+        r.Runner.compile_work
+    | Runner.Unmappable { reason; _ } ->
+      Printf.sprintf "%s/%s: unmappable (%s)"
+        k.Cgra_kernels.Kernel_def.slug (Runner.flow_label flow) reason
+  in
+  Runner.clear_caches ();
+  let seq = Pool.map ~jobs:1 signature sub_grid in
+  Runner.clear_caches ();
+  let par = Pool.map ~jobs:4 signature sub_grid in
+  Alcotest.(check (list string)) "cells identical at jobs 1 vs 4" seq par
+
+(* Keyed per-cell seeds: the same cell reproduces in isolation, outside the
+   cache and independent of any other cell having run. *)
+let test_cell_reproducible_in_isolation () =
+  let k = List.hd Runner.kernels in
+  let config = Cgra_arch.Config.HOM64 in
+  let fc = Runner.cell_flow_config k.Cgra_kernels.Kernel_def.slug config Runner.Basic in
+  let cgra = Cgra_arch.Config.cgra config in
+  let cdfg = Cgra_kernels.Kernel_def.cdfg k in
+  let direct =
+    match Cgra_core.Flow.run ~config:fc cgra cdfg with
+    | Ok (m, _) -> Cgra_core.Mapping.total_moves m
+    | Error f -> Alcotest.fail f.Cgra_core.Flow.reason
+  in
+  match Runner.run_of k config Runner.Basic with
+  | Runner.Unmappable { reason; _ } -> Alcotest.fail reason
+  | Runner.Mapped r ->
+    Alcotest.(check int) "cached cell equals direct run" direct
+      (Cgra_core.Mapping.total_moves r.Runner.mapping)
+
+let suite =
+  [ ( "parallel",
+      [ Alcotest.test_case "pool preserves order" `Quick test_pool_order;
+        Alcotest.test_case "pool jobs=1" `Quick test_pool_jobs_one;
+        Alcotest.test_case "pool jobs > items" `Quick
+          test_pool_more_jobs_than_items;
+        Alcotest.test_case "pool re-raises" `Quick test_pool_exception;
+        Alcotest.test_case "pool covers every item" `Quick
+          test_pool_runs_everything;
+        Alcotest.test_case "cache computes once" `Quick test_cache_computes_once;
+        Alcotest.test_case "cell reproducible in isolation" `Quick
+          test_cell_reproducible_in_isolation;
+        Alcotest.test_case "artifacts jobs-invariant" `Slow test_jobs_invariant ] ) ]

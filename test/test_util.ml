@@ -45,6 +45,26 @@ let test_shuffle_permutation () =
   Array.sort compare sorted;
   Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
 
+(* Regression for the modulo-bias bug: with bound n = 3*2^60 the raw 62-bit
+   draw is folded from a range only 4/3 the size of n, so plain [v mod n]
+   lands below 2^60 with probability 1/2 instead of the uniform 1/3.
+   Rejection sampling must bring the observed fraction back to ~1/3; the
+   stream is seeded, so this test is fully deterministic. *)
+let test_int_unbiased () =
+  let g = Rng.create 2019 in
+  let n = 3 * (1 lsl 60) in
+  let threshold = 1 lsl 60 in
+  let trials = 3000 in
+  let low = ref 0 in
+  for _ = 1 to trials do
+    if Rng.int g n < threshold then incr low
+  done;
+  let frac = float_of_int !low /. float_of_int trials in
+  Alcotest.(check bool)
+    (Printf.sprintf "fraction below 2^60 is ~1/3 (got %.3f)" frac)
+    true
+    (frac > 0.30 && frac < 0.37)
+
 let prop_int_in_range =
   QCheck.Test.make ~name:"Rng.int stays in range" ~count:500
     QCheck.(pair small_int (int_range 1 1000))
@@ -93,6 +113,8 @@ let suite =
         Alcotest.test_case "rng int bad bound" `Quick test_int_bounds_exn;
         Alcotest.test_case "rng pick empty" `Quick test_pick_empty;
         Alcotest.test_case "rng shuffle permutation" `Quick test_shuffle_permutation;
+        Alcotest.test_case "rng int unbiased near max_int" `Quick
+          test_int_unbiased;
         QCheck_alcotest.to_alcotest prop_int_in_range;
         QCheck_alcotest.to_alcotest prop_float_unit;
         Alcotest.test_case "table render" `Quick test_render_alignment;
