@@ -1,14 +1,21 @@
 (* Benchmark and reproduction harness.
 
    Usage:
-     main.exe [--jobs N]            regenerate every artifact, then run the
+     main.exe [--jobs N] [--opt]    regenerate every artifact, then run the
                                     Bechamel micro-benchmarks and ablations
-     main.exe [--jobs N] <artifact> one of: table1 fig5 fig6 fig7 fig8 fig9
-                                    fig10 fig11 table2 all micro ablation
+     main.exe [--jobs N] [--opt] <artifact>
+                                    an artifact name (see: main.exe list),
+                                    or all, micro, ablation, list
 
    --jobs N (also -j N, --jobs=N) evaluates the experiment grid with N
    domains before rendering; default is the machine's recommended domain
    count.  Artifact output is byte-identical at any N.
+
+   --opt regenerates the artifacts from the cgra_opt-optimized kernels
+   (naive lowering + differential-verified pass pipeline) instead of the
+   default inline-optimized lowering.  Without it, output is byte-identical
+   to the seed harness.  The opt_report artifact compares raw vs optimized
+   directly and ignores the flag.
 
    Artifact regeneration prints the same rows/series as the paper's
    evaluation section (see EXPERIMENTS.md for the paper-vs-measured
@@ -21,25 +28,20 @@ module Runner_kernels = struct
   let kernels = Cgra_kernels.Kernels.all
 end
 
-let artifacts =
-  [ ("table1", Cgra_exp.Figures.table1);
-    ("fig2", Cgra_exp.Figures.fig2);
-    ("fig5", Cgra_exp.Figures.fig5);
-    ("fig6", Cgra_exp.Figures.fig6);
-    ("fig7", Cgra_exp.Figures.fig7);
-    ("fig8", Cgra_exp.Figures.fig8);
-    ("fig9", Cgra_exp.Figures.fig9);
-    ("fig10", Cgra_exp.Figures.fig10);
-    ("fig11", Cgra_exp.Figures.fig11);
-    ("table2", Cgra_exp.Figures.table2) ]
+(* The paper set, used by [all] and the micro benches; [list] and name
+   lookup also see the extras (opt_report). *)
+let artifacts = Cgra_exp.Figures.artifacts
+
+let list_artifacts () =
+  List.iter print_endline Cgra_exp.Figures.artifact_names
 
 let print_artifact name =
-  match List.assoc_opt name artifacts with
+  match List.assoc_opt name Cgra_exp.Figures.all_artifacts with
   | Some f ->
     print_endline (f ());
     print_newline ()
   | None ->
-    Printf.eprintf "unknown artifact %s\n" name;
+    Printf.eprintf "unknown artifact %s (try: main.exe list)\n" name;
     exit 1
 
 let run_all_artifacts () = List.iter (fun (n, _) -> print_artifact n) artifacts
@@ -254,8 +256,8 @@ let run_ablations () =
   ablation_cfg_simplification ();
   ablation_if_conversion ()
 
-(* --jobs N / -j N / --jobs=N anywhere on the command line. *)
-let parse_jobs args =
+(* --jobs N / -j N / --jobs=N and --opt anywhere on the command line. *)
+let parse_flags args =
   let starts_with prefix s =
     String.length s >= String.length prefix
     && String.sub s 0 (String.length prefix) = prefix
@@ -265,19 +267,21 @@ let parse_jobs args =
     exit 1
   in
   let parse n = match int_of_string_opt n with Some j -> j | None -> bad n in
-  let rec go jobs acc = function
-    | [] -> (jobs, List.rev acc)
-    | ("--jobs" | "-j") :: n :: rest -> go (Some (parse n)) acc rest
+  let rec go jobs opt acc = function
+    | [] -> (jobs, opt, List.rev acc)
+    | ("--jobs" | "-j") :: n :: rest -> go (Some (parse n)) opt acc rest
     | [ ("--jobs" | "-j") ] -> bad "<missing>"
     | arg :: rest when starts_with "--jobs=" arg ->
       let n = String.sub arg 7 (String.length arg - 7) in
-      go (Some (parse n)) acc rest
-    | arg :: rest -> go jobs (arg :: acc) rest
+      go (Some (parse n)) opt acc rest
+    | "--opt" :: rest -> go jobs true acc rest
+    | arg :: rest -> go jobs opt (arg :: acc) rest
   in
-  go None [] args
+  go None false [] args
 
 let () =
-  let jobs, rest = parse_jobs (List.tl (Array.to_list Sys.argv)) in
+  let jobs, opt, rest = parse_flags (List.tl (Array.to_list Sys.argv)) in
+  if opt then Cgra_exp.Runner.set_opt_mode Cgra_exp.Runner.Optimized;
   let warm () = Cgra_exp.Runner.warm ?jobs () in
   match rest with
   | [] ->
@@ -290,6 +294,7 @@ let () =
     run_all_artifacts ()
   | [ "micro" ] -> run_micro ()
   | [ "ablation" ] -> run_ablations ()
+  | [ "list" ] -> list_artifacts ()
   | [ name ] ->
     (* a single artifact only needs its own cells; fan out only when the
        user explicitly asked for domains *)
@@ -297,5 +302,7 @@ let () =
     print_artifact name
   | _ ->
     prerr_endline
-      "usage: main.exe [--jobs N] [table1|fig5..fig11|table2|all|micro|ablation]";
+      "usage: main.exe [--jobs N] [--opt] \
+       [<artifact>|all|micro|ablation|list]   (artifact names: main.exe \
+       list)";
     exit 1

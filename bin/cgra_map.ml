@@ -1,7 +1,8 @@
 (* Command-line driver for the mapping tool-chain.
 
    cgra_map list
-   cgra_map map -k <kernel> [-c <config>] [-f <flow>] [--asm] [--simulate]
+   cgra_map map -k <kernel> [-c <config>] [-f <flow>] [--opt]
+                [--dump-dfg before|after] [--asm] [--simulate]
    cgra_map compile <file>        compile a kernel-language source file
    cgra_map artifacts <name|all>  regenerate paper tables/figures *)
 
@@ -64,19 +65,63 @@ let map_cmd =
   let dump_asm = Arg.(value & flag & info [ "asm" ] ~doc:"Print the per-tile assembly.") in
   let schedule = Arg.(value & flag & info [ "schedule" ] ~doc:"Print per-block schedule grids.") in
   let simulate = Arg.(value & flag & info [ "simulate" ] ~doc:"Run the cycle-level simulator and verify.") in
-  let run slug config flow dump_asm schedule simulate =
+  let opt =
+    Arg.(value & flag
+         & info [ "opt" ]
+             ~doc:"Map the naive lowering through the cgra_opt pipeline \
+                   (differentially verified) instead of the default \
+                   inline-optimized lowering, and print per-pass statistics.")
+  in
+  let dump_dfg =
+    Arg.(value
+         & opt (some (enum [ ("before", `Before); ("after", `After) ])) None
+         & info [ "dump-dfg" ]
+             ~doc:"Dump each basic block's data-flow graph in DOT format, \
+                   either $(b,before) optimization (the compiled CDFG as \
+                   given to the flow) or $(b,after) it (the CDFG the mapping \
+                   actually binds — identical to before unless --opt)."
+             ~docv:"WHEN")
+  in
+  let dump_dfg_of cdfg =
+    Array.iter
+      (fun b ->
+        let label i =
+          Printf.sprintf "%d:%s" i
+            (Cgra_ir.Opcode.to_string b.Cgra_ir.Cdfg.nodes.(i).Cgra_ir.Cdfg.opcode)
+        in
+        Printf.printf "// block %s\n%s" b.Cgra_ir.Cdfg.name
+          (Cgra_graph.Digraph.to_dot ~label (Cgra_ir.Cdfg.dfg_graph b)))
+      cdfg.Cgra_ir.Cdfg.blocks
+  in
+  let run slug config flow opt dump_dfg dump_asm schedule simulate =
     match Cgra_kernels.Kernels.by_slug slug with
     | None ->
       Printf.eprintf "unknown kernel %s (try: cgra_map list)\n" slug;
       exit 1
     | Some k -> (
-      let cdfg = Cgra_kernels.Kernel_def.cdfg k in
+      let cdfg =
+        if opt then Cgra_kernels.Kernel_def.cdfg_raw k
+        else Cgra_kernels.Kernel_def.cdfg k
+      in
+      let flow = { flow with Cgra_core.Flow_config.optimize = opt } in
+      let opt_verify =
+        if opt then
+          Some
+            (Cgra_opt.Pipeline.verifier_of_mems
+               [ Cgra_kernels.Kernel_def.fresh_mem k ])
+        else None
+      in
       let cgra = Cgra_arch.Config.cgra config in
-      match Cgra_core.Flow.run ~config:flow cgra cdfg with
+      if dump_dfg = Some `Before then dump_dfg_of cdfg;
+      match Cgra_core.Flow.run ~config:flow ?opt_verify cgra cdfg with
       | Error f ->
         Printf.printf "no mapping: %s\n" f.Cgra_core.Flow.reason;
         exit 2
       | Ok (m, stats) ->
+        (match stats.Cgra_core.Flow.opt with
+         | Some report -> print_string (Cgra_opt.Pipeline.render_report report)
+         | None -> ());
+        if dump_dfg = Some `After then dump_dfg_of m.Cgra_core.Mapping.cdfg;
         Format.printf "%a@." Cgra_core.Mapping.pp_summary m;
         Format.printf "recomputes: %d, population peak: %d@."
           stats.Cgra_core.Flow.recomputes stats.Cgra_core.Flow.population_peak;
@@ -103,7 +148,8 @@ let map_cmd =
         end)
   in
   Cmd.v (Cmd.info "map" ~doc)
-    Term.(const run $ kernel $ config $ flow $ dump_asm $ schedule $ simulate)
+    Term.(const run $ kernel $ config $ flow $ opt $ dump_dfg $ dump_asm
+          $ schedule $ simulate)
 
 let compile_cmd =
   let doc = "Compile a kernel-language source file and print its CDFG." in
@@ -116,7 +162,7 @@ let compile_cmd =
     match Cgra_lang.Compile.compile src with
     | Ok cdfg -> Format.printf "%a@." Cgra_ir.Cdfg.pp cdfg
     | Error e ->
-      prerr_endline e;
+      Printf.eprintf "%s: %s\n" file (Cgra_lang.Compile.error_to_string e);
       exit 1
   in
   Cmd.v (Cmd.info "compile" ~doc) Term.(const run $ file)
@@ -170,19 +216,13 @@ let artifacts_cmd =
      | _ -> if jobs <> None then Cgra_exp.Runner.warm ?jobs ());
     match which with
     | "all" -> print_string (Cgra_exp.Figures.run_all ())
-    | "table1" -> print_string (Cgra_exp.Figures.table1 ())
-    | "fig2" -> print_string (Cgra_exp.Figures.fig2 ())
-    | "fig5" -> print_string (Cgra_exp.Figures.fig5 ())
-    | "fig6" -> print_string (Cgra_exp.Figures.fig6 ())
-    | "fig7" -> print_string (Cgra_exp.Figures.fig7 ())
-    | "fig8" -> print_string (Cgra_exp.Figures.fig8 ())
-    | "fig9" -> print_string (Cgra_exp.Figures.fig9 ())
-    | "fig10" -> print_string (Cgra_exp.Figures.fig10 ())
-    | "fig11" -> print_string (Cgra_exp.Figures.fig11 ())
-    | "table2" -> print_string (Cgra_exp.Figures.table2 ())
-    | other ->
-      Printf.eprintf "unknown artifact %s\n" other;
-      exit 1
+    | other -> (
+      match List.assoc_opt other Cgra_exp.Figures.all_artifacts with
+      | Some render -> print_string (render ())
+      | None ->
+        Printf.eprintf "unknown artifact %s (valid: all %s)\n" other
+          (String.concat " " Cgra_exp.Figures.artifact_names);
+        exit 1)
   in
   Cmd.v (Cmd.info "artifacts" ~doc) Term.(const run $ jobs $ which)
 

@@ -9,6 +9,7 @@ type stats = {
   population_peak : int;
   traversal_order : int list;
   work : int;
+  opt : Cgra_opt.Pipeline.report option;
 }
 
 type result = (Mapping.t * stats, failure) Stdlib.result
@@ -45,7 +46,7 @@ let block_words cgra (bm : Mapping.bb_mapping) =
   Array.init nt (fun t ->
       instr.(t) + Occupancy.pnops occ.(t))
 
-let run_once ~t0 ~work ~config cgra cdfg =
+let run_once ~t0 ~work ~config ~opt_report cgra cdfg =
   match Cdfg.validate cdfg with
   | Error msg ->
     Error { reason = "invalid CDFG: " ^ msg; at_block = None; work = !work }
@@ -135,6 +136,7 @@ let run_once ~t0 ~work ~config cgra cdfg =
                 population_peak = !peak;
                 traversal_order = order;
                 work = !work;
+                opt = opt_report;
               } )
         else
           let culprits =
@@ -151,9 +153,24 @@ let run_once ~t0 ~work ~config cgra cdfg =
             }
     end
 
-let run ?(config = Flow_config.default) cgra cdfg =
+let run ?(config = Flow_config.default) ?opt_verify cgra cdfg =
   let t0 = Cgra_util.Clock.now () in
   let work = ref 0 in
+  (* Optimize before mapping when asked.  An invalid CDFG skips the
+     pipeline and falls through to [run_once], whose validation reports
+     it as an ordinary mapping failure. *)
+  let cdfg, opt_report =
+    if config.Flow_config.optimize && Cdfg.validate cdfg = Ok () then begin
+      let verify =
+        match opt_verify with
+        | Some v -> v
+        | None -> Cgra_opt.Pipeline.default_verifier ()
+      in
+      let cdfg', report = Cgra_opt.Pipeline.run ~verify cdfg in
+      (cdfg', Some report)
+    end
+    else (cdfg, None)
+  in
   (* The stochastic pruning can dead-end; the context-aware flows re-seed
      and retry a couple of times before declaring the configuration
      unmappable.  [compile_seconds] and [work] cover all attempts. *)
@@ -161,7 +178,7 @@ let run ?(config = Flow_config.default) cgra cdfg =
     let seeded =
       { config with Flow_config.seed = config.Flow_config.seed + (1000 * k) }
     in
-    match run_once ~t0 ~work ~config:seeded cgra cdfg with
+    match run_once ~t0 ~work ~config:seeded ~opt_report cgra cdfg with
     | Ok _ as ok -> ok
     | Error _ as e ->
       if k >= config.Flow_config.retries then e else attempt (k + 1)

@@ -23,6 +23,9 @@ type stats = {
       (** total binding attempts — the deterministic compile-effort
           counter used by Fig 9, identical across hosts and [--jobs]
           values (wall-clock time is not) *)
+  opt : Cgra_opt.Pipeline.report option;
+      (** per-pass statistics of the pre-mapping optimization, when
+          [config.optimize] was set *)
 }
 
 type result = (Mapping.t * stats, failure) Stdlib.result
@@ -32,5 +35,16 @@ val traversal_order : Flow_config.traversal -> Cgra_ir.Cdfg.t -> int list
     descending block weight Wbb, forward order breaking ties. *)
 
 val run :
-  ?config:Flow_config.t -> Cgra_arch.Cgra.t -> Cgra_ir.Cdfg.t -> result
-(** Maps the kernel.  Deterministic for a fixed [config.seed]. *)
+  ?config:Flow_config.t ->
+  ?opt_verify:Cgra_opt.Pipeline.verifier ->
+  Cgra_arch.Cgra.t ->
+  Cgra_ir.Cdfg.t ->
+  result
+(** Maps the kernel.  Deterministic for a fixed [config.seed].
+
+    When [config.optimize] is set, the CDFG first goes through the
+    [cgra_opt] pipeline, differentially verified against [opt_verify]
+    (callers with kernel-specific inputs should pass them; default:
+    {!Cgra_opt.Pipeline.default_verifier}).  A pipeline bug raises
+    {!Cgra_opt.Pipeline.Verification_failed} rather than mapping a
+    wrong program. *)

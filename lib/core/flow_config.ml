@@ -15,6 +15,7 @@ type t = {
   energy_bias_nodes : int;
   retries : int;
   seed : int;
+  optimize : bool;
 }
 
 let default =
@@ -33,6 +34,7 @@ let default =
     energy_bias_nodes = 64;
     retries = 0;
     seed = 42;
+    optimize = false;
   }
 
 let basic = default
@@ -66,3 +68,4 @@ let steps_of t =
   in
   let add cond label acc = if cond then acc ^ "+" ^ label else acc in
   base |> add t.acmap "ACMAP" |> add t.ecmap "ECMAP" |> add t.cab "CAB"
+  |> add t.optimize "OPT"

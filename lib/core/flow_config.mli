@@ -44,6 +44,11 @@ type t = {
       (** extra attempts with reseeded stochastic pruning before giving up
           — only the context-aware flows retry *)
   seed : int;
+  optimize : bool;
+      (** run the [cgra_opt] differential-verified pass pipeline on the
+          CDFG before mapping (default false, so the seed artifacts stay
+          byte-identical).  Orthogonal to the mapping steps: any flow can
+          map either the raw or the optimized CDFG. *)
 }
 
 val default : t

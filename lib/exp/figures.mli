@@ -43,4 +43,23 @@ val table2 : unit -> string
     aware@HET2 with gain factors and the summary statistics the abstract
     quotes. *)
 
+val opt_report : unit -> string
+(** Not in the paper: what the [cgra_opt] pipeline recovers from the
+    naive lowering, per kernel — per-pass node statistics, then context
+    usage / latency / binding attempts / energy of the raw vs optimized
+    CDFG under the basic flow on all four configurations ("-" marks
+    configurations the raw kernel does not even fit). *)
+
 val run_all : unit -> string
+(** The paper set ({!artifacts}), concatenated in paper order. *)
+
+val artifacts : (string * (unit -> string)) list
+(** Name-to-renderer table of the paper artifacts, in {!run_all} order —
+    the single source of truth for the drivers' artifact lookup. *)
+
+val extra_artifacts : (string * (unit -> string)) list
+(** Beyond-the-paper artifacts ({!opt_report}); not part of [run_all] so
+    the seed output stays byte-identical. *)
+
+val all_artifacts : (string * (unit -> string)) list
+val artifact_names : string list

@@ -20,16 +20,38 @@ let flow_config = function
   | With_ecmap -> FC.with_acmap_ecmap
   | Full -> FC.context_aware
 
+(* Which CDFG a cell maps: the seed default (inline-optimized lowering),
+   the naive lowering, or the naive lowering put through the [cgra_opt]
+   pipeline inside [Flow.run]. *)
+type opt_mode = Default | Raw | Optimized
+
+let opt_mode_label = function Default -> "" | Raw -> "+RAW" | Optimized -> "+OPT"
+
+(* Global mode driven by the bench [--opt] flag; [Default] keeps every
+   seed artifact byte-identical. *)
+let global_opt_mode = Atomic.make Default
+let set_opt_mode m = Atomic.set global_opt_mode m
+let opt_mode () = Atomic.get global_opt_mode
+
 (* Every grid cell runs on its own split of the SplitMix64 stream, keyed by
    the cell's identity.  The cell's results therefore do not depend on how
    many other cells ran before it, in which order, or on how many domains —
-   which is what makes every artifact byte-identical at any [--jobs]. *)
-let cell_key slug config flow =
+   which is what makes every artifact byte-identical at any [--jobs].
+   [Default] mode contributes an empty suffix, so its keys (and seeds) are
+   exactly the seed harness's. *)
+let cell_key ?(opt = Default) slug config flow =
   slug ^ "/" ^ Cgra_arch.Config.to_string config ^ "/" ^ flow_label flow
+  ^ opt_mode_label opt
 
-let cell_flow_config slug config flow =
+let cell_flow_config ?(opt = Default) slug config flow =
   let fc = flow_config flow in
-  { fc with FC.seed = Rng.seed_of ~base:fc.FC.seed (cell_key slug config flow) }
+  let fc =
+    match opt with
+    | Default | Raw -> fc
+    | Optimized -> { fc with FC.optimize = true }
+  in
+  { fc with
+    FC.seed = Rng.seed_of ~base:fc.FC.seed (cell_key ~opt slug config flow) }
 
 type run = {
   mapping : Cgra_core.Mapping.t;
@@ -38,6 +60,7 @@ type run = {
   energy : Cgra_power.Energy.breakdown;
   compile_seconds : float;
   compile_work : int;
+  opt_stats : Cgra_opt.Pipeline.report option;
 }
 
 type cell =
@@ -100,16 +123,31 @@ let memo table key compute =
      | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
      | Computing -> assert false)
 
-let cache : (string * Cgra_arch.Config.name * flow_kind, cell slot) Hashtbl.t =
+let cache :
+    ( string * Cgra_arch.Config.name * flow_kind * opt_mode,
+      cell slot )
+    Hashtbl.t =
   Hashtbl.create 64
 
-let run_of k config flow =
-  memo cache (k.K.slug, config, flow) (fun () ->
-      let cdfg = K.cdfg k in
+let run_of ?opt k config flow =
+  let opt = match opt with Some m -> m | None -> Atomic.get global_opt_mode in
+  memo cache (k.K.slug, config, flow, opt) (fun () ->
+      let cdfg =
+        match opt with Default -> K.cdfg k | Raw | Optimized -> K.cdfg_raw k
+      in
       let cgra = Cgra_arch.Config.cgra config in
-      let fc = cell_flow_config k.K.slug config flow in
+      let fc = cell_flow_config ~opt k.K.slug config flow in
+      (* Verify the pipeline on the kernel's own input image (plus the
+         pipeline's deterministic defaults would add nothing here: the
+         kernel image is the one the golden check below uses). *)
+      let opt_verify =
+        match opt with
+        | Optimized ->
+          Some (Cgra_opt.Pipeline.verifier_of_mems [ K.fresh_mem k ])
+        | Default | Raw -> None
+      in
       let t0 = Clock.now () in
-      match Cgra_core.Flow.run ~config:fc cgra cdfg with
+      match Cgra_core.Flow.run ~config:fc ?opt_verify cgra cdfg with
       | Error f ->
         Unmappable
           { reason = f.Cgra_core.Flow.reason;
@@ -137,7 +175,8 @@ let run_of k config flow =
           let energy = Cgra_power.Energy.cgra cgra sim in
           Mapped
             { mapping; sim; cycles = sim.Cgra_sim.Simulator.cycles; energy;
-              compile_seconds; compile_work }))
+              compile_seconds; compile_work;
+              opt_stats = stats.Cgra_core.Flow.opt }))
 
 type cpu_run = {
   cpu_sim : Cgra_cpu.Cpu_sim.result;

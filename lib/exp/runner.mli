@@ -19,11 +19,34 @@ val flow_kinds : flow_kind list
 val flow_label : flow_kind -> string
 val flow_config : flow_kind -> Cgra_core.Flow_config.t
 
+type opt_mode =
+  | Default    (** the seed behaviour: inline-optimized lowering *)
+  | Raw        (** naive lowering, no optimization at all *)
+  | Optimized  (** naive lowering + the [cgra_opt] pipeline *)
+(** Which CDFG a cell maps.  [Raw] and [Optimized] cells carry their mode
+    in the cache key and in the RNG cell key, so they coexist with
+    (and never perturb) the byte-identical [Default] artifacts. *)
+
+val opt_mode_label : opt_mode -> string
+(** [""], ["+RAW"], ["+OPT"]. *)
+
+val set_opt_mode : opt_mode -> unit
+(** Set the process-wide default mode used when {!run_of} is called
+    without [?opt] — how the bench [--opt] flag switches whole artifacts
+    to optimized kernels.  Call before any cells are computed. *)
+
+val opt_mode : unit -> opt_mode
+
 val cell_flow_config :
-  string -> Cgra_arch.Config.name -> flow_kind -> Cgra_core.Flow_config.t
+  ?opt:opt_mode ->
+  string ->
+  Cgra_arch.Config.name ->
+  flow_kind ->
+  Cgra_core.Flow_config.t
 (** [cell_flow_config slug config flow] is {!flow_config} with the seed
-    replaced by the cell-keyed split described above.  Exposed so tests
-    can reproduce a single cell outside the cache. *)
+    replaced by the cell-keyed split described above (and, for
+    [~opt:Optimized], the [optimize] knob set).  Exposed so tests can
+    reproduce a single cell outside the cache. *)
 
 type run = {
   mapping : Cgra_core.Mapping.t;
@@ -35,6 +58,8 @@ type run = {
   compile_work : int;
       (** deterministic search effort (binding attempts) — use this, not
           [compile_seconds], for anything that must reproduce exactly *)
+  opt_stats : Cgra_opt.Pipeline.report option;
+      (** pass statistics when the cell ran in [Optimized] mode *)
 }
 
 type cell =
@@ -45,11 +70,20 @@ type cell =
       compile_work : int;
     }
 
-val run_of : Cgra_kernels.Kernel_def.t -> Cgra_arch.Config.name -> flow_kind -> cell
-(** Memoized; safe to call concurrently.  Raises [Failure] if a produced
+val run_of :
+  ?opt:opt_mode ->
+  Cgra_kernels.Kernel_def.t ->
+  Cgra_arch.Config.name ->
+  flow_kind ->
+  cell
+(** Memoized; safe to call concurrently.  [opt] defaults to the
+    process-wide mode ({!set_opt_mode}).  Raises [Failure] if a produced
     mapping simulates to a memory image different from the golden model —
     that would be a bug, and the harness refuses to report numbers from
-    it (the failure is cached and re-raised to every consumer). *)
+    it (the failure is cached and re-raised to every consumer).
+    [Optimized] cells are verified twice: differentially inside the
+    pipeline (interpreter vs interpreter on the kernel's input image) and
+    end-to-end here (simulator vs golden model). *)
 
 type cpu_run = {
   cpu_sim : Cgra_cpu.Cpu_sim.result;

@@ -15,9 +15,10 @@ type t = {
    most once per kernel per process, so compiling inside the lock is
    fine (and guarantees a single canonical CDFG value per kernel). *)
 let cache : (string, Cgra_ir.Cdfg.t) Hashtbl.t = Hashtbl.create 8
+let raw_cache : (string, Cgra_ir.Cdfg.t) Hashtbl.t = Hashtbl.create 8
 let cache_mutex = Mutex.create ()
 
-let cdfg k =
+let memoized cache compile k =
   Mutex.lock cache_mutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock cache_mutex)
@@ -25,9 +26,14 @@ let cdfg k =
       match Hashtbl.find_opt cache k.slug with
       | Some c -> c
       | None ->
-        let c = Cgra_lang.Compile.compile_exn k.source in
+        let c = compile k.source in
         Hashtbl.add cache k.slug c;
         c)
+
+let cdfg k = memoized cache Cgra_lang.Compile.compile_exn k
+
+let cdfg_raw k =
+  memoized raw_cache (Cgra_lang.Compile.compile_exn ~raw:true) k
 
 let fresh_mem k =
   let mem = Array.make k.mem_words 0 in

@@ -18,8 +18,15 @@ type t = {
 }
 
 val cdfg : t -> Cgra_ir.Cdfg.t
-(** Compile the kernel source (memoized).  Raises [Failure] if the bundled
-    source does not compile — a programming error caught by the tests. *)
+(** Compile the kernel source (memoized).  Raises
+    [Cgra_lang.Compile.Error] if the bundled source does not compile — a
+    programming error caught by the tests. *)
+
+val cdfg_raw : t -> Cgra_ir.Cdfg.t
+(** Same source compiled with {!Cgra_lang.Compile.compile}[ ~raw:true]
+    (naive lowering, no clean-up; memoized separately): the unoptimized
+    baseline the [cgra_opt] pipeline and the [opt_report] artifact start
+    from. *)
 
 val fresh_mem : t -> int array
 (** A new initialised memory image. *)

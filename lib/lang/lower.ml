@@ -49,6 +49,13 @@ type env = {
   mutable name_counter : int;
       (* per-kernel block-name counter: naming must not depend on what else
          this process compiled before (or concurrently, with [--jobs]) *)
+  naive : bool;
+      (* [true] disables every inline optimization (value numbering,
+         algebraic folds, load reuse) and emits one node per source
+         operation — the raw frontend output that [cgra_opt] takes as its
+         baseline.  Name resolution ([consts], unroll variables) and the
+         [mem_dep] ordering edges are semantics, not optimization, and
+         stay on. *)
 }
 
 (* Mutable per-block lowering state.  [vars] maps scalars assigned in this
@@ -80,7 +87,8 @@ let bump_epoch bctx arr =
 
 let emit ?mem_dep env bctx opcode operands =
   let pure =
-    match opcode with Opcode.Load | Opcode.Store -> false | _ -> true
+    (not env.naive)
+    && match opcode with Opcode.Load | Opcode.Store -> false | _ -> true
   in
   let key = (opcode, operands) in
   match if pure then List.assoc_opt key bctx.vn else None with
@@ -127,6 +135,8 @@ let emit_store env bctx arr addr value =
     (arr, (Some store_id, [])) :: List.remove_assoc arr bctx.mem_order
 
 let fold2 env bctx opcode a b =
+  if env.naive then emit env bctx opcode [ a; b ]
+  else
   match a, b with
   | Cdfg.Imm x, Cdfg.Imm y -> Cdfg.Imm (Opcode.eval opcode [ x; y ])
   | _, _ ->
@@ -153,13 +163,15 @@ let rec lower_expr env bctx = function
         | None -> err "undeclared variable %s" v)))
   | Ast.Index (a, idx) ->
     let addr = lower_address env bctx a idx in
-    let key = (a, epoch_of bctx a, addr) in
-    (match List.assoc_opt key bctx.loads with
-     | Some v -> v
-     | None ->
-       let v = emit_load env bctx a addr in
-       bctx.loads <- (key, v) :: bctx.loads;
-       v)
+    if env.naive then emit_load env bctx a addr
+    else
+      let key = (a, epoch_of bctx a, addr) in
+      (match List.assoc_opt key bctx.loads with
+       | Some v -> v
+       | None ->
+         let v = emit_load env bctx a addr in
+         bctx.loads <- (key, v) :: bctx.loads;
+         v)
   | Ast.Bin (op, a, b) ->
     let x = lower_expr env bctx a in
     let y = lower_expr env bctx b in
@@ -177,8 +189,9 @@ let rec lower_expr env bctx = function
     let a = lower_expr env bctx a in
     let b = lower_expr env bctx b in
     (match c with
-     | Cdfg.Imm k -> if k <> 0 then a else b
-     | Cdfg.Node _ | Cdfg.Sym _ -> emit env bctx Opcode.Select [ c; a; b ])
+     | Cdfg.Imm k when not env.naive -> if k <> 0 then a else b
+     | Cdfg.Imm _ | Cdfg.Node _ | Cdfg.Sym _ ->
+       emit env bctx Opcode.Select [ c; a; b ])
   | Ast.Call (f, args) -> err "unknown intrinsic %s/%d" f (List.length args)
 
 and lower_address env bctx a idx =
@@ -268,11 +281,11 @@ let rec lower_stmts env bctx stmts =
          close env else_end (Cdfg.Jump (B.block_id after.handle)));
       lower_stmts env after rest)
 
-let lower (k : Ast.kernel) =
+let lower ?(naive = false) (k : Ast.kernel) =
   let builder = B.create k.Ast.name in
   let env =
     { builder; syms = Hashtbl.create 8; arrays = Hashtbl.create 8; consts = [];
-      name_counter = 0 }
+      name_counter = 0; naive }
   in
   let declare = function
     | Ast.Dvar names ->

@@ -13,10 +13,17 @@
 
 exception Lower_error of string
 
-val lower : Ast.kernel -> Cgra_ir.Cdfg.t
+val lower : ?naive:bool -> Ast.kernel -> Cgra_ir.Cdfg.t
 (** Raises {!Lower_error} on semantic errors (undeclared identifiers,
     assignment to constants, non-constant [unroll] bounds, unknown
-    intrinsics). *)
+    intrinsics).
+
+    [naive] (default false) switches all inline optimization off — no
+    value numbering, no algebraic folds, no load reuse — emitting one
+    node per source operation.  This is the honest "what an unoptimizing
+    frontend produces" baseline consumed by the [cgra_opt] pipeline;
+    name resolution and the [mem_dep] ordering edges are kept because
+    they are semantics, not optimization. *)
 
 val const_eval : (string -> int option) -> Ast.expr -> int option
 (** Compile-time evaluation used for [const] declarations and [unroll]

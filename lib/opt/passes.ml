@@ -1,0 +1,330 @@
+module Cdfg = Cgra_ir.Cdfg
+module Opcode = Cgra_ir.Opcode
+
+type delta = { removed : int; rewritten : int }
+
+let no_delta = { removed = 0; rewritten = 0 }
+let add_delta a b =
+  { removed = a.removed + b.removed; rewritten = a.rewritten + b.rewritten }
+
+type pass = {
+  name : string;
+  descr : string;
+  transform : Cdfg.t -> Cdfg.t * delta;
+}
+
+type decision = Keep of Cdfg.node | Subst of Cdfg.operand
+
+(* ---- the forward-rewriting engine ------------------------------------ *)
+
+(* Rewrites one block front to back.  [subst.(i)] is set when input node
+   [i] was dropped; [remap.(i)] is its output index otherwise.  Because
+   operand indices strictly decrease, every reference a node makes is
+   resolved by the time the rule sees it, so rules work entirely in
+   output-block space. *)
+let rewrite_block rule_of_block (b : Cdfg.block) =
+  let n = Array.length b.nodes in
+  let subst : Cdfg.operand option array = Array.make n None in
+  let remap = Array.make n (-1) in
+  let out = ref [] in
+  let next = ref 0 in
+  let removed = ref 0 and rewritten = ref 0 in
+  let fix_operand = function
+    | Cdfg.Node j -> (
+      match subst.(j) with Some op -> op | None -> Cdfg.Node remap.(j))
+    | (Cdfg.Sym _ | Cdfg.Imm _) as op -> op
+  in
+  let fix_mem_dep deps =
+    List.filter_map
+      (fun j ->
+        match subst.(j) with
+        | None -> Some remap.(j)
+        | Some (Cdfg.Node j') -> Some j'
+        | Some (Cdfg.Sym _ | Cdfg.Imm _) -> None)
+      deps
+    |> List.sort_uniq compare
+  in
+  let rule = rule_of_block b in
+  Array.iteri
+    (fun i (nd : Cdfg.node) ->
+      let fixed =
+        { nd with
+          Cdfg.operands = List.map fix_operand nd.Cdfg.operands;
+          mem_dep = fix_mem_dep nd.Cdfg.mem_dep }
+      in
+      match rule ~index:!next fixed with
+      | Subst op ->
+        subst.(i) <- Some op;
+        incr removed
+      | Keep nd' ->
+        if
+          nd'.Cdfg.opcode <> fixed.Cdfg.opcode
+          || nd'.Cdfg.operands <> fixed.Cdfg.operands
+        then incr rewritten;
+        remap.(i) <- !next;
+        incr next;
+        out := nd' :: !out)
+    b.nodes;
+  let b' =
+    { b with
+      Cdfg.nodes = Array.of_list (List.rev !out);
+      live_out = List.map (fun (s, op) -> (s, fix_operand op)) b.Cdfg.live_out;
+      terminator =
+        (match b.Cdfg.terminator with
+         | Cdfg.Branch (c, t, e) -> Cdfg.Branch (fix_operand c, t, e)
+         | (Cdfg.Jump _ | Cdfg.Return) as t -> t) }
+  in
+  (b', { removed = !removed; rewritten = !rewritten })
+
+let rewrite_blocks rule_of_block (c : Cdfg.t) =
+  let delta = ref no_delta in
+  let blocks =
+    Array.map
+      (fun b ->
+        let b', d = rewrite_block rule_of_block b in
+        delta := add_delta !delta d;
+        b')
+      c.Cdfg.blocks
+  in
+  ({ c with Cdfg.blocks }, !delta)
+
+(* ---- helpers ---------------------------------------------------------- *)
+
+let pure op = match op with Opcode.Load | Opcode.Store -> false | _ -> true
+
+(* The interpreter reads [Imm k] through [wrap32], so every identity below
+   must test the wrapped value — [Imm 0x100000000] is zero. *)
+let iv = Opcode.wrap32
+
+(* Only drop a node whose ordering edges are empty: a [mem_dep] entry
+   pointing at a dropped pure node would silently disappear.  Well-formed
+   CDFGs never order memory operations after pure nodes, but hand-built
+   ones can. *)
+let droppable (nd : Cdfg.node) = nd.Cdfg.mem_dep = []
+
+(* ---- constant folding ------------------------------------------------- *)
+
+let const_fold =
+  let transform c =
+    rewrite_blocks
+      (fun _b ~index:_ (nd : Cdfg.node) ->
+        if not (pure nd.Cdfg.opcode && droppable nd) then Keep nd
+        else
+          match nd.Cdfg.opcode, nd.Cdfg.operands with
+          | Opcode.Select, [ Cdfg.Imm k; a; b ] ->
+            Subst (if iv k <> 0 then a else b)
+          | op, operands
+            when List.for_all
+                   (function Cdfg.Imm _ -> true | _ -> false)
+                   operands ->
+            let vals =
+              List.map
+                (function Cdfg.Imm k -> iv k | _ -> assert false)
+                operands
+            in
+            Subst (Cdfg.Imm (Opcode.eval op vals))
+          | _ -> Keep nd)
+      c
+  in
+  { name = "fold"; descr = "constant folding"; transform }
+
+(* ---- algebraic simplification / strength reduction -------------------- *)
+
+let is_pow2 k = k > 0 && k land (k - 1) = 0
+
+let log2 k =
+  let rec go acc k = if k <= 1 then acc else go (acc + 1) (k lsr 1) in
+  go 0 k
+
+let algebraic =
+  let transform c =
+    rewrite_blocks
+      (fun _b ~index:_ (nd : Cdfg.node) ->
+        if not (pure nd.Cdfg.opcode && droppable nd) then Keep nd
+        else
+          match nd.Cdfg.opcode, nd.Cdfg.operands with
+          (* additive / subtractive identities *)
+          | Opcode.Add, [ x; Cdfg.Imm k ] when iv k = 0 -> Subst x
+          | Opcode.Add, [ Cdfg.Imm k; x ] when iv k = 0 -> Subst x
+          | Opcode.Sub, [ x; Cdfg.Imm k ] when iv k = 0 -> Subst x
+          | Opcode.Sub, [ x; y ] when x = y -> Subst (Cdfg.Imm 0)
+          (* multiplicative identities and strength reduction *)
+          | Opcode.Mul, [ x; Cdfg.Imm k ] when iv k = 1 -> Subst x
+          | Opcode.Mul, [ Cdfg.Imm k; x ] when iv k = 1 -> Subst x
+          | Opcode.Mul, [ _; Cdfg.Imm k ] when iv k = 0 -> Subst (Cdfg.Imm 0)
+          | Opcode.Mul, [ Cdfg.Imm k; _ ] when iv k = 0 -> Subst (Cdfg.Imm 0)
+          | Opcode.Mul, [ x; Cdfg.Imm k ] when is_pow2 (iv k) ->
+            Keep
+              { nd with
+                Cdfg.opcode = Opcode.Shl;
+                operands = [ x; Cdfg.Imm (log2 (iv k)) ] }
+          | Opcode.Mul, [ Cdfg.Imm k; x ] when is_pow2 (iv k) ->
+            Keep
+              { nd with
+                Cdfg.opcode = Opcode.Shl;
+                operands = [ x; Cdfg.Imm (log2 (iv k)) ] }
+          (* shifts: the ALU masks the amount to 5 bits *)
+          | (Opcode.Shl | Opcode.Shrl | Opcode.Shra), [ x; Cdfg.Imm k ]
+            when iv k land 31 = 0 ->
+            Subst x
+          | (Opcode.Shl | Opcode.Shrl | Opcode.Shra), [ Cdfg.Imm k; _ ]
+            when iv k = 0 ->
+            Subst (Cdfg.Imm 0)
+          (* bitwise identities *)
+          | (Opcode.And | Opcode.Or), [ x; y ] when x = y -> Subst x
+          | Opcode.And, [ _; Cdfg.Imm k ] when iv k = 0 -> Subst (Cdfg.Imm 0)
+          | Opcode.And, [ Cdfg.Imm k; _ ] when iv k = 0 -> Subst (Cdfg.Imm 0)
+          | Opcode.And, [ x; Cdfg.Imm k ] when iv k = -1 -> Subst x
+          | Opcode.And, [ Cdfg.Imm k; x ] when iv k = -1 -> Subst x
+          | (Opcode.Or | Opcode.Xor), [ x; Cdfg.Imm k ] when iv k = 0 ->
+            Subst x
+          | (Opcode.Or | Opcode.Xor), [ Cdfg.Imm k; x ] when iv k = 0 ->
+            Subst x
+          | Opcode.Xor, [ x; y ] when x = y -> Subst (Cdfg.Imm 0)
+          (* min/max/select and self-comparisons *)
+          | (Opcode.Min | Opcode.Max), [ x; y ] when x = y -> Subst x
+          | Opcode.Select, [ _; a; b ] when a = b -> Subst a
+          | Opcode.Select, [ Cdfg.Imm k; a; b ] ->
+            Subst (if iv k <> 0 then a else b)
+          | (Opcode.Eq | Opcode.Le | Opcode.Ge), [ x; y ] when x = y ->
+            Subst (Cdfg.Imm 1)
+          | (Opcode.Ne | Opcode.Lt | Opcode.Gt), [ x; y ] when x = y ->
+            Subst (Cdfg.Imm 0)
+          | _ -> Keep nd)
+      c
+  in
+  { name = "alg";
+    descr = "algebraic simplification + strength reduction";
+    transform }
+
+(* ---- re-association of immediate-addend chains ------------------------ *)
+
+let reassoc =
+  let transform c =
+    rewrite_blocks
+      (fun _b ->
+        (* output-index -> node as emitted, for looking through chains *)
+        let emitted : (int, Cdfg.node) Hashtbl.t = Hashtbl.create 64 in
+        let keep ~index nd =
+          Hashtbl.replace emitted index nd;
+          Keep nd
+        in
+        let inner j =
+          match Hashtbl.find_opt emitted j with
+          | Some { Cdfg.opcode = (Opcode.Add | Opcode.Sub) as op;
+                   operands = [ y; Cdfg.Imm a ];
+                   mem_dep = [] } ->
+            Some (op, y, a)
+          | _ -> None
+        in
+        fun ~index (nd : Cdfg.node) ->
+          if not (droppable nd) then Keep nd
+          else
+            match nd.Cdfg.opcode, nd.Cdfg.operands with
+            | Opcode.Add, [ Cdfg.Imm a; (Cdfg.Node _ | Cdfg.Sym _) as x ] ->
+              keep ~index { nd with Cdfg.operands = [ x; Cdfg.Imm a ] }
+            | (Opcode.Add | Opcode.Sub), [ Cdfg.Node j; Cdfg.Imm b ] -> (
+              match inner j with
+              | None -> keep ~index nd
+              | Some (inner_op, y, a) ->
+                (* (y ± a) ± b  =  y ± (a combined b), all mod 2^32 *)
+                let outer_sign =
+                  if nd.Cdfg.opcode = Opcode.Add then b else -b
+                in
+                let inner_sign = if inner_op = Opcode.Add then a else -a in
+                let k = Opcode.wrap32 (inner_sign + outer_sign) in
+                keep ~index
+                  { nd with
+                    Cdfg.opcode = Opcode.Add;
+                    operands = [ y; Cdfg.Imm k ] })
+            | _ -> keep ~index nd)
+      c
+  in
+  { name = "reassoc";
+    descr = "re-association of immediate addend chains";
+    transform }
+
+(* ---- common-subexpression elimination --------------------------------- *)
+
+let cse =
+  let transform c =
+    rewrite_blocks
+      (fun _b ->
+        let table : (Opcode.t * Cdfg.operand list, Cdfg.operand) Hashtbl.t =
+          Hashtbl.create 64
+        in
+        fun ~index (nd : Cdfg.node) ->
+          if not (pure nd.Cdfg.opcode && droppable nd) then Keep nd
+          else begin
+            let key =
+              if Opcode.is_commutative nd.Cdfg.opcode then
+                (nd.Cdfg.opcode, List.sort compare nd.Cdfg.operands)
+              else (nd.Cdfg.opcode, nd.Cdfg.operands)
+            in
+            match Hashtbl.find_opt table key with
+            | Some op -> Subst op
+            | None ->
+              Hashtbl.add table key (Cdfg.Node index);
+              Keep nd
+          end)
+      c
+  in
+  { name = "cse"; descr = "common-subexpression elimination"; transform }
+
+(* ---- redundant-load elimination --------------------------------------- *)
+
+let load_elim =
+  let transform c =
+    rewrite_blocks
+      (fun _b ->
+        (* (address operand, ordering edges) identifies the store epoch a
+           load observes: both components are already remapped into
+           output space, so two hits really do see the same memory. *)
+        let table : (Cdfg.operand list * int list, Cdfg.operand) Hashtbl.t =
+          Hashtbl.create 16
+        in
+        fun ~index (nd : Cdfg.node) ->
+          match nd.Cdfg.opcode with
+          | Opcode.Load -> (
+            let key = (nd.Cdfg.operands, List.sort compare nd.Cdfg.mem_dep) in
+            match Hashtbl.find_opt table key with
+            | Some op -> Subst op
+            | None ->
+              Hashtbl.add table key (Cdfg.Node index);
+              Keep nd)
+          | _ -> Keep nd)
+      c
+  in
+  { name = "rle"; descr = "redundant-load elimination"; transform }
+
+(* ---- dead-code elimination -------------------------------------------- *)
+
+let live_out_count (c : Cdfg.t) =
+  Array.fold_left
+    (fun acc b -> acc + List.length b.Cdfg.live_out)
+    0 c.Cdfg.blocks
+
+let dce =
+  let transform c =
+    (* [remove_dead_live_outs] can kill the last use of a node and
+       [remove_dead_nodes] can kill the last node feeding a live-out's
+       defining chain, so iterate the pair to a local fixpoint. *)
+    let rec go c removed rounds =
+      if rounds >= 8 then (c, removed)
+      else begin
+        let n0 = Cdfg.node_count c and l0 = live_out_count c in
+        let c = Cgra_ir.Opt.remove_dead_live_outs c in
+        let c = Cgra_ir.Opt.remove_dead_nodes c in
+        let n1 = Cdfg.node_count c and l1 = live_out_count c in
+        if n1 = n0 && l1 = l0 then (c, removed)
+        else go c (removed + (n0 - n1) + (l0 - l1)) (rounds + 1)
+      end
+    in
+    let c, removed = go c 0 0 in
+    (c, { removed; rewritten = 0 })
+  in
+  { name = "dce";
+    descr = "dead node + dead live-out elimination";
+    transform }
+
+let all = [ const_fold; algebraic; reassoc; cse; load_elim; dce ]

@@ -1,0 +1,94 @@
+(** The individual CDFG optimization passes.
+
+    Every pass is a pure function [Cdfg.t -> Cdfg.t * delta] built on one
+    shared forward-rewriting engine, so they all preserve the CDFG
+    invariants the mapper depends on the same way:
+
+    - symbol-variable pinning: passes never add, remove or renumber
+      symbols; [live_out] right-hand sides are remapped but the assigned
+      symbol set is only ever shrunk by {!dce} (and only for provably dead
+      symbols, via {!Cgra_ir.Opt.remove_dead_live_outs});
+    - load/store ordering: [mem_dep] edges are remapped through node
+      removals — an edge to a load merged by {!load_elim} is retargeted to
+      the surviving load, so anti-dependences survive every pass.
+
+    Passes are local (per basic block); the CFG is never restructured. *)
+
+type delta = { removed : int; rewritten : int }
+(** What a pass did: [removed] nodes replaced by an existing operand (plus,
+    for {!dce}, dead [live_out] assignments dropped), [rewritten] nodes
+    kept with a different opcode or operand list. *)
+
+val no_delta : delta
+val add_delta : delta -> delta -> delta
+
+type pass = {
+  name : string;  (** short label used in statistics tables *)
+  descr : string;
+  transform : Cgra_ir.Cdfg.t -> Cgra_ir.Cdfg.t * delta;
+}
+
+val const_fold : pass
+(** Evaluates pure operations whose operands are all immediates with
+    {!Cgra_ir.Opcode.eval} (same 32-bit wrap semantics as the reference
+    interpreter), and resolves [Select] on a constant condition. *)
+
+val algebraic : pass
+(** Algebraic simplification and strength reduction: [x+0], [x-0], [x-x],
+    [x*1], [x*0], [x*2^k] -> [x<<k], shift-by-0, [x&x], [x|x], [x^x],
+    identities on comparisons of an operand with itself, and [Select] with
+    equal or constant-decided arms. *)
+
+val reassoc : pass
+(** Re-associates immediate-addend chains: [Add (Add (y, #a), #b)] becomes
+    [Add (y, #(a+b))] (likewise through [Sub]), and canonicalises
+    [Add (#a, x)] to [Add (x, #a)].  The naive lowering builds exactly such
+    chains for array addressing ([x[p + 12]] -> add, then add of the array
+    base), so this is what exposes address arithmetic to {!cse}. *)
+
+val cse : pass
+(** Common-subexpression elimination within a basic block: a pure node
+    that repeats an earlier (opcode, operands) computation — modulo
+    operand order for commutative opcodes — is replaced by the earlier
+    node's value. *)
+
+val load_elim : pass
+(** Redundant-load elimination across memory-dependence edges: two loads
+    with the same address operand and the same (remapped) [mem_dep] set
+    observe the same store epoch, so the later one is replaced by the
+    earlier.  Trusts [mem_dep] as the dependence declaration — a load that
+    omits its ordering edge to a prior store is a malformed CDFG (the
+    differential verifier in {!Pipeline} is the safety net). *)
+
+val dce : pass
+(** Dead-code elimination: drops [live_out] assignments to dead symbols
+    and operation nodes whose results reach no store, live-out or
+    terminator (reusing {!Cgra_ir.Opt.remove_dead_live_outs} and
+    {!Cgra_ir.Opt.remove_dead_nodes}), iterated to a local fixpoint. *)
+
+val all : pass list
+(** The default pipeline order: {!const_fold}, {!algebraic}, {!reassoc},
+    {!cse}, {!load_elim}, {!dce}.  Each pass is sound in isolation, so any
+    order and subset is semantics-preserving (the fuzz suite runs random
+    permutations); this order merely converges fastest. *)
+
+(** {2 Rewriting engine} — exposed for tests and custom passes. *)
+
+type decision =
+  | Keep of Cgra_ir.Cdfg.node
+      (** emit this node (possibly with a new opcode/operands) *)
+  | Subst of Cgra_ir.Cdfg.operand
+      (** drop the node; uses see this operand instead *)
+
+val rewrite_blocks :
+  (Cgra_ir.Cdfg.block -> index:int -> Cgra_ir.Cdfg.node -> decision) ->
+  Cgra_ir.Cdfg.t ->
+  Cgra_ir.Cdfg.t * delta
+(** [rewrite_blocks rule_of_block c] rewrites every block front to back.
+    [rule_of_block b] is called once per block (allocate per-block state
+    there); the rule then sees each node with operands and [mem_dep]
+    already renumbered into the output block, plus the [index] the node
+    will occupy if kept.  [Subst] operands must likewise be in output-block
+    space.  [live_out] and terminator conditions are remapped; [mem_dep]
+    edges follow node substitutions and drop entries that resolve to
+    immediates or symbols. *)

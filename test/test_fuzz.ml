@@ -147,9 +147,119 @@ let prop_opt_preserves =
       let raw = build spec in
       run_interp raw spec.seed = run_interp (Cgra_ir.Opt.optimize raw) spec.seed)
 
+(* ---- differential fuzzing of the cgra_opt pipeline ------------------- *)
+
+(* Random straight-line kernel-language sources: arrays [a @ 0] (32 input
+   words, indices masked with [& 31] so loads stay in bounds) and
+   [o @ 32] (store targets), a chain of variable assignments over random
+   expressions, then stores.  Compiled with the naive lowering and pushed
+   through the cgra_opt pipeline under a *random* pass order and subset —
+   every subset in every order must preserve the interpreter's memory
+   image, the CDFG's validity and the store count. *)
+
+let straight_src spec =
+  let rng = Cgra_util.Rng.create (spec.seed lxor 0x51ab) in
+  let n_vars = 2 + spec.n_ops in
+  let b = Buffer.create 512 in
+  Buffer.add_string b "kernel fz {\n  arr a @ 0;\n  arr o @ 32;\n";
+  for v = 0 to n_vars - 1 do
+    Buffer.add_string b (Printf.sprintf "  var v%d;\n" v)
+  done;
+  let binops =
+    [| "+"; "-"; "*"; "&"; "|"; "^"; "<"; "<="; "=="; "!="; ">"; ">=" |]
+  in
+  let lit () =
+    let k = Cgra_util.Rng.int rng 201 - 100 in
+    if k < 0 then Printf.sprintf "(%d)" k else string_of_int k
+  in
+  let leaf avail =
+    match Cgra_util.Rng.int rng 3 with
+    | 1 when avail > 0 -> Printf.sprintf "v%d" (Cgra_util.Rng.int rng avail)
+    | 0 -> lit ()
+    | _ -> Printf.sprintf "a[%d]" (Cgra_util.Rng.int rng 32)
+  in
+  let rec expr depth avail =
+    if depth = 0 then leaf avail
+    else
+      match Cgra_util.Rng.int rng 6 with
+      | 0 -> leaf avail
+      | 1 ->
+        Printf.sprintf "(%s << %d)" (expr (depth - 1) avail)
+          (Cgra_util.Rng.int rng 5)
+      | 2 ->
+        Printf.sprintf "(%s >> %d)" (expr (depth - 1) avail)
+          (Cgra_util.Rng.int rng 5)
+      | 3 -> Printf.sprintf "a[(%s) & 31]" (expr (depth - 1) avail)
+      | _ ->
+        let op = binops.(Cgra_util.Rng.int rng (Array.length binops)) in
+        Printf.sprintf "(%s %s %s)" (expr (depth - 1) avail) op
+          (expr (depth - 1) avail)
+  in
+  for v = 0 to n_vars - 1 do
+    Buffer.add_string b (Printf.sprintf "  v%d = %s;\n" v (expr 3 v))
+  done;
+  for s = 0 to spec.n_stores - 1 do
+    Buffer.add_string b (Printf.sprintf "  o[%d] = %s;\n" s (expr 2 n_vars))
+  done;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let straight_mem seed =
+  let mem = Array.make 64 0 in
+  let rng = Cgra_util.Rng.create (seed * 131) in
+  for k = 0 to 31 do
+    mem.(k) <- Cgra_util.Rng.int rng 2001 - 1000
+  done;
+  mem
+
+(* A random permutation of the passes, truncated to a random non-empty
+   prefix: exercises both order-independence and subset-soundness. *)
+let shuffled_passes seed =
+  let rng = Cgra_util.Rng.create (seed + 13) in
+  let arr = Array.of_list Cgra_opt.Passes.all in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Cgra_util.Rng.int rng (i + 1) in
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  done;
+  let keep = 1 + Cgra_util.Rng.int rng (Array.length arr) in
+  Array.to_list (Array.sub arr 0 keep)
+
+let store_count cdfg =
+  Array.fold_left
+    (fun acc b ->
+      acc
+      + Array.fold_left
+          (fun acc nd -> if nd.Cdfg.opcode = Op.Store then acc + 1 else acc)
+          0 b.Cdfg.nodes)
+    0 cdfg.Cdfg.blocks
+
+let prop_opt_pipeline_differential =
+  QCheck.Test.make
+    ~name:"random sources: cgra_opt pipeline (random pass order) = interp"
+    ~count:60 arb_spec (fun spec ->
+      let src = straight_src spec in
+      let cdfg = Cgra_lang.Compile.compile_exn ~raw:true src in
+      let mem0 = straight_mem spec.seed in
+      let passes = shuffled_passes spec.seed in
+      let verify = Cgra_opt.Pipeline.verifier_of_mems [ Array.copy mem0 ] in
+      (* the pipeline verifies after every pass; if a pass were unsound it
+         raises here rather than returning *)
+      let c', _report = Cgra_opt.Pipeline.run ~passes ~verify cdfg in
+      (* ...and we re-check independently of the pipeline's own net *)
+      Cdfg.validate c' = Ok ()
+      && store_count c' = store_count cdfg
+      &&
+      let m1 = Array.copy mem0 and m2 = Array.copy mem0 in
+      ignore (Cgra_ir.Interp.run cdfg ~mem:m1);
+      ignore (Cgra_ir.Interp.run c' ~mem:m2);
+      m1 = m2)
+
 let suite =
   [ ( "fuzz",
       [ QCheck_alcotest.to_alcotest prop_interp_vs_cgra;
         QCheck_alcotest.to_alcotest prop_interp_vs_cgra_aware;
         QCheck_alcotest.to_alcotest prop_interp_vs_cpu;
-        QCheck_alcotest.to_alcotest prop_opt_preserves ] ) ]
+        QCheck_alcotest.to_alcotest prop_opt_preserves;
+        QCheck_alcotest.to_alcotest prop_opt_pipeline_differential ] ) ]

@@ -1,0 +1,212 @@
+(* Tests for the cgra_opt optimization pipeline: per-pass unit tests on
+   hand-built CDFGs, the differential-verification safety net, and the
+   end-to-end guarantee on the bundled kernels (strict shrink, golden
+   output, fixpoint idempotence). *)
+
+module B = Cgra_ir.Builder
+module Cdfg = Cgra_ir.Cdfg
+module Op = Cgra_ir.Opcode
+module Passes = Cgra_opt.Passes
+module P = Cgra_opt.Pipeline
+module K = Cgra_kernels.Kernel_def
+
+let idx = function
+  | Cdfg.Node i -> i
+  | _ -> Alcotest.fail "expected a node operand"
+
+(* A one-block kernel: [f] appends the nodes, the block returns. *)
+let single_block f =
+  let b = B.create "t" in
+  let blk = B.add_block b "entry" in
+  f b blk;
+  B.set_terminator b blk Cdfg.Return;
+  B.finish b
+
+let nodes c = c.Cdfg.blocks.(0).Cdfg.nodes
+
+let test_const_fold () =
+  let c =
+    single_block (fun b blk ->
+        let v = B.add_node b blk Op.Add [ Cdfg.Imm 2; Cdfg.Imm 3 ] in
+        ignore (B.add_node b blk Op.Store [ Cdfg.Imm 0; v ]))
+  in
+  let c', d = Passes.const_fold.Passes.transform c in
+  Alcotest.(check int) "one node removed" 1 d.Passes.removed;
+  match nodes c' with
+  | [| { Cdfg.opcode = Op.Store; operands = [ Cdfg.Imm 0; Cdfg.Imm 5 ]; _ } |] ->
+    ()
+  | _ -> Alcotest.fail "expected a single store of the folded constant 5"
+
+let test_algebraic_strength_reduction () =
+  let c =
+    single_block (fun b blk ->
+        let x = B.add_node b blk Op.Load [ Cdfg.Imm 0 ] in
+        let m = B.add_node b blk Op.Mul [ x; Cdfg.Imm 8 ] in
+        ignore (B.add_node b blk Op.Store [ Cdfg.Imm 1; m ] ~mem_dep:[ idx x ]))
+  in
+  let c', d = Passes.algebraic.Passes.transform c in
+  Alcotest.(check int) "one node rewritten" 1 d.Passes.rewritten;
+  match (nodes c').(1) with
+  | { Cdfg.opcode = Op.Shl; operands = [ Cdfg.Node 0; Cdfg.Imm 3 ]; _ } -> ()
+  | _ -> Alcotest.fail "expected x*8 to become x<<3"
+
+let test_algebraic_identity () =
+  let c =
+    single_block (fun b blk ->
+        let x = B.add_node b blk Op.Load [ Cdfg.Imm 0 ] in
+        let a = B.add_node b blk Op.Add [ x; Cdfg.Imm 0 ] in
+        ignore (B.add_node b blk Op.Store [ Cdfg.Imm 1; a ] ~mem_dep:[ idx x ]))
+  in
+  let c', d = Passes.algebraic.Passes.transform c in
+  Alcotest.(check int) "x+0 removed" 1 d.Passes.removed;
+  match (nodes c').(1) with
+  | { Cdfg.opcode = Op.Store; operands = [ Cdfg.Imm 1; Cdfg.Node 0 ]; _ } -> ()
+  | _ -> Alcotest.fail "expected the store to use the load directly"
+
+let test_reassoc () =
+  let c =
+    single_block (fun b blk ->
+        let x = B.add_node b blk Op.Load [ Cdfg.Imm 0 ] in
+        let a1 = B.add_node b blk Op.Add [ x; Cdfg.Imm 4 ] in
+        let a2 = B.add_node b blk Op.Add [ a1; Cdfg.Imm 8 ] in
+        ignore (B.add_node b blk Op.Store [ Cdfg.Imm 1; a2 ] ~mem_dep:[ idx x ]))
+  in
+  let c', d = Passes.reassoc.Passes.transform c in
+  Alcotest.(check int) "chain tail rewritten" 1 d.Passes.rewritten;
+  match (nodes c').(2) with
+  | { Cdfg.opcode = Op.Add; operands = [ Cdfg.Node 0; Cdfg.Imm 12 ]; _ } -> ()
+  | _ -> Alcotest.fail "expected (x+4)+8 to become x+12"
+
+let test_cse_commutative () =
+  let c =
+    single_block (fun b blk ->
+        let x = B.add_node b blk Op.Load [ Cdfg.Imm 0 ] in
+        let a = B.add_node b blk Op.Add [ x; Cdfg.Imm 1 ] in
+        let a' = B.add_node b blk Op.Add [ Cdfg.Imm 1; x ] in
+        ignore (B.add_node b blk Op.Store [ Cdfg.Imm 1; a ] ~mem_dep:[ idx x ]);
+        ignore (B.add_node b blk Op.Store [ Cdfg.Imm 2; a' ] ~mem_dep:[ idx x ]))
+  in
+  let c', d = Passes.cse.Passes.transform c in
+  Alcotest.(check int) "duplicate removed" 1 d.Passes.removed;
+  Alcotest.(check int) "node count" 4 (Array.length (nodes c'));
+  match ((nodes c').(2), (nodes c').(3)) with
+  | ( { Cdfg.operands = [ _; Cdfg.Node 1 ]; _ },
+      { Cdfg.operands = [ _; Cdfg.Node 1 ]; _ } ) ->
+    ()
+  | _ -> Alcotest.fail "both stores must use the surviving add"
+
+let test_load_elim_merges () =
+  let c =
+    single_block (fun b blk ->
+        let l1 = B.add_node b blk Op.Load [ Cdfg.Imm 0 ] in
+        let l2 = B.add_node b blk Op.Load [ Cdfg.Imm 0 ] in
+        ignore
+          (B.add_node b blk Op.Store [ Cdfg.Imm 1; l2 ]
+             ~mem_dep:[ idx l1; idx l2 ]))
+  in
+  let c', d = Passes.load_elim.Passes.transform c in
+  Alcotest.(check int) "one load removed" 1 d.Passes.removed;
+  match nodes c' with
+  | [| { Cdfg.opcode = Op.Load; _ };
+       { Cdfg.opcode = Op.Store;
+         operands = [ Cdfg.Imm 1; Cdfg.Node 0 ];
+         mem_dep = [ 0 ] } |] ->
+    (* the store's anti-dependence edge was retargeted to the survivor *)
+    ()
+  | _ -> Alcotest.fail "expected the loads merged and mem_dep retargeted"
+
+let test_load_elim_blocked_by_store () =
+  let c =
+    single_block (fun b blk ->
+        let l1 = B.add_node b blk Op.Load [ Cdfg.Imm 0 ] in
+        let s =
+          B.add_node b blk Op.Store [ Cdfg.Imm 0; Cdfg.Imm 9 ]
+            ~mem_dep:[ idx l1 ]
+        in
+        ignore s;
+        let l2 = B.add_node b blk Op.Load [ Cdfg.Imm 0 ] ~mem_dep:[ 1 ] in
+        ignore
+          (B.add_node b blk Op.Store [ Cdfg.Imm 1; l2 ]
+             ~mem_dep:[ 1; idx l2 ]))
+  in
+  let c', d = Passes.load_elim.Passes.transform c in
+  Alcotest.(check int) "nothing removed" 0 d.Passes.removed;
+  Alcotest.(check int) "all four nodes kept" 4 (Array.length (nodes c'))
+
+let test_dce_keeps_stores () =
+  let c =
+    single_block (fun b blk ->
+        let x = B.add_node b blk Op.Load [ Cdfg.Imm 0 ] in
+        ignore (B.add_node b blk Op.Add [ x; Cdfg.Imm 7 ]) (* dead *);
+        ignore (B.add_node b blk Op.Store [ Cdfg.Imm 1; x ] ~mem_dep:[ idx x ]))
+  in
+  let c', d = Passes.dce.Passes.transform c in
+  Alcotest.(check int) "dead add removed" 1 d.Passes.removed;
+  Alcotest.(check bool) "store survives" true
+    (Array.exists (fun nd -> nd.Cdfg.opcode = Op.Store) (nodes c'));
+  Alcotest.(check int) "two nodes left" 2 (Array.length (nodes c'))
+
+(* The safety net: a deliberately wrong pass must be caught by the
+   differential verifier, never silently returned. *)
+let test_verification_catches_broken_pass () =
+  let broken =
+    { Passes.name = "broken";
+      descr = "rewrites Add to Sub (wrong on purpose)";
+      transform =
+        Passes.rewrite_blocks (fun _b ~index:_ nd ->
+            match nd.Cdfg.opcode with
+            | Op.Add -> Passes.Keep { nd with Cdfg.opcode = Op.Sub }
+            | _ -> Passes.Keep nd) }
+  in
+  let c =
+    single_block (fun b blk ->
+        let x = B.add_node b blk Op.Load [ Cdfg.Imm 0 ] in
+        let a = B.add_node b blk Op.Add [ x; Cdfg.Imm 2 ] in
+        ignore (B.add_node b blk Op.Store [ Cdfg.Imm 1; a ] ~mem_dep:[ idx x ]))
+  in
+  let verify = P.verifier_of_mems [ [| 10; 0 |] ] in
+  Alcotest.(check bool) "Verification_failed raised" true
+    (try
+       ignore (P.run ~passes:[ broken ] ~verify c);
+       false
+     with P.Verification_failed _ -> true)
+
+(* End-to-end on the bundled kernels: the pipeline strictly shrinks every
+   naive lowering, the optimized CDFG still computes the golden image, and
+   a second run finds nothing more (the fixpoint is real). *)
+let test_kernels_shrink_and_stay_correct () =
+  List.iter
+    (fun k ->
+      let raw = K.cdfg_raw k in
+      let verify = P.verifier_of_mems [ K.fresh_mem k ] in
+      let c', r = P.run ~verify raw in
+      Alcotest.(check bool)
+        (k.K.slug ^ ": strictly fewer nodes")
+        true
+        (r.P.nodes_after < r.P.nodes_before);
+      let mem = K.fresh_mem k in
+      ignore (Cgra_ir.Interp.run c' ~mem);
+      Alcotest.(check bool) (k.K.slug ^ ": golden image") true
+        (mem = K.run_golden k);
+      let _, r2 = P.run ~verify c' in
+      Alcotest.(check int)
+        (k.K.slug ^ ": idempotent")
+        r2.P.nodes_before r2.P.nodes_after)
+    Cgra_kernels.Kernels.all
+
+let suite =
+  [ ( "opt",
+      [ Alcotest.test_case "const_fold" `Quick test_const_fold;
+        Alcotest.test_case "algebraic: mul -> shl" `Quick
+          test_algebraic_strength_reduction;
+        Alcotest.test_case "algebraic: x+0" `Quick test_algebraic_identity;
+        Alcotest.test_case "reassoc" `Quick test_reassoc;
+        Alcotest.test_case "cse (commutative)" `Quick test_cse_commutative;
+        Alcotest.test_case "load_elim merges" `Quick test_load_elim_merges;
+        Alcotest.test_case "load_elim blocked by store" `Quick
+          test_load_elim_blocked_by_store;
+        Alcotest.test_case "dce keeps stores" `Quick test_dce_keeps_stores;
+        Alcotest.test_case "verifier catches a broken pass" `Quick
+          test_verification_catches_broken_pass;
+        Alcotest.test_case "kernels shrink, stay correct" `Slow
+          test_kernels_shrink_and_stay_correct ] ) ]
