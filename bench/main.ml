@@ -29,7 +29,7 @@ module Runner_kernels = struct
 end
 
 (* The paper set, used by [all] and the micro benches; [list] and name
-   lookup also see the extras (opt_report). *)
+   lookup also see the extras (opt_report, search_report). *)
 let artifacts = Cgra_exp.Figures.artifacts
 
 let list_artifacts () =

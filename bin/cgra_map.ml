@@ -1,8 +1,8 @@
 (* Command-line driver for the mapping tool-chain.
 
    cgra_map list
-   cgra_map map -k <kernel> [-c <config>] [-f <flow>] [--opt]
-                [--dump-dfg before|after] [--asm] [--simulate]
+   cgra_map map -k <kernel> [-c <config>] [-f <flow>] [--opt] [--jobs N]
+                [--trace FILE] [--dump-dfg before|after] [--asm] [--simulate]
    cgra_map compile <file>        compile a kernel-language source file
    cgra_map artifacts <name|all>  regenerate paper tables/figures *)
 
@@ -62,6 +62,25 @@ let map_cmd =
     Arg.(value & opt flow_conv Cgra_core.Flow_config.context_aware
          & info [ "f"; "flow" ] ~doc:"Mapping flow: basic, acmap, ecmap or full.")
   in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ]
+             ~doc:"Expand the search population with $(docv) domains per \
+                   round.  Expansion is RNG-free, so the mapping and every \
+                   reported counter are byte-identical at any value; only \
+                   wall-clock time changes."
+             ~docv:"N")
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ]
+             ~doc:"Write per-block search telemetry to $(docv) as JSON \
+                   lines: one object per basic block (rounds, binding \
+                   attempts, children, filter kills, wall seconds, ...) \
+                   plus a final summary object.  All counters are \
+                   deterministic; only wall_seconds varies across runs."
+             ~docv:"FILE")
+  in
   let dump_asm = Arg.(value & flag & info [ "asm" ] ~doc:"Print the per-tile assembly.") in
   let schedule = Arg.(value & flag & info [ "schedule" ] ~doc:"Print per-block schedule grids.") in
   let simulate = Arg.(value & flag & info [ "simulate" ] ~doc:"Run the cycle-level simulator and verify.") in
@@ -93,7 +112,34 @@ let map_cmd =
           (Cgra_graph.Digraph.to_dot ~label (Cgra_ir.Cdfg.dfg_graph b)))
       cdfg.Cgra_ir.Cdfg.blocks
   in
-  let run slug config flow opt dump_dfg dump_asm schedule simulate =
+  let write_trace file slug config stats =
+    let module S = Cgra_core.Search in
+    let oc = open_out file in
+    List.iter
+      (fun (bs : S.block_stats) ->
+        Printf.fprintf oc
+          "{\"kernel\":\"%s\",\"config\":\"%s\",\"block\":%d,\"name\":\"%s\",\
+           \"rounds\":%d,\"attempts\":%d,\"children\":%d,\
+           \"route_failures\":%d,\"acmap_kills\":%d,\"ecmap_kills\":%d,\
+           \"prune_survivors\":%d,\"finalize_failures\":%d,\"recomputes\":%d,\
+           \"population_peak\":%d,\"wall_seconds\":%.6f}\n"
+          slug
+          (Cgra_arch.Config.to_string config)
+          bs.S.block bs.S.block_name bs.S.rounds bs.S.attempts bs.S.children
+          bs.S.route_failures bs.S.acmap_kills bs.S.ecmap_kills
+          bs.S.prune_survivors bs.S.finalize_failures bs.S.recomputes
+          bs.S.population_peak bs.S.wall_seconds)
+      stats.Cgra_core.Flow.search;
+    Printf.fprintf oc
+      "{\"kernel\":\"%s\",\"config\":\"%s\",\"summary\":true,\"work\":%d,\
+       \"retries_used\":%d,\"recomputes\":%d,\"population_peak\":%d}\n"
+      slug
+      (Cgra_arch.Config.to_string config)
+      stats.Cgra_core.Flow.work stats.Cgra_core.Flow.retries_used
+      stats.Cgra_core.Flow.recomputes stats.Cgra_core.Flow.population_peak;
+    close_out oc
+  in
+  let run slug config flow opt jobs trace dump_dfg dump_asm schedule simulate =
     match Cgra_kernels.Kernels.by_slug slug with
     | None ->
       Printf.eprintf "unknown kernel %s (try: cgra_map list)\n" slug;
@@ -103,7 +149,10 @@ let map_cmd =
         if opt then Cgra_kernels.Kernel_def.cdfg_raw k
         else Cgra_kernels.Kernel_def.cdfg k
       in
-      let flow = { flow with Cgra_core.Flow_config.optimize = opt } in
+      let flow =
+        { flow with
+          Cgra_core.Flow_config.optimize = opt; expand_jobs = max 1 jobs }
+      in
       let opt_verify =
         if opt then
           Some
@@ -118,6 +167,11 @@ let map_cmd =
         Printf.printf "no mapping: %s\n" f.Cgra_core.Flow.reason;
         exit 2
       | Ok (m, stats) ->
+        (match trace with
+         | Some file ->
+           write_trace file slug config stats;
+           Printf.printf "search trace written to %s\n" file
+         | None -> ());
         (match stats.Cgra_core.Flow.opt with
          | Some report -> print_string (Cgra_opt.Pipeline.render_report report)
          | None -> ());
@@ -148,8 +202,8 @@ let map_cmd =
         end)
   in
   Cmd.v (Cmd.info "map" ~doc)
-    Term.(const run $ kernel $ config $ flow $ opt $ dump_dfg $ dump_asm
-          $ schedule $ simulate)
+    Term.(const run $ kernel $ config $ flow $ opt $ jobs $ trace $ dump_dfg
+          $ dump_asm $ schedule $ simulate)
 
 let compile_cmd =
   let doc = "Compile a kernel-language source file and print its CDFG." in

@@ -9,10 +9,42 @@ type stats = {
   population_peak : int;
   traversal_order : int list;
   work : int;
+  retries_used : int;
+  search : Search.block_stats list;
   opt : Cgra_opt.Pipeline.report option;
 }
 
 type result = (Mapping.t * stats, failure) Stdlib.result
+
+(* Commit the symbol homes a block's mapping pinned.  A conflicting pin —
+   the block wants a symbol on a different tile than an earlier block
+   already fixed — is a mapper invariant violation ([Search.map_block]
+   consults [homes] through its context, so it can only propose compatible
+   pins); it used to die as [Assert_failure], taking the whole harness
+   down.  Now it surfaces as a typed failure like every other mapping
+   error.  Homes preceding the conflicting entry stay committed: the flow
+   aborts on [Error], so the partially-updated array is never reused. *)
+let commit_homes ~homes ~at_block ~work new_homes =
+  let rec go = function
+    | [] -> Ok ()
+    | (s, h) :: rest ->
+      if homes.(s) >= 0 && homes.(s) <> h then
+        Error
+          {
+            reason =
+              Printf.sprintf
+                "block %d: home conflict for symbol s%d: pinned to tile %d \
+                 by an earlier block, this block's mapping wants tile %d"
+                at_block s homes.(s) h;
+            at_block = Some at_block;
+            work;
+          }
+      else begin
+        homes.(s) <- h;
+        go rest
+      end
+  in
+  go new_homes
 
 let traversal_order traversal cdfg =
   let forward =
@@ -46,7 +78,7 @@ let block_words cgra (bm : Mapping.bb_mapping) =
   Array.init nt (fun t ->
       instr.(t) + Occupancy.pnops occ.(t))
 
-let run_once ~t0 ~work ~config ~opt_report cgra cdfg =
+let run_once ~t0 ~work ~retries_used ~config ~opt_report cgra cdfg =
   match Cdfg.validate cdfg with
   | Error msg ->
     Error { reason = "invalid CDFG: " ^ msg; at_block = None; work = !work }
@@ -69,6 +101,7 @@ let run_once ~t0 ~work ~config ~opt_report cgra cdfg =
       let rng = Rng.create config.Flow_config.seed in
       let recomputes = ref 0 in
       let peak = ref 1 in
+      let block_stats = ref [] in
       let rec map_blocks acc = function
         | [] -> Ok (List.rev acc)
         | bi :: rest -> (
@@ -89,17 +122,20 @@ let run_once ~t0 ~work ~config ~opt_report cgra cdfg =
                 work = !work;
               }
           | Error reason -> Error { reason; at_block = Some bi; work = !work }
-          | Ok outcome ->
-            List.iter
-              (fun (s, h) ->
-                assert (homes.(s) < 0 || homes.(s) = h);
-                homes.(s) <- h)
-              outcome.Search.new_homes;
-            let words = block_words cgra outcome.Search.bb_mapping in
-            Array.iteri (fun t w -> committed.(t) <- committed.(t) + w) words;
-            recomputes := !recomputes + outcome.Search.recomputes;
-            peak := max !peak outcome.Search.population_peak;
-            map_blocks (outcome.Search.bb_mapping :: acc) rest)
+          | Ok outcome -> (
+            match
+              commit_homes ~homes ~at_block:bi ~work:!work
+                outcome.Search.new_homes
+            with
+            | Error _ as e -> e
+            | Ok () ->
+              let words = block_words cgra outcome.Search.bb_mapping in
+              Array.iteri (fun t w -> committed.(t) <- committed.(t) + w) words;
+              let bs = outcome.Search.stats in
+              block_stats := bs :: !block_stats;
+              recomputes := !recomputes + bs.Search.recomputes;
+              peak := max !peak bs.Search.population_peak;
+              map_blocks (outcome.Search.bb_mapping :: acc) rest))
       in
       match map_blocks [] order with
       | Error f -> Error f
@@ -136,6 +172,8 @@ let run_once ~t0 ~work ~config ~opt_report cgra cdfg =
                 population_peak = !peak;
                 traversal_order = order;
                 work = !work;
+                retries_used;
+                search = List.rev !block_stats;
                 opt = opt_report;
               } )
         else
@@ -178,7 +216,7 @@ let run ?(config = Flow_config.default) ?opt_verify cgra cdfg =
     let seeded =
       { config with Flow_config.seed = config.Flow_config.seed + (1000 * k) }
     in
-    match run_once ~t0 ~work ~config:seeded ~opt_report cgra cdfg with
+    match run_once ~t0 ~work ~retries_used:k ~config:seeded ~opt_report cgra cdfg with
     | Ok _ as ok -> ok
     | Error _ as e ->
       if k >= config.Flow_config.retries then e else attempt (k + 1)

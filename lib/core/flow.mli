@@ -23,12 +23,35 @@ type stats = {
       (** total binding attempts — the deterministic compile-effort
           counter used by Fig 9, identical across hosts and [--jobs]
           values (wall-clock time is not) *)
+  retries_used : int;
+      (** re-seeded retries consumed before the successful attempt; 0 when
+          the first attempt mapped *)
+  search : Search.block_stats list;
+      (** per-block search telemetry of the {e successful} attempt, in
+          traversal order.  Every counter except
+          [Search.block_stats.wall_seconds] is deterministic; when
+          [retries_used = 0] the per-block [attempts] sum to [work]. *)
   opt : Cgra_opt.Pipeline.report option;
       (** per-pass statistics of the pre-mapping optimization, when
           [config.optimize] was set *)
 }
 
 type result = (Mapping.t * stats, failure) Stdlib.result
+
+val commit_homes :
+  homes:int array ->
+  at_block:int ->
+  work:int ->
+  (int * int) list ->
+  (unit, failure) Stdlib.result
+(** [commit_homes ~homes ~at_block ~work pins] applies the [(sym, tile)]
+    home pins a block's mapping fixed, mutating [homes].  A pin that
+    conflicts with an already-committed home returns a typed [Error]
+    (naming the symbol and both tiles) instead of crashing — the condition
+    is a mapper invariant violation, unreachable through {!run} with
+    validated CDFGs, and this seam exists so the defence is testable.
+    Entries preceding a conflicting pin stay committed; the flow aborts on
+    [Error], so the array is never reused after one. *)
 
 val traversal_order : Flow_config.traversal -> Cgra_ir.Cdfg.t -> int list
 (** Forward: weak topological order of the CFG from the entry.  Weighted:

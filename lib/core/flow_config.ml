@@ -16,6 +16,7 @@ type t = {
   retries : int;
   seed : int;
   optimize : bool;
+  expand_jobs : int;
 }
 
 let default =
@@ -35,6 +36,7 @@ let default =
     retries = 0;
     seed = 42;
     optimize = false;
+    expand_jobs = 1;
   }
 
 let basic = default

@@ -49,6 +49,13 @@ type t = {
           CDFG before mapping (default false, so the seed artifacts stay
           byte-identical).  Orthogonal to the mapping steps: any flow can
           map either the raw or the optimized CDFG. *)
+  expand_jobs : int;
+      (** domains used to expand the partial-mapping population each
+          search round (default 1 = sequential).  Expansion is RNG-free —
+          only the stochastic pruning consumes the random stream — so the
+          mapping, the search telemetry and the deterministic [work]
+          counter are byte-identical at any value; only wall-clock time
+          changes. *)
 }
 
 val default : t

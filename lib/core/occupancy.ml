@@ -1,12 +1,19 @@
 (* Occupancy is a growable byte buffer: 0 = free, 1 = busy.  Schedules are a
-   few hundred cycles at most, so linear scans are cheap and the copies made
-   on every partial-mapping expansion stay small. *)
+   few hundred cycles at most, so linear scans are cheap — but the pnop and
+   busy counts sit on the mapper's hot path (every ACMAP/ECMAP filter and
+   every partial-mapping cost evaluation reads them), so they are maintained
+   incrementally on [occupy] instead of rescanning [bytes] on each query. *)
 
-type t = { mutable bytes : Bytes.t; mutable last : int }
+type t = {
+  mutable bytes : Bytes.t;
+  mutable last : int;
+  mutable busy : int; (* busy cycles in [0, last] *)
+  mutable runs : int; (* maximal free runs in [0, last] (pnops) *)
+}
 
-let create () = { bytes = Bytes.make 32 '\000'; last = -1 }
+let create () = { bytes = Bytes.make 32 '\000'; last = -1; busy = 0; runs = 0 }
 
-let copy t = { bytes = Bytes.copy t.bytes; last = t.last }
+let copy t = { bytes = Bytes.copy t.bytes; last = t.last; busy = t.busy; runs = t.runs }
 
 let ensure t c =
   let cap = Bytes.length t.bytes in
@@ -17,16 +24,31 @@ let ensure t c =
     t.bytes <- nb
   end
 
+let is_free t c =
+  c >= 0 && (c >= Bytes.length t.bytes || Bytes.get t.bytes c = '\000')
+
 let occupy t c =
   if c < 0 then invalid_arg "Occupancy.occupy: negative cycle";
   ensure t c;
   if Bytes.get t.bytes c <> '\000' then
     invalid_arg (Printf.sprintf "Occupancy.occupy: cycle %d already busy" c);
+  (* Run delta before flipping the byte: a busy cycle beyond [last] appends
+     one free run iff it leaves a gap; a busy cycle inside [0, last] splits
+     the free run it lands in (+1), consumes it entirely (-1, run of length
+     one), or merely shortens it (0). *)
+  if c > t.last then begin
+    if c > t.last + 1 then t.runs <- t.runs + 1;
+    t.last <- c
+  end
+  else begin
+    let left_free = c > 0 && Bytes.get t.bytes (c - 1) = '\000' in
+    let right_free = Bytes.get t.bytes (c + 1) = '\000' in
+    (* c < last here (last is busy), so c+1 <= last is in range *)
+    if left_free && right_free then t.runs <- t.runs + 1
+    else if (not left_free) && not right_free then t.runs <- t.runs - 1
+  end;
   Bytes.set t.bytes c '\001';
-  if c > t.last then t.last <- c
-
-let is_free t c =
-  c >= 0 && (c >= Bytes.length t.bytes || Bytes.get t.bytes c = '\000')
+  t.busy <- t.busy + 1
 
 let first_free_at_or_after t c =
   let c = max 0 c in
@@ -35,31 +57,18 @@ let first_free_at_or_after t c =
 
 let last_busy t = t.last
 
-let busy_count t =
-  let n = ref 0 in
-  for i = 0 to t.last do
-    if Bytes.get t.bytes i <> '\000' then incr n
-  done;
-  !n
+let busy_count t = t.busy
 
-let runs_until t limit =
-  let runs = ref 0 and in_run = ref false in
-  for c = 0 to limit - 1 do
-    let free = is_free t c in
-    if free && not !in_run then incr runs;
-    in_run := free
-  done;
-  !runs
-
-let pnops t = if t.last < 0 then 0 else runs_until t t.last
+let pnops t = t.runs
 (* runs in [0, last): the last cycle itself is busy, trailing is free. *)
 
 let pnops_optimistic t =
   if t.last < 0 then 0
-  else
-    let runs = runs_until t t.last in
+  else if
     (* a free cycle 0 means the first run is the leading gap: drop it *)
-    if is_free t 0 then max 0 (runs - 1) else runs
+    is_free t 0
+  then max 0 (t.runs - 1)
+  else t.runs
 
 let busy_cycles t =
   let acc = ref [] in

@@ -9,7 +9,12 @@
     last instruction are slept through for free; only {e leading} and
     {e interior} idle runs consume a pnop word.  This module owns that
     accounting so ACMAP (optimistic estimate), ECMAP (exact count) and the
-    final assembler all agree on it. *)
+    final assembler all agree on it.
+
+    The busy and pnop counts are maintained {e incrementally} on
+    {!occupy}, so {!pnops}, {!pnops_optimistic} and {!busy_count} are
+    O(1) — they sit on the mapper's hot path (every ACMAP/ECMAP filter
+    and cost evaluation) and must not rescan the cycle buffer. *)
 
 type t
 (** Occupancy of one tile.  Cheap to copy. *)

@@ -2,13 +2,49 @@ module Cdfg = Cgra_ir.Cdfg
 module Opcode = Cgra_ir.Opcode
 module Cgra = Cgra_arch.Cgra
 module Rng = Cgra_util.Rng
+module Pool = Cgra_util.Pool
+
+type block_stats = {
+  block : int;
+  block_name : string;
+  rounds : int;
+  attempts : int;
+  children : int;
+  route_failures : int;
+  acmap_kills : int;
+  ecmap_kills : int;
+  prune_survivors : int;
+  finalize_failures : int;
+  recomputes : int;
+  population_peak : int;
+  wall_seconds : float;
+}
 
 type outcome = {
   bb_mapping : Mapping.bb_mapping;
   new_homes : (int * int) list;
-  recomputes : int;
-  population_peak : int;
+  stats : block_stats;
 }
+
+let take n l =
+  let rec go n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: go (n - 1) tl
+  in
+  go n l
+
+(* Per-expansion effort counters.  Each parallel expansion task mutates its
+   own private tally; the driver folds them into the block tally (and the
+   flow's [work] ref) on the main domain, so the totals are race-free and
+   identical at any [expand_jobs]. *)
+type tally = { mutable attempts : int; mutable route_failures : int }
+
+let fresh_tally () = { attempts = 0; route_failures = 0 }
+
+let merge_tally ~into t =
+  into.attempts <- into.attempts + t.attempts;
+  into.route_failures <- into.route_failures + t.route_failures
 
 (* A partial mapping.  [avail.(v)] lists the (tile, ready-cycle) pairs where
    value [v] can be read; value ids are node ids, then [nnodes + sym].
@@ -23,6 +59,11 @@ type pstate = {
   sym_read : (int * int) list; (* sym -> latest read cycle of its home slot *)
   n_moves : int;
   horizon : int;
+  mutable cost_memo : int;
+      (* [cost] of this state, or -1 when not yet evaluated.  States are
+         mutated only between their creation ([copy_pstate] resets the
+         memo) and their first cost query (sorting/pruning), so the first
+         computed value stays valid for the state's lifetime. *)
 }
 
 type ctx = {
@@ -35,7 +76,12 @@ type ctx = {
   committed : int array;
   homes : int array;
   home_mask : int; (* bit t set when tile t hosts a committed symbol home *)
-  work : int ref; (* binding attempts — the deterministic effort counter *)
+  tally : tally; (* binding attempts — the deterministic effort counter *)
+  routes : (int list * int list) array;
+      (* (row-first, column-first) path per (src, dst), flattened
+         [src * ntiles + dst]: routing is queried for the same few pairs on
+         every binding attempt of the block, so the paths are computed once
+         per block instead of per probe *)
 }
 
 let ntiles ctx = Cgra.tile_count ctx.cgra
@@ -66,6 +112,7 @@ let initial_pstate ctx =
     sym_read = [];
     n_moves = 0;
     horizon = 0;
+    cost_memo = -1;
   }
 
 let copy_pstate p =
@@ -75,6 +122,7 @@ let copy_pstate p =
     instr = Array.copy p.instr;
     avail = Array.copy p.avail;
     place_cycle = Array.copy p.place_cycle;
+    cost_memo = -1;
   }
 
 let home_of ctx p s =
@@ -150,13 +198,12 @@ let ecmap_ok ?(reserve = true) ctx p =
 
 (* Probe a path without mutating the state: the arrival cycle of the value
    at the end of [path] when each hop's move goes in the earliest free slot
-   of that hop tile.  Returns None if a hop tile is blacklisted. *)
-let probe_path _ctx p ~ready path =
-  (* CAB blacklists tiles for the *binding* of operations only; routing
-     moves may still cross a full tile — the memory-aware filters judge the
-     resulting usage. *)
+   of that hop tile.  Hop tiles are never rejected: CAB blacklists tiles
+   for the *binding* of operations only; routing moves may still cross a
+   full tile — the memory-aware filters judge the resulting usage. *)
+let probe_path p ~ready path =
   let rec go ready = function
-    | [] -> Some ready
+    | [] -> ready
     | hop :: rest ->
       let c = Occupancy.first_free_at_or_after p.occ.(hop) ready in
       go (c + 1) rest
@@ -204,6 +251,16 @@ let route_col_first cgra ~src ~dst =
   else if corner_id = dst then Cgra.route cgra ~src ~dst
   else Cgra.route cgra ~src ~dst:corner_id @ Cgra.route cgra ~src:corner_id ~dst
 
+let build_routes cgra =
+  let nt = Cgra.tile_count cgra in
+  Array.init (nt * nt) (fun i ->
+      let src = i / nt and dst = i mod nt in
+      (Cgra.route cgra ~src ~dst, route_col_first cgra ~src ~dst))
+
+let paths_of ctx ~src ~dst =
+  let row, col = ctx.routes.((src * ntiles ctx) + dst) in
+  [ row; col ]
+
 (* Land [value] in [dst]'s own register file: Some (state, ready cycle).
    Used for the mandatory live-out writes, whose destination is a fixed RF
    slot.  Chooses, over the value's current locations and the two
@@ -222,16 +279,11 @@ let route_into ctx p ~value ~dst =
       let options =
         List.concat_map
           (fun (src, ready) ->
-            let paths =
-              [ Cgra.route ctx.cgra ~src ~dst;
-                route_col_first ctx.cgra ~src ~dst ]
-            in
-            List.filter_map
+            List.map
               (fun path ->
-                match probe_path ctx p ~ready path with
-                | Some arrival -> Some (arrival, List.length path, src, ready, path)
-                | None -> None)
-              paths)
+                let arrival = probe_path p ~ready path in
+                (arrival, List.length path, src, ready, path))
+              (paths_of ctx ~src ~dst))
           locs
       in
       (match List.sort compare options with
@@ -263,10 +315,6 @@ let route_usable ctx p ~value ~dst =
       let options =
         List.concat_map
           (fun (src, ready) ->
-            let paths =
-              [ Cgra.route ctx.cgra ~src ~dst;
-                route_col_first ctx.cgra ~src ~dst ]
-            in
             List.filter_map
               (fun path ->
                 (* stop one hop short: the op reads the neighbour's RF *)
@@ -274,11 +322,9 @@ let route_usable ctx p ~value ~dst =
                 | [] | [ _ ] -> None
                 | _last :: rev_prefix ->
                   let prefix = List.rev rev_prefix in
-                  (match probe_path ctx p ~ready prefix with
-                   | Some arrival ->
-                     Some (arrival, List.length prefix, src, ready, prefix)
-                   | None -> None))
-              paths)
+                  let arrival = probe_path p ~ready prefix in
+                  Some (arrival, List.length prefix, src, ready, prefix))
+              (paths_of ctx ~src ~dst))
           locs
       in
       (match List.sort compare options with
@@ -301,7 +347,7 @@ let operand_value = function
    symbol homes, books the cycle.  Returns None when routing fails (CAB
    blocked every path). *)
 let place_node ctx p ~node_id ~tile =
-  incr ctx.work;
+  ctx.tally.attempts <- ctx.tally.attempts + 1;
   let node = ctx.block.Cdfg.nodes.(node_id) in
   let p = copy_pstate p in
   (* [acc] collects (ready, source tile) per operand, reversed. *)
@@ -322,7 +368,9 @@ let place_node ctx p ~node_id ~tile =
         | Some (p, ready, src) -> bring p ((ready, src) :: acc) rest))
   in
   match bring p [] node.Cdfg.operands with
-  | None -> None
+  | None ->
+    ctx.tally.route_failures <- ctx.tally.route_failures + 1;
+    None
   | Some (p, operand_info) ->
     (* Memory-dependence edges order this node after its predecessors'
        execution cycles, wherever they were placed. *)
@@ -400,12 +448,28 @@ let expand_state ctx p node_id =
        else tiles)
   in
   let sorted = List.stable_sort (fun (a, _) (b, _) -> compare a b) children in
-  let rec take n = function
-    | [] -> []
-    | _ when n = 0 -> []
-    | (_, p) :: tl -> p :: take (n - 1) tl
-  in
-  take ctx.config.Flow_config.expand_per_state sorted
+  List.map snd (take ctx.config.Flow_config.expand_per_state sorted)
+
+(* Expand the whole population for one round.  Expansion is RNG-free (only
+   the stochastic pruning consumes the random stream) and every task works
+   on its own copies, so fanning the states out over [expand_jobs] domains
+   returns the exact sequential result; the per-task tallies are merged on
+   the main domain afterwards. *)
+let expand_population ctx pop node_id =
+  let jobs = ctx.config.Flow_config.expand_jobs in
+  let small = match pop with [] | [ _ ] -> true | _ :: _ :: _ -> false in
+  if jobs <= 1 || small then
+    List.concat_map (fun p -> expand_state ctx p node_id) pop
+  else begin
+    let tasks = List.map (fun p -> (p, fresh_tally ())) pop in
+    let results =
+      Pool.map ~jobs
+        (fun (p, tally) -> expand_state { ctx with tally } p node_id)
+        tasks
+    in
+    List.iter (fun (_, t) -> merge_tally ~into:ctx.tally t) tasks;
+    List.concat results
+  end
 
 (* Re-computation graph transformation: duplicate one already-placed
    producer of [node_id] onto a candidate tile, then retry the binding
@@ -450,13 +514,24 @@ let memory_pressure ctx p =
   done;
   !total
 
+(* Memoized per state: the sort comparators and prune filters below query
+   the cost of the same state many times, and each evaluation is O(tiles).
+   Valid because states are immutable from their first cost query onwards
+   (see [cost_memo]) and always costed under the same config. *)
 let cost ctx p =
-  let base =
-    (p.horizon * 256) + (ctx.config.Flow_config.move_weight * p.n_moves)
-  in
-  if ctx.config.Flow_config.ecmap || ctx.config.Flow_config.cab then
-    base + memory_pressure ctx p
-  else base
+  if p.cost_memo >= 0 then p.cost_memo
+  else begin
+    let base =
+      (p.horizon * 256) + (ctx.config.Flow_config.move_weight * p.n_moves)
+    in
+    let c =
+      if ctx.config.Flow_config.ecmap || ctx.config.Flow_config.cab then
+        base + memory_pressure ctx p
+      else base
+    in
+    p.cost_memo <- c;
+    c
+  end
 
 (* Stochastic threshold pruning of the basic flow: children within the
    slack of the best cost survive; the rest survive with [keep_prob]; the
@@ -477,11 +552,6 @@ let stochastic_prune ctx rng pop =
           || Rng.float rng < ctx.config.Flow_config.keep_prob)
         sorted
     in
-    let rec take n = function
-      | [] -> []
-      | _ when n = 0 -> []
-      | x :: tl -> x :: take (n - 1) tl
-    in
     (match take ctx.config.Flow_config.beam_width survivors with
      | [] -> [ best ]
      | kept -> kept)
@@ -490,12 +560,22 @@ let stochastic_prune ctx rng pop =
 
 exception Finalize_failed of string
 
+(* Fallback home for a live-out with no natural location (e.g. an
+   immediate initialiser): the tile with the most remaining context-memory
+   headroom, current load breaking ties.  Ranking by raw load alone would
+   pin homes onto small-CM tiles of heterogeneous fabrics — exactly the
+   tiles the context-aware flow tries to keep free — because an empty
+   4-word tile looks "less loaded" than a lightly-used 192-word one. *)
 let least_loaded_tile ctx p =
-  let best = ref 0 and best_load = ref max_int in
+  let best = ref 0 and best_headroom = ref min_int and best_load = ref max_int in
   for t = 0 to ntiles ctx - 1 do
     let load = ctx.committed.(t) + p.instr.(t) in
-    if load < !best_load then begin
+    let headroom = cm_of ctx t - load in
+    if headroom > !best_headroom
+       || (headroom = !best_headroom && load < !best_load)
+    then begin
       best := t;
+      best_headroom := headroom;
       best_load := load
     end
   done;
@@ -701,6 +781,7 @@ let finalize ctx p =
 (* ---- driver ---------------------------------------------------------- *)
 
 let map_block ~config ~cgra ~committed ~homes ~rng ~work cdfg bi =
+  let t_start = Cgra_util.Clock.now () in
   let block = cdfg.Cdfg.blocks.(bi) in
   let home_mask =
     Array.fold_left (fun m h -> if h >= 0 then m lor (1 lsl h) else m) 0 homes
@@ -716,21 +797,52 @@ let map_block ~config ~cgra ~committed ~homes ~rng ~work cdfg bi =
       committed;
       homes;
       home_mask;
-      work;
+      tally = fresh_tally ();
+      routes = build_routes cgra;
     }
   in
   let info = Sched.analyse cdfg bi in
   let recomputes = ref 0 in
   let peak = ref 1 in
+  let rounds_done = ref 0 in
+  let children_total = ref 0 in
+  let acmap_kills = ref 0 in
+  let ecmap_kills = ref 0 in
+  let prune_survivors = ref 0 in
+  let finalize_failures = ref 0 in
   let budget = ref config.Flow_config.recompute_budget in
+  let stats () =
+    {
+      block = bi;
+      block_name = block.Cdfg.name;
+      rounds = !rounds_done;
+      attempts = ctx.tally.attempts;
+      children = !children_total;
+      route_failures = ctx.tally.route_failures;
+      acmap_kills = !acmap_kills;
+      ecmap_kills = !ecmap_kills;
+      prune_survivors = !prune_survivors;
+      finalize_failures = !finalize_failures;
+      recomputes = !recomputes;
+      population_peak = !peak;
+      wall_seconds = Cgra_util.Clock.elapsed_s t_start;
+    }
+  in
+  let acmap_filter children =
+    if config.Flow_config.acmap then begin
+      let kept = List.filter (acmap_ok ctx) children in
+      acmap_kills := !acmap_kills + List.length children - List.length kept;
+      kept
+    end
+    else children
+  in
   let rec rounds pop = function
     | [] -> Ok pop
     | node_id :: rest ->
-      let children = List.concat_map (fun p -> expand_state ctx p node_id) pop in
-      let children =
-        if config.Flow_config.acmap then List.filter (acmap_ok ctx) children
-        else children
-      in
+      incr rounds_done;
+      let children = expand_population ctx pop node_id in
+      children_total := !children_total + List.length children;
+      let children = acmap_filter children in
       let children =
         if children <> [] then children
         else begin
@@ -748,8 +860,8 @@ let map_block ~config ~cgra ~committed ~homes ~rng ~work cdfg bi =
                   | None -> None)
                 pop
           in
-          if config.Flow_config.acmap then List.filter (acmap_ok ctx) rec_children
-          else rec_children
+          children_total := !children_total + List.length rec_children;
+          acmap_filter rec_children
         end
       in
       if children = [] then
@@ -760,8 +872,13 @@ let map_block ~config ~cgra ~committed ~homes ~rng ~work cdfg bi =
       else begin
         peak := max !peak (List.length children);
         let pop = stochastic_prune ctx rng children in
+        prune_survivors := !prune_survivors + List.length pop;
         let pop =
-          if config.Flow_config.ecmap then List.filter (ecmap_ok ctx) pop
+          if config.Flow_config.ecmap then begin
+            let kept = List.filter (ecmap_ok ctx) pop in
+            ecmap_kills := !ecmap_kills + List.length pop - List.length kept;
+            kept
+          end
           else pop
         in
         if pop = [] then
@@ -773,39 +890,46 @@ let map_block ~config ~cgra ~committed ~homes ~rng ~work cdfg bi =
         else rounds pop rest
       end
   in
-  match rounds [ initial_pstate ctx ] info.Sched.order with
-  | Error _ as e -> e
-  | Ok pop ->
-    (* Live-out writes and condition export are mandatory: they must not be
-       blocked by CAB blacklisting (CAB constrains the *binding* step only),
-       so finalisation routes with the blacklist disabled and the exact
-       filter below judges the result. *)
-    let fctx =
-      { ctx with config = { config with Flow_config.cab = false } }
-    in
-    let finalized = List.filter_map (finalize fctx) pop in
-    let finalized =
-      if config.Flow_config.ecmap then
-        List.filter (ecmap_ok ~reserve:false ctx) finalized
-      else finalized
-    in
-    (match
-       List.sort (fun a b -> compare (cost ctx a) (cost ctx b)) finalized
-     with
-     | [] ->
-       Error
-         (Printf.sprintf "block %s: no partial mapping survived finalisation"
-            block.Cdfg.name)
-     | best :: _ ->
-       let length =
-         (* at least one cycle so the controller has a section to run *)
-         max best.horizon 1
-       in
-       Ok
-         {
-           bb_mapping =
-             { Mapping.bb = bi; length; slots = List.rev best.slots };
-           new_homes = best.homes_new;
-           recomputes = !recomputes;
-           population_peak = !peak;
-         })
+  let result =
+    match rounds [ initial_pstate ctx ] info.Sched.order with
+    | Error _ as e -> e
+    | Ok pop ->
+      (* Live-out writes and condition export are mandatory: they must not be
+         blocked by CAB blacklisting (CAB constrains the *binding* step only),
+         so finalisation routes with the blacklist disabled and the exact
+         filter below judges the result. *)
+      let fctx =
+        { ctx with config = { config with Flow_config.cab = false } }
+      in
+      let finalized = List.filter_map (finalize fctx) pop in
+      finalize_failures := List.length pop - List.length finalized;
+      let finalized =
+        if config.Flow_config.ecmap then begin
+          let kept = List.filter (ecmap_ok ~reserve:false ctx) finalized in
+          ecmap_kills := !ecmap_kills + List.length finalized - List.length kept;
+          kept
+        end
+        else finalized
+      in
+      (match
+         List.sort (fun a b -> compare (cost ctx a) (cost ctx b)) finalized
+       with
+       | [] ->
+         Error
+           (Printf.sprintf "block %s: no partial mapping survived finalisation"
+              block.Cdfg.name)
+       | best :: _ ->
+         let length =
+           (* at least one cycle so the controller has a section to run *)
+           max best.horizon 1
+         in
+         Ok
+           {
+             bb_mapping =
+               { Mapping.bb = bi; length; slots = List.rev best.slots };
+             new_homes = best.homes_new;
+             stats = stats ();
+           })
+  in
+  work := !work + ctx.tally.attempts;
+  match result with Error _ as e -> e | Ok _ as ok -> ok

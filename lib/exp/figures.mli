@@ -50,6 +50,15 @@ val opt_report : unit -> string
     CDFG under the basic flow on all four configurations ("-" marks
     configurations the raw kernel does not even fit). *)
 
+val search_report : unit -> string
+(** Not in the paper: per-block beam-search telemetry of the full
+    context-aware flow on HET2 — rounds, binding attempts, children
+    generated, routing failures, ACMAP/ECMAP kills, stochastic-pruning
+    survivors, finalisation failures, re-computations and population
+    peak, plus per-kernel work and retry totals.  Deterministic effort
+    counts only (no wall-clock), so it reproduces byte-for-byte on any
+    host at any [--jobs]. *)
+
 val run_all : unit -> string
 (** The paper set ({!artifacts}), concatenated in paper order. *)
 
@@ -58,8 +67,8 @@ val artifacts : (string * (unit -> string)) list
     the single source of truth for the drivers' artifact lookup. *)
 
 val extra_artifacts : (string * (unit -> string)) list
-(** Beyond-the-paper artifacts ({!opt_report}); not part of [run_all] so
-    the seed output stays byte-identical. *)
+(** Beyond-the-paper artifacts ({!opt_report}, {!search_report}); not
+    part of [run_all] so the seed output stays byte-identical. *)
 
 val all_artifacts : (string * (unit -> string)) list
 val artifact_names : string list

@@ -60,6 +60,8 @@ type run = {
   energy : Cgra_power.Energy.breakdown;
   compile_seconds : float;
   compile_work : int;
+  retries_used : int;
+  search : Cgra_core.Search.block_stats list;
   opt_stats : Cgra_opt.Pipeline.report option;
 }
 
@@ -176,6 +178,8 @@ let run_of ?opt k config flow =
           Mapped
             { mapping; sim; cycles = sim.Cgra_sim.Simulator.cycles; energy;
               compile_seconds; compile_work;
+              retries_used = stats.Cgra_core.Flow.retries_used;
+              search = stats.Cgra_core.Flow.search;
               opt_stats = stats.Cgra_core.Flow.opt }))
 
 type cpu_run = {
@@ -228,4 +232,9 @@ let clear_caches () =
   Mutex.lock memo_mutex;
   Hashtbl.reset cache;
   Hashtbl.reset cpu_cache;
+  (* Reset the compute counter together with the caches: it counts
+     computations *since the last clear*, and tests that clear the cache
+     and then assert "computed exactly once" would otherwise see the
+     residue of every cell computed before the clear. *)
+  Atomic.set computes 0;
   Mutex.unlock memo_mutex

@@ -58,6 +58,11 @@ type run = {
   compile_work : int;
       (** deterministic search effort (binding attempts) — use this, not
           [compile_seconds], for anything that must reproduce exactly *)
+  retries_used : int;
+      (** re-seeded flow retries consumed before the mapping succeeded *)
+  search : Cgra_core.Search.block_stats list;
+      (** per-block search telemetry of the successful attempt, traversal
+          order; deterministic except for the [wall_seconds] field *)
   opt_stats : Cgra_opt.Pipeline.report option;
       (** pass statistics when the cell ran in [Optimized] mode *)
 }
@@ -105,10 +110,11 @@ val warm : ?jobs:int -> unit -> unit
     any [jobs]. *)
 
 val compute_count : unit -> int
-(** Number of cells actually computed (not served from cache) since
-    process start, across both caches.  For tests: a concurrent storm of
-    [run_of] calls on one key must raise this by exactly 1. *)
+(** Number of cells actually computed (not served from cache) since the
+    last {!clear_caches} (or process start), across both caches.  For
+    tests: a concurrent storm of [run_of] calls on one key must raise
+    this by exactly 1. *)
 
 val clear_caches : unit -> unit
-(** Drop both caches (tests only).  Do not call while cells are being
-    computed. *)
+(** Drop both caches and reset {!compute_count} to 0 (tests only).  Do
+    not call while cells are being computed. *)

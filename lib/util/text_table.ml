@@ -2,7 +2,11 @@ let pad s w =
   let n = String.length s in
   if n >= w then s else s ^ String.make (w - n) ' '
 
-let render ~header ~rows =
+let pad_left s w =
+  let n = String.length s in
+  if n >= w then s else String.make (w - n) ' ' ^ s
+
+let render_aligned ~header ~align ~rows =
   let ncols =
     List.fold_left (fun acc r -> max acc (List.length r)) (List.length header) rows
   in
@@ -16,8 +20,18 @@ let render ~header ~rows =
     List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
   in
   List.iter note_widths all;
+  let dir i =
+    match List.nth_opt align i with Some `R -> `R | Some `L | None -> `L
+  in
   let line row =
-    let cells = List.mapi (fun i cell -> pad cell widths.(i)) row in
+    let cells =
+      List.mapi
+        (fun i cell ->
+          match dir i with
+          | `L -> pad cell widths.(i)
+          | `R -> pad_left cell widths.(i))
+        row
+    in
     let s = String.concat "  " cells in
     (* trim trailing spaces *)
     let n = ref (String.length s) in
@@ -31,6 +45,8 @@ let render ~header ~rows =
   in
   let body = List.map line rows in
   String.concat "\n" ((line (fill header)) :: sep :: body) ^ "\n"
+
+let render ~header ~rows = render_aligned ~header ~align:[] ~rows
 
 let float_cell v =
   if Float.is_integer v && Float.abs v < 1e6 then Printf.sprintf "%.0f" v

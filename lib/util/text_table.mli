@@ -9,6 +9,15 @@ val render : header:string list -> rows:string list list -> string
     separator line under the header.  Rows shorter than the header are
     padded with empty cells. *)
 
+val render_aligned :
+  header:string list ->
+  align:[ `L | `R ] list ->
+  rows:string list list ->
+  string
+(** {!render} with per-column alignment; columns beyond the length of
+    [align] stay left-aligned, so [~align:[]] is exactly {!render} —
+    existing artifacts keep their historical layout. *)
+
 val bar_chart :
   title:string -> ?width:int -> (string * float) list -> string
 (** [bar_chart ~title series] renders one horizontal ASCII bar per labelled

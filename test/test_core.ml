@@ -45,6 +45,41 @@ let test_occupancy_double_book () =
        false
      with Invalid_argument _ -> true)
 
+(* Reference implementation of the counters that [occupy] now maintains
+   incrementally: rescan the busy-cycle list and count maximal gaps in
+   [0, last_busy] the slow, obviously-correct way. *)
+let reference_counts o =
+  let cycles = Occ.busy_cycles o in
+  let busy = List.length cycles in
+  let runs =
+    match cycles with
+    | [] -> 0
+    | first :: rest ->
+      let lead = if first > 0 then 1 else 0 in
+      let rec gaps prev = function
+        | [] -> 0
+        | c :: tl -> (if c > prev + 1 then 1 else 0) + gaps c tl
+      in
+      lead + gaps first rest
+  in
+  (busy, runs)
+
+let prop_incremental_counts =
+  QCheck.Test.make
+    ~name:"incremental busy/pnop counts match a full rescan" ~count:500
+    QCheck.(list_of_size Gen.(int_range 0 40) (int_bound 63))
+    (fun cycles ->
+      let o = Occ.create () in
+      List.for_all
+        (fun c ->
+          if Occ.is_free o c then Occ.occupy o c;
+          (* the invariant must hold after *every* occupy, not just at the
+             end: interior splits, run merges and appends all occur mid-
+             sequence *)
+          let busy, runs = reference_counts o in
+          Occ.busy_count o = busy && Occ.pnops o = runs)
+        cycles)
+
 let prop_optimistic_le_exact =
   QCheck.Test.make ~name:"optimistic pnops <= exact pnops" ~count:300
     QCheck.(list_of_size Gen.(int_range 0 30) (int_bound 63))
@@ -259,6 +294,78 @@ let test_flow_rejects_cyclic_dfg () =
     Alcotest.(check bool) "reason mentions the offending node" true
       (String.length f.Flow.reason > 0)
 
+(* Fallback home selection must rank by remaining context-memory headroom,
+   not by raw load: on a fabric with one starved tile, pinning a symbol
+   home there (just because it is empty) wastes exactly the capacity the
+   context-aware flow tries to preserve.  Tile 0 here has 6 words; with
+   load-based ranking it wins the tie at load 0 and hosts the home. *)
+let test_least_loaded_headroom () =
+  let cgra =
+    Cgra_arch.Cgra.make ~cm_of_tile:(fun t -> if t = 0 then 6 else 64) ()
+  in
+  let cdfg = loop_cdfg () in
+  match Flow.run cgra cdfg with
+  | Error f -> Alcotest.fail f.Flow.reason
+  | Ok (m, _) ->
+    Array.iter
+      (fun h ->
+        Alcotest.(check bool) "home avoids the starved tile" true (h <> 0))
+      m.M.homes
+
+(* A block mapping that pins a symbol home conflicting with an earlier
+   block's pin is a mapper invariant violation; it must surface as a typed
+   flow failure, not an [Assert_failure] crash. *)
+let test_commit_homes_conflict () =
+  let homes = [| 3; -1 |] in
+  (match Flow.commit_homes ~homes ~at_block:7 ~work:42 [ (1, 2); (0, 5) ] with
+   | Ok () -> Alcotest.fail "conflicting pin must be rejected"
+   | Error f ->
+     Alcotest.(check (option int)) "failure names the block" (Some 7)
+       f.Flow.at_block;
+     Alcotest.(check int) "failure reports the work spent" 42 f.Flow.work;
+     Alcotest.(check bool) "reason names symbol and tiles" true
+       (let has needle =
+          let len = String.length needle in
+          let n = String.length f.Flow.reason in
+          let rec go i =
+            i + len <= n && (String.sub f.Flow.reason i len = needle || go (i + 1))
+          in
+          go 0
+        in
+        has "s0" && has "tile 3" && has "tile 5"));
+  Alcotest.(check int) "pins before the conflict stay committed" 2 homes.(1);
+  let homes = [| 3; -1 |] in
+  (match Flow.commit_homes ~homes ~at_block:0 ~work:0 [ (0, 3); (1, 9) ] with
+   | Error f -> Alcotest.fail f.Flow.reason
+   | Ok () ->
+     Alcotest.(check int) "re-pin to the same tile is fine" 3 homes.(0);
+     Alcotest.(check int) "fresh pin committed" 9 homes.(1))
+
+let test_search_stats_consistency () =
+  let module S = Cgra_core.Search in
+  let cdfg = loop_cdfg () in
+  match Flow.run (Config.cgra Config.HOM64) cdfg with
+  | Error f -> Alcotest.fail f.Flow.reason
+  | Ok (_, stats) ->
+    Alcotest.(check int) "no retries needed" 0 stats.Flow.retries_used;
+    Alcotest.(check int) "one telemetry record per block" 3
+      (List.length stats.Flow.search);
+    let sum =
+      List.fold_left (fun a bs -> a + bs.S.attempts) 0 stats.Flow.search
+    in
+    Alcotest.(check int) "per-block attempts sum to the work counter"
+      stats.Flow.work sum;
+    Alcotest.(check int) "recomputes aggregate" stats.Flow.recomputes
+      (List.fold_left (fun a bs -> a + bs.S.recomputes) 0 stats.Flow.search);
+    List.iter
+      (fun (bs : S.block_stats) ->
+        Alcotest.(check bool) "children bounded by attempts" true
+          (bs.S.children <= bs.S.attempts);
+        Alcotest.(check bool) "peak positive" true (bs.S.population_peak >= 1);
+        Alcotest.(check bool) "wall time non-negative" true
+          (bs.S.wall_seconds >= 0.0))
+      stats.Flow.search
+
 let test_steps_labels () =
   Alcotest.(check string) "basic" "basic" (FC.steps_of FC.basic);
   Alcotest.(check string) "full" "basic+WT+ACMAP+ECMAP+CAB"
@@ -269,6 +376,7 @@ let suite =
       [ Alcotest.test_case "occupancy basics" `Quick test_occupancy_basics;
         Alcotest.test_case "occupancy dense" `Quick test_occupancy_dense;
         Alcotest.test_case "occupancy double booking" `Quick test_occupancy_double_book;
+        QCheck_alcotest.to_alcotest prop_incremental_counts;
         QCheck_alcotest.to_alcotest prop_optimistic_le_exact;
         QCheck_alcotest.to_alcotest prop_pnops_bounded_by_busy;
         Alcotest.test_case "sched levels" `Quick test_sched_levels;
@@ -284,4 +392,10 @@ let suite =
         Alcotest.test_case "flow rejects cyclic DFG" `Quick
           test_flow_rejects_cyclic_dfg;
         Alcotest.test_case "schedule rendering" `Quick test_pp_schedule;
+        Alcotest.test_case "home fallback ranks by CM headroom" `Quick
+          test_least_loaded_headroom;
+        Alcotest.test_case "home conflict is a typed error" `Quick
+          test_commit_homes_conflict;
+        Alcotest.test_case "search telemetry consistent" `Quick
+          test_search_stats_consistency;
         Alcotest.test_case "flow labels" `Quick test_steps_labels ] ) ]

@@ -94,6 +94,67 @@ let test_jobs_invariant () =
   let par = Pool.map ~jobs:4 signature sub_grid in
   Alcotest.(check (list string)) "cells identical at jobs 1 vs 4" seq par
 
+let test_clear_resets_compute_count () =
+  Runner.clear_caches ();
+  let k = List.hd Runner.kernels in
+  ignore (Runner.run_of k Cgra_arch.Config.HOM64 Runner.Basic);
+  Alcotest.(check bool) "computed at least once" true
+    (Runner.compute_count () >= 1);
+  Runner.clear_caches ();
+  Alcotest.(check int) "counter reset with the caches" 0
+    (Runner.compute_count ());
+  ignore (Runner.run_of k Cgra_arch.Config.HOM64 Runner.Basic);
+  Alcotest.(check int) "exactly one compute after the clear" 1
+    (Runner.compute_count ())
+
+(* ---- parallel population expansion ------------------------------------ *)
+
+(* [expand_jobs] fans each search round's population out over domains; the
+   expansion is RNG-free, so the mapping AND every deterministic telemetry
+   counter must be identical at any job count — wall-clock is the only
+   thing allowed to differ. *)
+let test_expand_jobs_invariant () =
+  let module S = Cgra_core.Search in
+  let k = Option.get (Cgra_kernels.Kernels.by_slug "fft") in
+  let cdfg = Cgra_kernels.Kernel_def.cdfg k in
+  let cgra = Cgra_arch.Config.cgra Cgra_arch.Config.HET2 in
+  let run jobs =
+    let config =
+      { Cgra_core.Flow_config.context_aware with expand_jobs = jobs }
+    in
+    match Cgra_core.Flow.run ~config cgra cdfg with
+    | Error f -> Alcotest.fail f.Cgra_core.Flow.reason
+    | Ok (m, stats) ->
+      let block_sig (bs : S.block_stats) =
+        Printf.sprintf "%s: r%d a%d c%d nr%d ak%d ek%d ps%d ff%d rc%d pk%d"
+          bs.S.block_name bs.S.rounds bs.S.attempts bs.S.children
+          bs.S.route_failures bs.S.acmap_kills bs.S.ecmap_kills
+          bs.S.prune_survivors bs.S.finalize_failures bs.S.recomputes
+          bs.S.population_peak
+      in
+      Printf.sprintf "moves %d, work %d, retries %d | %s"
+        (Cgra_core.Mapping.total_moves m)
+        stats.Cgra_core.Flow.work stats.Cgra_core.Flow.retries_used
+        (String.concat "; " (List.map block_sig stats.Cgra_core.Flow.search))
+  in
+  let seq = run 1 in
+  Alcotest.(check string) "jobs 2 byte-identical" seq (run 2);
+  Alcotest.(check string) "jobs 8 byte-identical" seq (run 8)
+
+(* The search_report artifact is built from those counters only, so the
+   rendered report must also be byte-identical however the grid cells are
+   evaluated. *)
+let test_search_report_jobs_invariant () =
+  let report jobs =
+    Runner.clear_caches ();
+    Pool.iter ~jobs
+      (fun k -> ignore (Runner.run_of k Cgra_arch.Config.HET2 Runner.Full))
+      Runner.kernels;
+    Cgra_exp.Figures.search_report ()
+  in
+  Alcotest.(check string) "search_report identical at jobs 1 vs 4" (report 1)
+    (report 4)
+
 (* Keyed per-cell seeds: the same cell reproduces in isolation, outside the
    cache and independent of any other cell having run. *)
 let test_cell_reproducible_in_isolation () =
@@ -123,6 +184,12 @@ let suite =
         Alcotest.test_case "pool covers every item" `Quick
           test_pool_runs_everything;
         Alcotest.test_case "cache computes once" `Quick test_cache_computes_once;
+        Alcotest.test_case "clear_caches resets compute count" `Quick
+          test_clear_resets_compute_count;
         Alcotest.test_case "cell reproducible in isolation" `Quick
           test_cell_reproducible_in_isolation;
+        Alcotest.test_case "expand_jobs invariant" `Slow
+          test_expand_jobs_invariant;
+        Alcotest.test_case "search_report jobs-invariant" `Slow
+          test_search_report_jobs_invariant;
         Alcotest.test_case "artifacts jobs-invariant" `Slow test_jobs_invariant ] ) ]
