@@ -17,6 +17,9 @@
    to the seed harness.  The opt_report artifact compares raw vs optimized
    directly and ignores the flag.
 
+   --trials N sizes the fault_report injection campaigns (default 120 per
+   kernel); the table is deterministic for a given N at any --jobs.
+
    Artifact regeneration prints the same rows/series as the paper's
    evaluation section (see EXPERIMENTS.md for the paper-vs-measured
    record). *)
@@ -262,26 +265,35 @@ let parse_flags args =
     String.length s >= String.length prefix
     && String.sub s 0 (String.length prefix) = prefix
   in
-  let bad n =
-    Printf.eprintf "invalid --jobs value %S\n" n;
+  let bad flag n =
+    Printf.eprintf "invalid %s value %S\n" flag n;
     exit 1
   in
-  let parse n = match int_of_string_opt n with Some j -> j | None -> bad n in
-  let rec go jobs opt acc = function
-    | [] -> (jobs, opt, List.rev acc)
-    | ("--jobs" | "-j") :: n :: rest -> go (Some (parse n)) opt acc rest
-    | [ ("--jobs" | "-j") ] -> bad "<missing>"
+  let parse flag n =
+    match int_of_string_opt n with Some j -> j | None -> bad flag n
+  in
+  let rec go jobs opt trials acc = function
+    | [] -> (jobs, opt, trials, List.rev acc)
+    | ("--jobs" | "-j") :: n :: rest ->
+      go (Some (parse "--jobs" n)) opt trials acc rest
+    | [ ("--jobs" | "-j") ] -> bad "--jobs" "<missing>"
     | arg :: rest when starts_with "--jobs=" arg ->
       let n = String.sub arg 7 (String.length arg - 7) in
-      go (Some (parse n)) opt acc rest
-    | "--opt" :: rest -> go jobs true acc rest
-    | arg :: rest -> go jobs opt (arg :: acc) rest
+      go (Some (parse "--jobs" n)) opt trials acc rest
+    | "--trials" :: n :: rest -> go jobs opt (Some (parse "--trials" n)) acc rest
+    | [ "--trials" ] -> bad "--trials" "<missing>"
+    | arg :: rest when starts_with "--trials=" arg ->
+      let n = String.sub arg 9 (String.length arg - 9) in
+      go jobs opt (Some (parse "--trials" n)) acc rest
+    | "--opt" :: rest -> go jobs true trials acc rest
+    | arg :: rest -> go jobs opt trials (arg :: acc) rest
   in
-  go None false [] args
+  go None false None [] args
 
 let () =
-  let jobs, opt, rest = parse_flags (List.tl (Array.to_list Sys.argv)) in
+  let jobs, opt, trials, rest = parse_flags (List.tl (Array.to_list Sys.argv)) in
   if opt then Cgra_exp.Runner.set_opt_mode Cgra_exp.Runner.Optimized;
+  Option.iter Cgra_exp.Figures.set_fault_trials trials;
   let warm () = Cgra_exp.Runner.warm ?jobs () in
   match rest with
   | [] ->
@@ -302,7 +314,7 @@ let () =
     print_artifact name
   | _ ->
     prerr_endline
-      "usage: main.exe [--jobs N] [--opt] \
+      "usage: main.exe [--jobs N] [--opt] [--trials N] \
        [<artifact>|all|micro|ablation|list]   (artifact names: main.exe \
        list)";
     exit 1

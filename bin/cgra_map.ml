@@ -3,6 +3,9 @@
    cgra_map list
    cgra_map map -k <kernel> [-c <config>] [-f <flow>] [--opt] [--jobs N]
                 [--trace FILE] [--dump-dfg before|after] [--asm] [--simulate]
+                [--validate] [--degrade] [--max-attempts N]
+   cgra_map fault -k <kernel> [-c <config>] [-f <flow>] [--seed N]
+                  [--trials K] [--show M]
    cgra_map compile <file>        compile a kernel-language source file
    cgra_map artifacts <name|all>  regenerate paper tables/figures *)
 
@@ -81,6 +84,26 @@ let map_cmd =
                    deterministic; only wall_seconds varies across runs."
              ~docv:"FILE")
   in
+  let validate =
+    Arg.(value & flag
+         & info [ "validate" ]
+             ~doc:"Re-check the produced mapping with the independent \
+                   cgra_verify validator (context-memory capacity, \
+                   neighbour distances, operand readiness, encoding \
+                   round-trip, ...) before reporting it.")
+  in
+  let degrade =
+    Arg.(value & flag
+         & info [ "degrade" ]
+             ~doc:"On failure, retry with an escalation ladder (wider beam, \
+                   more expansion, softer pruning, fresh seeds) instead of \
+                   plain re-seeding, and print the escalation trace.")
+  in
+  let max_attempts =
+    Arg.(value & opt int 6
+         & info [ "max-attempts" ]
+             ~doc:"Attempt budget of the --degrade ladder." ~docv:"N")
+  in
   let dump_asm = Arg.(value & flag & info [ "asm" ] ~doc:"Print the per-tile assembly.") in
   let schedule = Arg.(value & flag & info [ "schedule" ] ~doc:"Print per-block schedule grids.") in
   let simulate = Arg.(value & flag & info [ "simulate" ] ~doc:"Run the cycle-level simulator and verify.") in
@@ -139,7 +162,8 @@ let map_cmd =
       stats.Cgra_core.Flow.recomputes stats.Cgra_core.Flow.population_peak;
     close_out oc
   in
-  let run slug config flow opt jobs trace dump_dfg dump_asm schedule simulate =
+  let run slug config flow opt jobs validate degrade max_attempts trace
+      dump_dfg dump_asm schedule simulate =
     match Cgra_kernels.Kernels.by_slug slug with
     | None ->
       Printf.eprintf "unknown kernel %s (try: cgra_map list)\n" slug;
@@ -149,9 +173,11 @@ let map_cmd =
         if opt then Cgra_kernels.Kernel_def.cdfg_raw k
         else Cgra_kernels.Kernel_def.cdfg k
       in
+      if validate then Cgra_verify.Validator.install ();
       let flow =
         { flow with
-          Cgra_core.Flow_config.optimize = opt; expand_jobs = max 1 jobs }
+          Cgra_core.Flow_config.optimize = opt; expand_jobs = max 1 jobs;
+          validate; degrade; max_attempts = max 1 max_attempts }
       in
       let opt_verify =
         if opt then
@@ -162,11 +188,22 @@ let map_cmd =
       in
       let cgra = Cgra_arch.Config.cgra config in
       if dump_dfg = Some `Before then dump_dfg_of cdfg;
+      let print_escalations = function
+        | [] -> ()
+        | es ->
+          List.iter
+            (fun e ->
+              Printf.printf "  escalation: %s\n"
+                (Cgra_core.Flow.escalation_to_string e))
+            es
+      in
       match Cgra_core.Flow.run ~config:flow ?opt_verify cgra cdfg with
       | Error f ->
         Printf.printf "no mapping: %s\n" f.Cgra_core.Flow.reason;
+        print_escalations f.Cgra_core.Flow.gave_up;
         exit 2
       | Ok (m, stats) ->
+        print_escalations stats.Cgra_core.Flow.escalations;
         (match trace with
          | Some file ->
            write_trace file slug config stats;
@@ -202,8 +239,90 @@ let map_cmd =
         end)
   in
   Cmd.v (Cmd.info "map" ~doc)
-    Term.(const run $ kernel $ config $ flow $ opt $ jobs $ trace $ dump_dfg
-          $ dump_asm $ schedule $ simulate)
+    Term.(const run $ kernel $ config $ flow $ opt $ jobs $ validate $ degrade
+          $ max_attempts $ trace $ dump_dfg $ dump_asm $ schedule $ simulate)
+
+let fault_cmd =
+  let doc =
+    "Run a deterministic single-bit fault-injection campaign on a mapped \
+     kernel."
+  in
+  let kernel =
+    Arg.(required & opt (some string) None & info [ "k"; "kernel" ] ~doc:"Kernel slug.")
+  in
+  let config =
+    Arg.(value & opt config_conv Cgra_arch.Config.HET2 & info [ "c"; "config" ] ~doc:"CM configuration.")
+  in
+  let flow =
+    Arg.(value & opt flow_conv Cgra_core.Flow_config.context_aware
+         & info [ "f"; "flow" ] ~doc:"Mapping flow: basic, acmap, ecmap or full.")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Campaign RNG seed." ~docv:"N")
+  in
+  let trials =
+    Arg.(value & opt int 120
+         & info [ "trials" ] ~doc:"Number of single-fault trials." ~docv:"K")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ]
+             ~doc:"Run trials on $(docv) domains (default: the machine's \
+                   recommended count).  The report is byte-identical at any \
+                   value."
+             ~docv:"N")
+  in
+  let show =
+    Arg.(value & opt int 10
+         & info [ "show" ]
+             ~doc:"Print the first $(docv) non-masked trials in full."
+             ~docv:"M")
+  in
+  let run slug config flow seed trials jobs show =
+    match Cgra_kernels.Kernels.by_slug slug with
+    | None ->
+      Printf.eprintf "unknown kernel %s (try: cgra_map list)\n" slug;
+      exit 1
+    | Some k -> (
+      let cdfg = Cgra_kernels.Kernel_def.cdfg k in
+      let cgra = Cgra_arch.Config.cgra config in
+      match Cgra_core.Flow.run ~config:flow cgra cdfg with
+      | Error f ->
+        Printf.printf "no mapping: %s\n" f.Cgra_core.Flow.reason;
+        exit 2
+      | Ok (m, _) ->
+        let module F = Cgra_verify.Fault in
+        let program = Cgra_asm.Assemble.assemble m in
+        let key =
+          Printf.sprintf "%s/%s/%s/fault" slug
+            (Cgra_arch.Config.to_string config)
+            (Cgra_core.Flow_config.steps_of flow)
+        in
+        let c =
+          F.run_campaign ?jobs ~seed ~trials:(max 1 trials) ~key
+            ~fresh_mem:(fun () -> Cgra_kernels.Kernel_def.fresh_mem k)
+            program
+        in
+        let s = c.F.summary in
+        Printf.printf
+          "campaign %s: %d trials, seed %d, fault-free %d cycles\n\
+           masked %d, wrong-output %d, crash %d, hang %d  (%.1f%% masked)\n"
+          key s.F.trials seed c.F.golden_cycles s.F.masked s.F.wrong_output
+          s.F.crash s.F.hang
+          (100.0 *. float_of_int s.F.masked /. float_of_int s.F.trials);
+        let interesting =
+          List.filter (fun (t : F.trial) -> t.F.outcome <> F.Masked) c.F.runs
+        in
+        List.iteri
+          (fun i (t : F.trial) ->
+            if i < show then
+              Printf.printf "  trial %3d: %s -> %s\n" t.F.index
+                (F.injection_to_string t.F.injection)
+                (F.outcome_to_string t.F.outcome))
+          interesting)
+  in
+  Cmd.v (Cmd.info "fault" ~doc)
+    Term.(const run $ kernel $ config $ flow $ seed $ trials $ jobs $ show)
 
 let compile_cmd =
   let doc = "Compile a kernel-language source file and print its CDFG." in
@@ -286,4 +405,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; map_cmd; compile_cmd; stats_cmd; artifacts_cmd ]))
+          [ list_cmd; map_cmd; fault_cmd; compile_cmd; stats_cmd;
+            artifacts_cmd ]))

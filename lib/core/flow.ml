@@ -2,7 +2,23 @@ module Cdfg = Cgra_ir.Cdfg
 module Cgra = Cgra_arch.Cgra
 module Rng = Cgra_util.Rng
 
-type failure = { reason : string; at_block : int option; work : int }
+type escalation = {
+  e_attempt : int;
+  e_seed : int;
+  e_beam_width : int;
+  e_expand_per_state : int;
+  e_keep_prob : float;
+  e_prune_slack : float;
+  e_reason : string;
+  e_at_block : int option;
+}
+
+type failure = {
+  reason : string;
+  at_block : int option;
+  work : int;
+  gave_up : escalation list;
+}
 
 type stats = {
   recomputes : int;
@@ -12,9 +28,27 @@ type stats = {
   retries_used : int;
   search : Search.block_stats list;
   opt : Cgra_opt.Pipeline.report option;
+  escalations : escalation list;
 }
 
 type result = (Mapping.t * stats, failure) Stdlib.result
+
+let escalation_to_string e =
+  Printf.sprintf
+    "attempt %d: seed=%d beam=%d expand=%d keep_prob=%.3f slack=%.3f -> %s%s"
+    e.e_attempt e.e_seed e.e_beam_width e.e_expand_per_state e.e_keep_prob
+    e.e_prune_slack e.e_reason
+    (match e.e_at_block with
+     | None -> ""
+     | Some b -> Printf.sprintf " (at block %d)" b)
+
+(* The independent mapping validator lives in [cgra_verify], which depends
+   on this library (it re-checks assembled programs too), so [Flow] reaches
+   it through an installed hook rather than a direct call.
+   [Cgra_verify.Validator.install] registers it; [Flow_config.validate]
+   turns it on per run. *)
+let validator : (Mapping.t -> string list) option ref = ref None
+let set_validator f = validator := Some f
 
 (* Commit the symbol homes a block's mapping pinned.  A conflicting pin —
    the block wants a symbol on a different tile than an earlier block
@@ -38,6 +72,7 @@ let commit_homes ~homes ~at_block ~work new_homes =
                 at_block s homes.(s) h;
             at_block = Some at_block;
             work;
+            gave_up = [];
           }
       else begin
         homes.(s) <- h;
@@ -81,7 +116,7 @@ let block_words cgra (bm : Mapping.bb_mapping) =
 let run_once ~t0 ~work ~retries_used ~config ~opt_report cgra cdfg =
   match Cdfg.validate cdfg with
   | Error msg ->
-    Error { reason = "invalid CDFG: " ^ msg; at_block = None; work = !work }
+    Error { reason = "invalid CDFG: " ^ msg; at_block = None; work = !work; gave_up = [] }
   | Ok () ->
     if cdfg.Cdfg.sym_count > cgra.Cgra.rf_words then
       Error
@@ -92,6 +127,7 @@ let run_once ~t0 ~work ~retries_used ~config ~opt_report cgra cdfg =
               cdfg.Cdfg.sym_count cgra.Cgra.rf_words;
           at_block = None;
           work = !work;
+          gave_up = [];
         }
     else begin
       let order = traversal_order config.Flow_config.traversal cdfg in
@@ -120,8 +156,10 @@ let run_once ~t0 ~work ~retries_used ~config ~opt_report cgra cdfg =
                     (String.concat ", " (List.map string_of_int ids));
                 at_block = Some bi;
                 work = !work;
+                gave_up = [];
               }
-          | Error reason -> Error { reason; at_block = Some bi; work = !work }
+          | Error reason ->
+            Error { reason; at_block = Some bi; work = !work; gave_up = [] }
           | Ok outcome -> (
             match
               commit_homes ~homes ~at_block:bi ~work:!work
@@ -175,6 +213,7 @@ let run_once ~t0 ~work ~retries_used ~config ~opt_report cgra cdfg =
                 retries_used;
                 search = List.rev !block_stats;
                 opt = opt_report;
+                escalations = [];
               } )
         else
           let culprits =
@@ -188,6 +227,7 @@ let run_once ~t0 ~work ~retries_used ~config ~opt_report cgra cdfg =
               reason = "context memory overflow: " ^ culprits;
               at_block = None;
               work = !work;
+              gave_up = [];
             }
     end
 
@@ -209,16 +249,106 @@ let run ?(config = Flow_config.default) ?opt_verify cgra cdfg =
     end
     else (cdfg, None)
   in
-  (* The stochastic pruning can dead-end; the context-aware flows re-seed
-     and retry a couple of times before declaring the configuration
-     unmappable.  [compile_seconds] and [work] cover all attempts. *)
-  let rec attempt k =
-    let seeded =
-      { config with Flow_config.seed = config.Flow_config.seed + (1000 * k) }
-    in
-    match run_once ~t0 ~work ~retries_used:k ~config:seeded ~opt_report cgra cdfg with
-    | Ok _ as ok -> ok
-    | Error _ as e ->
-      if k >= config.Flow_config.retries then e else attempt (k + 1)
+  let escalation_of ~attempt (c : Flow_config.t) (f : failure) =
+    {
+      e_attempt = attempt;
+      e_seed = c.Flow_config.seed;
+      e_beam_width = c.Flow_config.beam_width;
+      e_expand_per_state = c.Flow_config.expand_per_state;
+      e_keep_prob = c.Flow_config.keep_prob;
+      e_prune_slack = c.Flow_config.prune_slack;
+      e_reason = f.reason;
+      e_at_block = f.at_block;
+    }
   in
-  attempt 0
+  (* Independent re-validation of a successful mapping (the tentpole's
+     third eye): a violation is a mapper bug, not a stochastic dead-end,
+     so it is never retried. *)
+  let validated = function
+    | Error _ as e -> e
+    | Ok (mapping, _stats) as ok ->
+      if not config.Flow_config.validate then ok
+      else (
+        match !validator with
+        | None ->
+          Error
+            {
+              reason =
+                "validate requested but no validator is installed \
+                 (call Cgra_verify.Validator.install ())";
+              at_block = None;
+              work = !work;
+              gave_up = [];
+            }
+        | Some check -> (
+          match check mapping with
+          | [] -> ok
+          | violations ->
+            Error
+              {
+                reason =
+                  Printf.sprintf "validation failed: %s"
+                    (String.concat "; " violations);
+                at_block = None;
+                work = !work;
+                gave_up = [];
+              }))
+  in
+  let result =
+    if not config.Flow_config.degrade then
+      (* The stochastic pruning can dead-end; the context-aware flows
+         re-seed and retry a couple of times before declaring the
+         configuration unmappable.  [compile_seconds] and [work] cover all
+         attempts. *)
+      let rec attempt k =
+        let seeded =
+          { config with Flow_config.seed = config.Flow_config.seed + (1000 * k) }
+        in
+        match
+          run_once ~t0 ~work ~retries_used:k ~config:seeded ~opt_report cgra cdfg
+        with
+        | Ok _ as ok -> ok
+        | Error _ as e ->
+          if k >= config.Flow_config.retries then e else attempt (k + 1)
+      in
+      attempt 0
+    else begin
+      (* Graceful degradation: a bounded escalation ladder.  Attempt 0 is
+         the configuration as given; each further attempt reseeds the
+         stochastic pruning from a split of the base RNG and relaxes the
+         search — wider beam, more children per state, higher keep
+         probability, more threshold slack — so near-miss configurations
+         degrade into "mapped after N attempts" instead of "unmappable".
+         Every failed attempt is recorded as a typed escalation step. *)
+      let esc_rng = Rng.create (Rng.seed_of ~base:config.Flow_config.seed "degrade") in
+      let escalate k =
+        if k = 0 then config
+        else
+          let seed = Rng.int (Rng.split esc_rng) 0x3FFFFFFF in
+          let widen v = min 128 (v * (1 lsl min k 3)) in
+          {
+            config with
+            Flow_config.seed;
+            beam_width = widen config.Flow_config.beam_width;
+            expand_per_state = min 8 (config.Flow_config.expand_per_state + k);
+            keep_prob = min 0.9 (config.Flow_config.keep_prob *. (1.5 ** float_of_int k));
+            prune_slack =
+              config.Flow_config.prune_slack *. (1.0 +. (0.5 *. float_of_int k));
+          }
+      in
+      let budget = max 1 config.Flow_config.max_attempts in
+      let rec attempt k trace =
+        let cfg_k = escalate k in
+        match
+          run_once ~t0 ~work ~retries_used:k ~config:cfg_k ~opt_report cgra cdfg
+        with
+        | Ok (m, s) -> Ok (m, { s with escalations = List.rev trace })
+        | Error f ->
+          let trace = escalation_of ~attempt:k cfg_k f :: trace in
+          if k + 1 >= budget then Error { f with gave_up = List.rev trace }
+          else attempt (k + 1) trace
+      in
+      attempt 0 []
+    end
+  in
+  validated result

@@ -9,10 +9,29 @@
     reported as failures here, which is what yields the "no mapping found"
     zeros of Fig 6. *)
 
+type escalation = {
+  e_attempt : int;           (** 0 = the configuration as given *)
+  e_seed : int;              (** stochastic-pruning seed of this attempt *)
+  e_beam_width : int;
+  e_expand_per_state : int;
+  e_keep_prob : float;
+  e_prune_slack : float;
+  e_reason : string;         (** why this attempt failed *)
+  e_at_block : int option;
+}
+(** One failed attempt of the graceful-degradation ladder
+    ([Flow_config.degrade]): the search knobs it ran with and the failure
+    it hit. *)
+
+val escalation_to_string : escalation -> string
+
 type failure = {
   reason : string;
   at_block : int option;  (** block where the search died, if any *)
   work : int;  (** binding attempts spent before giving up (all retries) *)
+  gave_up : escalation list;
+      (** with [Flow_config.degrade]: the full escalation trace, one entry
+          per exhausted attempt ([Gave_up] diagnostics); [[]] otherwise *)
 }
 
 type stats = {
@@ -34,6 +53,10 @@ type stats = {
   opt : Cgra_opt.Pipeline.report option;
       (** per-pass statistics of the pre-mapping optimization, when
           [config.optimize] was set *)
+  escalations : escalation list;
+      (** with [Flow_config.degrade]: the failed attempts that preceded
+          this success, in order; [[]] when the first attempt mapped or
+          degradation was off *)
 }
 
 type result = (Mapping.t * stats, failure) Stdlib.result
@@ -57,6 +80,14 @@ val traversal_order : Flow_config.traversal -> Cgra_ir.Cdfg.t -> int list
 (** Forward: weak topological order of the CFG from the entry.  Weighted:
     descending block weight Wbb, forward order breaking ties. *)
 
+val set_validator : (Mapping.t -> string list) -> unit
+(** Installs the independent mapping validator consulted when
+    [Flow_config.validate] is set.  The validator returns human-readable
+    violation descriptions ([[]] = clean); a non-empty list turns the run
+    into a typed {!failure}.  [Cgra_core] cannot depend on the checker
+    (it lives above the assembler), hence this hook —
+    [Cgra_verify.Validator.install] is the canonical caller. *)
+
 val run :
   ?config:Flow_config.t ->
   ?opt_verify:Cgra_opt.Pipeline.verifier ->
@@ -64,6 +95,13 @@ val run :
   Cgra_ir.Cdfg.t ->
   result
 (** Maps the kernel.  Deterministic for a fixed [config.seed].
+
+    With [config.degrade] set, a failed attempt escalates through a
+    bounded retry ladder (reseeded pruning, wider beam, relaxed
+    thresholds; at most [config.max_attempts] attempts), recording each
+    step — see {!stats.escalations} and {!failure.gave_up}.  With
+    [config.validate] set, a successful mapping is additionally re-checked
+    by the installed {!set_validator} hook before being reported.
 
     When [config.optimize] is set, the CDFG first goes through the
     [cgra_opt] pipeline, differentially verified against [opt_verify]

@@ -17,6 +17,9 @@ type t = {
   seed : int;
   optimize : bool;
   expand_jobs : int;
+  validate : bool;
+  degrade : bool;
+  max_attempts : int;
 }
 
 let default =
@@ -37,6 +40,9 @@ let default =
     seed = 42;
     optimize = false;
     expand_jobs = 1;
+    validate = false;
+    degrade = false;
+    max_attempts = 6;
   }
 
 let basic = default

@@ -56,6 +56,24 @@ type t = {
           mapping, the search telemetry and the deterministic [work]
           counter are byte-identical at any value; only wall-clock time
           changes. *)
+  validate : bool;
+      (** independently re-check every architectural invariant of a
+          successful mapping with the [cgra_verify] validator before
+          reporting it (default false, so the seed artifacts stay
+          byte-identical).  Requires a validator to be installed — see
+          {!Flow.set_validator} / [Cgra_verify.Validator.install]; a
+          violation turns the result into a typed {!Flow.failure}. *)
+  degrade : bool;
+      (** graceful degradation: when an attempt fails, escalate through a
+          bounded retry ladder — wider beam, reseeded stochastic pruning,
+          relaxed pruning thresholds — instead of giving up after the
+          fixed [retries] (default false).  Every escalation step is
+          recorded in {!Flow.stats.escalations} (on success) or
+          {!Flow.failure.gave_up} (on exhaustion). *)
+  max_attempts : int;
+      (** total mapping attempts (the base attempt included) the
+          degradation ladder may spend per kernel (default 6); only read
+          when [degrade] is set. *)
 }
 
 val default : t

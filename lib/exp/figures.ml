@@ -5,6 +5,19 @@ module T = Cgra_util.Text_table
 
 let configs = Config.all
 
+(* An artifact whose preconditions do not hold (e.g. a kernel the paper
+   maps refuses to map) — a harness bug, reported as a typed error. *)
+exception Artifact_error of { artifact : string; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Artifact_error { artifact; reason } ->
+      Some (Printf.sprintf "Figures.Artifact_error (%s: %s)" artifact reason)
+    | _ -> None)
+
+let artifact_error artifact fmt =
+  Printf.ksprintf (fun reason -> raise (Artifact_error { artifact; reason })) fmt
+
 let table1 () =
   "Table I: context-memory configurations\n"
   ^ T.render
@@ -18,7 +31,7 @@ let table1 () =
 let fig2 () =
   let k = Option.get (Cgra_kernels.Kernels.by_slug "matm") in
   match Runner.run_of k Config.HOM64 Runner.Basic with
-  | Runner.Unmappable u -> failwith ("fig2: basic matm must map: " ^ u.reason)
+  | Runner.Unmappable u -> artifact_error "fig2" "basic matm must map: %s" u.reason
   | Runner.Mapped r ->
     let usage = M.tile_usage r.Runner.mapping in
     let series =
@@ -64,7 +77,8 @@ let fig5 () =
   let map_with cfg =
     match Cgra_core.Flow.run ~config:cfg cgra cdfg with
     | Ok (m, _) -> m
-    | Error f -> failwith ("fig5: FFT should map on HOM64: " ^ f.Cgra_core.Flow.reason)
+    | Error f ->
+      artifact_error "fig5" "FFT should map on HOM64: %s" f.Cgra_core.Flow.reason
   in
   let fwd = per_block_moves_pnops (map_with forward_cfg) in
   let wt = per_block_moves_pnops (map_with weighted_cfg) in
@@ -96,7 +110,8 @@ let baseline_cycles k =
   match Runner.run_of k Config.HOM64 Runner.Basic with
   | Runner.Mapped r -> r.Runner.cycles
   | Runner.Unmappable u ->
-    failwith ("basic mapping must fit HOM64 for " ^ k.K.name ^ ": " ^ u.reason)
+    artifact_error "fig6-8" "basic mapping must fit HOM64 for %s: %s" k.K.name
+      u.reason
 
 let latency_figure ~title ~flow () =
   let rows =
@@ -450,6 +465,74 @@ let search_report () =
      peak =\n\
      widest child population of any round.\n"
 
+(* ---- Fault report: single-bit injection campaigns -------------------- *)
+
+(* Not part of the paper: the fault-tolerance experiment the [cgra_verify]
+   layer enables.  Per kernel, [fault_trials] single-bit upsets are
+   injected into the context memory image, the constant pools or live RF
+   state of the full-flow HET2 mapping, and each outcome classified.
+   Campaign trials draw from per-trial keyed RNG splits, so the table is
+   byte-identical at any [--jobs] value and across reruns. *)
+let fault_trials = Atomic.make 120
+let set_fault_trials n = Atomic.set fault_trials (max 1 n)
+let fault_seed = 7
+
+let fault_report () =
+  let module F = Cgra_verify.Fault in
+  let config = Config.HET2 and flow = Runner.Full in
+  let trials = Atomic.get fault_trials in
+  let num = string_of_int in
+  let rows =
+    List.map
+      (fun k ->
+        match Runner.run_of k config flow with
+        | Runner.Unmappable u ->
+          [ k.K.name; "-"; "-"; "-"; "-"; "-"; "-"; "-"; "-";
+            "unmappable: " ^ u.reason ]
+        | Runner.Mapped r ->
+          let program = Cgra_asm.Assemble.assemble r.Runner.mapping in
+          let key =
+            k.K.slug ^ "/" ^ Config.to_string config ^ "/"
+            ^ Runner.flow_label flow ^ "/fault"
+          in
+          let c =
+            F.run_campaign ~seed:fault_seed ~trials ~key
+              ~fresh_mem:(fun () -> K.fresh_mem k)
+              program
+          in
+          let by_class p =
+            List.length
+              (List.filter (fun (t : F.trial) -> p t.F.injection) c.F.runs)
+          in
+          let cm = by_class (function F.Context_bit _ -> true | _ -> false) in
+          let crf = by_class (function F.Crf_bit _ -> true | _ -> false) in
+          let rf = by_class (function F.Rf_bit _ -> true | _ -> false) in
+          let s = c.F.summary in
+          [ k.K.name; num cm; num crf; num rf; num s.F.masked;
+            num s.F.wrong_output; num s.F.crash; num s.F.hang;
+            Printf.sprintf "%.1f%%"
+              (100.0 *. float_of_int s.F.masked /. float_of_int s.F.trials);
+            num c.F.golden_cycles ])
+      Runner.kernels
+  in
+  Printf.sprintf
+    "Fault report: single-bit injection campaigns, %s on %s\n\
+     %d trials per kernel, seed %d; injections: CM = context-memory image \
+     bit,\n\
+     CRF = constant-pool bit, RF = live register bit at a random cycle.\n\
+     Outcomes: masked = golden memory image reproduced; wrong = completed \
+     with a\n\
+     different image; crash = undecodable word or typed Sim_error; hang = \
+     past 4x\n\
+     the fault-free block count.  Deterministic at any --jobs value.\n"
+    (Runner.flow_label flow) (Config.to_string config) trials fault_seed
+  ^ T.render_aligned
+      ~align:[ `L; `R; `R; `R; `R; `R; `R; `R; `R; `R ]
+      ~header:
+        [ "Kernel"; "CM"; "CRF"; "RF"; "masked"; "wrong"; "crash"; "hang";
+          "masked%"; "cycles" ]
+      ~rows
+
 let run_all () =
   String.concat "\n"
     [ table1 (); fig2 (); fig5 (); fig6 (); fig7 (); fig8 (); fig9 ();
@@ -463,6 +546,7 @@ let artifacts =
     ("fig11", fig11); ("table2", table2) ]
 
 let extra_artifacts =
-  [ ("opt_report", opt_report); ("search_report", search_report) ]
+  [ ("opt_report", opt_report); ("search_report", search_report);
+    ("fault_report", fault_report) ]
 let all_artifacts = artifacts @ extra_artifacts
 let artifact_names = List.map fst all_artifacts

@@ -59,6 +59,24 @@ val search_report : unit -> string
     counts only (no wall-clock), so it reproduces byte-for-byte on any
     host at any [--jobs]. *)
 
+exception Artifact_error of { artifact : string; reason : string }
+(** An artifact's precondition does not hold (e.g. a kernel the paper maps
+    refuses to map) — a harness bug.  Registered with
+    [Printexc.register_printer]. *)
+
+val set_fault_trials : int -> unit
+(** Trials per kernel used by {!fault_report} (default 120; clamped to
+    >= 1) — how the bench [--trials] flag sizes the campaigns.  Call
+    before rendering. *)
+
+val fault_report : unit -> string
+(** Not in the paper: per-kernel single-bit fault-injection campaigns
+    ([Cgra_verify.Fault]) over the full context-aware flow on HET2 —
+    injection counts per target (context memory, constant pool, register
+    file) and outcome counts (masked / wrong-output / crash / hang).
+    Deterministic: per-trial keyed RNG splits make the table byte-identical
+    at any [--jobs] value and across reruns with the same seed. *)
+
 val run_all : unit -> string
 (** The paper set ({!artifacts}), concatenated in paper order. *)
 
@@ -67,8 +85,9 @@ val artifacts : (string * (unit -> string)) list
     the single source of truth for the drivers' artifact lookup. *)
 
 val extra_artifacts : (string * (unit -> string)) list
-(** Beyond-the-paper artifacts ({!opt_report}, {!search_report}); not
-    part of [run_all] so the seed output stays byte-identical. *)
+(** Beyond-the-paper artifacts ({!opt_report}, {!search_report},
+    {!fault_report}); not part of [run_all] so the seed output stays
+    byte-identical. *)
 
 val all_artifacts : (string * (unit -> string)) list
 val artifact_names : string list

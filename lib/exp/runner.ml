@@ -4,6 +4,31 @@ module Clock = Cgra_util.Clock
 module Pool = Cgra_util.Pool
 module Rng = Cgra_util.Rng
 
+(* A mapped program whose simulation disagrees with the kernel's golden
+   model, or whose artifact fails the independent validator — both are
+   tool bugs, and the harness refuses to report numbers from them. *)
+exception Golden_mismatch of { kernel : string; target : string }
+
+exception
+  Invalid_artifact of { kernel : string; target : string; violations : string list }
+
+let () =
+  Printexc.register_printer (function
+    | Golden_mismatch { kernel; target } ->
+      Some
+        (Printf.sprintf
+           "Runner.Golden_mismatch (%s on %s: simulated memory image disagrees \
+            with the golden model)"
+           kernel target)
+    | Invalid_artifact { kernel; target; violations } ->
+      Some
+        (Printf.sprintf "Runner.Invalid_artifact (%s on %s: %s)" kernel target
+           (String.concat "; " violations))
+    | _ -> None)
+
+(* Make [Flow_config.validate] usable everywhere the harness is linked. *)
+let () = Cgra_verify.Validator.install ()
+
 type flow_kind = Basic | With_acmap | With_ecmap | Full
 
 let flow_kinds = [ Basic; With_acmap; With_ecmap; Full ]
@@ -165,15 +190,23 @@ let run_of ?opt k config flow =
           Unmappable
             { reason = "assembly: " ^ e; compile_seconds; compile_work }
         | program ->
+          let target =
+            Cgra_arch.Config.to_string config ^ "/" ^ flow_label flow
+          in
+          (* Every memoised artifact goes through the independent validator
+             exactly once; a violation is a mapper/assembler bug. *)
+          (match Cgra_verify.Validator.check program with
+           | [] -> ()
+           | vs ->
+             raise
+               (Invalid_artifact
+                  { kernel = k.K.name;
+                    target;
+                    violations = List.map Cgra_verify.Validator.to_string vs }));
           let mem = K.fresh_mem k in
           let sim = Cgra_sim.Simulator.run program ~mem in
           if mem <> K.run_golden k then
-            failwith
-              (Printf.sprintf
-                 "harness: %s on %s (%s) simulated to a wrong memory image"
-                 k.K.name
-                 (Cgra_arch.Config.to_string config)
-                 (flow_label flow));
+            raise (Golden_mismatch { kernel = k.K.name; target });
           let energy = Cgra_power.Energy.cgra cgra sim in
           Mapped
             { mapping; sim; cycles = sim.Cgra_sim.Simulator.cycles; energy;
@@ -195,7 +228,7 @@ let cpu_of k =
       let mem = K.fresh_mem k in
       let cpu_sim = Cgra_cpu.Cpu_sim.run prog ~mem in
       if mem <> K.run_golden k then
-        failwith (Printf.sprintf "harness: CPU run of %s is wrong" k.K.name);
+        raise (Golden_mismatch { kernel = k.K.name; target = "cpu" });
       { cpu_sim; cpu_energy = Cgra_power.Energy.cpu cpu_sim })
 
 let compile_seconds_of = function

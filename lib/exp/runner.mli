@@ -13,6 +13,18 @@
     results are independent of evaluation order and of the number of
     domains — all artifacts are byte-identical at any [--jobs] value. *)
 
+exception Golden_mismatch of { kernel : string; target : string }
+(** A produced mapping simulated to a memory image different from the
+    golden model ([target] is ["<config>/<flow>"] or ["cpu"]) — a tool
+    bug; the harness refuses to report numbers from it.  Registered with
+    [Printexc.register_printer]. *)
+
+exception
+  Invalid_artifact of { kernel : string; target : string; violations : string list }
+(** The independent [Cgra_verify] validator found violations in a
+    memoised artifact — likewise a tool bug, likewise cached and
+    re-raised to every consumer. *)
+
 type flow_kind = Basic | With_acmap | With_ecmap | Full
 
 val flow_kinds : flow_kind list
@@ -82,13 +94,13 @@ val run_of :
   flow_kind ->
   cell
 (** Memoized; safe to call concurrently.  [opt] defaults to the
-    process-wide mode ({!set_opt_mode}).  Raises [Failure] if a produced
-    mapping simulates to a memory image different from the golden model —
-    that would be a bug, and the harness refuses to report numbers from
-    it (the failure is cached and re-raised to every consumer).
-    [Optimized] cells are verified twice: differentially inside the
-    pipeline (interpreter vs interpreter on the kernel's input image) and
-    end-to-end here (simulator vs golden model). *)
+    process-wide mode ({!set_opt_mode}).  Every computed artifact is
+    re-checked by the independent [Cgra_verify] validator (raising
+    {!Invalid_artifact} on a violation) and simulated against the golden
+    model (raising {!Golden_mismatch} on disagreement) — either failure
+    is cached and re-raised to every consumer.  [Optimized] cells are
+    verified three ways: differentially inside the pipeline, by the
+    validator, and end-to-end here. *)
 
 type cpu_run = {
   cpu_sim : Cgra_cpu.Cpu_sim.result;

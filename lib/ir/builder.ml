@@ -48,24 +48,47 @@ let set_live_out _b h sym op =
 
 let set_terminator _b h term = h.proto.pterm <- Some term
 
-let finish b =
+type error =
+  | Missing_terminator of { block : string }
+  | Invalid_cdfg of { kernel : string; reason : string }
+
+let error_to_string = function
+  | Missing_terminator { block } ->
+    Printf.sprintf "block %s has no terminator" block
+  | Invalid_cdfg { kernel; reason } ->
+    Printf.sprintf "kernel %s froze to an invalid CDFG: %s" kernel reason
+
+exception Build_error of error
+
+let () =
+  Printexc.register_printer (function
+    | Build_error e -> Some (Printf.sprintf "Builder.Build_error (%s)" (error_to_string e))
+    | _ -> None)
+
+let finish_result b =
+  let exception Freeze of error in
   let freeze proto =
     match proto.pterm with
-    | None -> failwith (Printf.sprintf "Builder.finish: block %s has no terminator" proto.pname)
+    | None -> raise (Freeze (Missing_terminator { block = proto.pname }))
     | Some terminator ->
       { Cdfg.name = proto.pname;
         nodes = Array.of_list (List.rev proto.pnodes);
         live_out = List.rev proto.plive_out;
         terminator }
   in
-  let blocks = List.rev_map freeze b.pblocks |> Array.of_list in
-  let c =
-    { Cdfg.kernel_name = b.kname;
-      blocks;
-      entry = 0;
-      sym_count = b.nsyms;
-      sym_names = Array.of_list (List.rev b.syms) }
-  in
-  match Cdfg.validate c with
-  | Ok () -> c
-  | Error msg -> failwith ("Builder.finish: invalid CDFG: " ^ msg)
+  match List.rev_map freeze b.pblocks with
+  | exception Freeze e -> Error e
+  | blocks ->
+    let c =
+      { Cdfg.kernel_name = b.kname;
+        blocks = Array.of_list blocks;
+        entry = 0;
+        sym_count = b.nsyms;
+        sym_names = Array.of_list (List.rev b.syms) }
+    in
+    (match Cdfg.validate c with
+     | Ok () -> Ok c
+     | Error reason -> Error (Invalid_cdfg { kernel = b.kname; reason }))
+
+let finish b =
+  match finish_result b with Ok c -> c | Error e -> raise (Build_error e)

@@ -35,6 +35,20 @@ val set_live_out : t -> block_handle -> Cdfg.sym -> Cdfg.operand -> unit
 val set_terminator : t -> block_handle -> Cdfg.terminator -> unit
 (** Must be called exactly once per block before {!finish}. *)
 
+type error =
+  | Missing_terminator of { block : string }
+      (** {!set_terminator} was never called for [block]. *)
+  | Invalid_cdfg of { kernel : string; reason : string }
+      (** The frozen CDFG failed {!Cdfg.validate}. *)
+
+val error_to_string : error -> string
+
+exception Build_error of error
+(** Registered with [Printexc.register_printer]. *)
+
 val finish : t -> Cdfg.t
-(** Freezes the CDFG and validates it; raises [Failure] with the validation
-    message on ill-formed input. *)
+(** Freezes the CDFG and validates it; raises {!Build_error} on
+    ill-formed input. *)
+
+val finish_result : t -> (Cdfg.t, error) result
+(** Like {!finish} but returns the error instead of raising. *)

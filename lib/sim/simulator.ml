@@ -24,9 +24,65 @@ type result = {
   activity : activity array;
 }
 
-exception Sim_error of string
+type error =
+  | Crf_out_of_range of { tile : int; block : int; cycle : int; index : int; pool : int }
+  | Rf_out_of_range of { tile : int; block : int; cycle : int; reg : int; rf_words : int }
+  | Bad_tile of { tile : int; block : int; cycle : int; target : int; tiles : int }
+  | Non_neighbour_read of
+      { tile : int; block : int; cycle : int; from_tile : int; distance : int }
+  | Mem_out_of_bounds of { tile : int; block : int; cycle : int; addr : int; words : int }
+  | Bad_arity of { tile : int; block : int; cycle : int; opcode : Opcode.t; args : int }
+  | Store_with_dst of { tile : int; block : int; cycle : int }
+  | Cond_without_result of { tile : int; block : int; cycle : int }
+  | Write_conflict of { tile : int; reg : int; block : int; cycle : int }
+  | Missing_condition of { block : int }
+  | Unexecuted_instructions of { tile : int; block : int; left : int }
+  | Runaway of { max_blocks : int }
 
-let error fmt = Printf.ksprintf (fun s -> raise (Sim_error s)) fmt
+let error_to_string = function
+  | Crf_out_of_range { tile; block; cycle; index; pool } ->
+    Printf.sprintf "tile %d b%d@%d: CRF index %d out of range (pool %d)" tile block
+      cycle index pool
+  | Rf_out_of_range { tile; block; cycle; reg; rf_words } ->
+    Printf.sprintf "tile %d b%d@%d: RF slot %d out of range (rf_words %d)" tile block
+      cycle reg rf_words
+  | Bad_tile { tile; block; cycle; target; tiles } ->
+    Printf.sprintf "tile %d b%d@%d: references tile %d outside the array (%d tiles)"
+      tile block cycle target tiles
+  | Non_neighbour_read { tile; block; cycle; from_tile; distance } ->
+    Printf.sprintf "tile %d b%d@%d: reads non-neighbour tile %d (distance %d)" tile
+      block cycle from_tile distance
+  | Mem_out_of_bounds { tile; block; cycle; addr; words } ->
+    Printf.sprintf "tile %d b%d@%d: memory access out of bounds: %d (mem %d words)"
+      tile block cycle addr words
+  | Bad_arity { tile; block; cycle; opcode; args } ->
+    Printf.sprintf "tile %d b%d@%d: %s with wrong arity (%d args)" tile block cycle
+      (Opcode.to_string opcode) args
+  | Store_with_dst { tile; block; cycle } ->
+    Printf.sprintf "tile %d b%d@%d: store with a destination" tile block cycle
+  | Cond_without_result { tile; block; cycle } ->
+    Printf.sprintf "tile %d b%d@%d: set_cond on an instruction without result" tile
+      block cycle
+  | Write_conflict { tile; reg; block; cycle } ->
+    Printf.sprintf "tile %d b%d@%d: two same-cycle writes to RF slot %d" tile block
+      cycle reg
+  | Missing_condition { block } ->
+    Printf.sprintf "block %d: branch executed but no condition was set" block
+  | Unexecuted_instructions { tile; block; left } ->
+    Printf.sprintf "tile %d section b%d: %d unexecuted instructions" tile block left
+  | Runaway { max_blocks } ->
+    Printf.sprintf "runaway execution (max_blocks = %d)" max_blocks
+
+exception Sim_error of error
+
+let () =
+  Printexc.register_printer (function
+    | Sim_error e -> Some (Printf.sprintf "Sim_error (%s)" (error_to_string e))
+    | _ -> None)
+
+let fail e = raise (Sim_error e)
+
+type rf_fault = { at_cycle : int; fault_tile : int; fault_reg : int; xor_mask : int }
 
 (* Per-tile execution cursor within a section: remaining pnop cycles and
    the instruction stream. *)
@@ -37,60 +93,108 @@ type tstate = {
   mutable act : activity;
 }
 
-
-
-let run ?(mem_ports = 8) ?(max_blocks = 1_000_000) (p : Asm.program) ~mem =
+let run ?(mem_ports = 8) ?(max_blocks = 1_000_000) ?(rf_faults = []) (p : Asm.program)
+    ~mem =
   let m = p.Asm.mapping in
   let cgra = m.Cgra_core.Mapping.cgra in
   let cdfg = m.Cgra_core.Mapping.cdfg in
   let nt = Cgra.tile_count cgra in
+  List.iter
+    (fun f ->
+      if f.fault_tile < 0 || f.fault_tile >= nt then
+        invalid_arg "Simulator.run: rf_fault tile out of range";
+      if f.fault_reg < 0 || f.fault_reg >= cgra.Cgra.rf_words then
+        invalid_arg "Simulator.run: rf_fault register out of range")
+    rf_faults;
   let tstates =
     Array.init nt (fun _ ->
         { rf = Array.make cgra.Cgra.rf_words 0; act = zero_activity })
   in
   let cycles = ref 0 and stalls = ref 0 and blocks = ref 0 and instrs = ref 0 in
-  let src_value t = function
-    | Isa.Rf r -> tstates.(t).rf.(r)
+  (* The fault-injection hook: when the global cycle counter crosses a
+     fault's [at_cycle] (stall and transition cycles included), XOR the
+     mask into the target register.  Deterministic and order-independent:
+     faults are applied in list order once per crossing. *)
+  let apply_faults lo hi =
+    List.iter
+      (fun f ->
+        if f.at_cycle >= lo && f.at_cycle < hi then
+          let rf = tstates.(f.fault_tile).rf in
+          rf.(f.fault_reg) <- Opcode.wrap32 (rf.(f.fault_reg) lxor f.xor_mask))
+      rf_faults
+  in
+  let check_tile t ~block ~cycle target =
+    if target < 0 || target >= nt then
+      fail (Bad_tile { tile = t; block; cycle; target; tiles = nt })
+  in
+  let check_reg t ~block ~cycle r =
+    if r < 0 || r >= cgra.Cgra.rf_words then
+      fail (Rf_out_of_range { tile = t; block; cycle; reg = r; rf_words = cgra.Cgra.rf_words })
+  in
+  let src_value t ~block ~cycle = function
+    | Isa.Rf r ->
+      check_reg t ~block ~cycle r;
+      tstates.(t).rf.(r)
     | Isa.Crf c ->
       let crf = p.Asm.tiles.(t).Asm.crf in
-      if c >= Array.length crf then error "CRF index %d out of range" c
+      if c < 0 || c >= Array.length crf then
+        fail (Crf_out_of_range { tile = t; block; cycle; index = c; pool = Array.length crf })
       else crf.(c)
     | Isa.Nbr (t', r) ->
       (* neighbour-mux read: start-of-cycle RF state of an adjacent tile *)
-      if Cgra.distance cgra t t' > 1 then
-        error "tile %d reads non-neighbour tile %d" t t';
+      check_tile t ~block ~cycle t';
+      let d = Cgra.distance cgra t t' in
+      if d > 1 then
+        fail (Non_neighbour_read { tile = t; block; cycle; from_tile = t'; distance = d });
+      check_reg t ~block ~cycle r;
       tstates.(t').rf.(r)
   in
   let cond = ref None in
   (* Pending register writes applied at end of cycle (two-phase update). *)
   let pending : (int * int * int) list ref = ref [] in
   let write tile reg v = pending := (tile, reg, v) :: !pending in
-  let mem_check addr =
+  let commit ~block ~cycle =
+    (* Same-cycle writes to one (tile, reg) have no defined winner in the
+       hardware; surface the conflict instead of letting list order pick. *)
+    let rec go committed = function
+      | [] -> ()
+      | (t, r, v) :: rest ->
+        if List.exists (fun (t', r') -> t = t' && r = r') committed then
+          fail (Write_conflict { tile = t; reg = r; block; cycle });
+        tstates.(t).rf.(r) <- Opcode.wrap32 v;
+        go ((t, r) :: committed) rest
+    in
+    go [] !pending;
+    pending := []
+  in
+  let mem_check t ~block ~cycle addr =
     if addr < 0 || addr >= Array.length mem then
-      error "memory access out of bounds: %d" addr
+      fail (Mem_out_of_bounds { tile = t; block; cycle; addr; words = Array.length mem })
   in
   let bump t f = tstates.(t).act <- f tstates.(t).act in
-  let exec_instr t instr =
+  let exec_instr t ~block ~cycle instr =
     incr instrs;
     bump t (fun a -> { a with fetches = a.fetches + 1; awake_cycles = a.awake_cycles + 1 });
     match instr with
     | Isa.Ipnop _ -> assert false
     | Isa.Iop { opcode; srcs; dst; set_cond } ->
-      let args = List.map (src_value t) srcs in
+      let args = List.map (src_value t ~block ~cycle) srcs in
       let result =
         match opcode, args with
         | Opcode.Load, [ addr ] ->
-          mem_check addr;
+          mem_check t ~block ~cycle addr;
           bump t (fun a -> { a with mem_ops = a.mem_ops + 1 });
           Some mem.(addr)
         | Opcode.Store, [ addr; v ] ->
-          mem_check addr;
+          mem_check t ~block ~cycle addr;
           bump t (fun a -> { a with mem_ops = a.mem_ops + 1 });
           mem.(addr) <- v;
           None
-        | Opcode.Load, _ | Opcode.Store, _ ->
-          error "memory opcode with wrong arity"
+        | (Opcode.Load | Opcode.Store), args ->
+          fail (Bad_arity { tile = t; block; cycle; opcode; args = List.length args })
         | op, args ->
+          if List.length args <> Opcode.arity op then
+            fail (Bad_arity { tile = t; block; cycle; opcode = op; args = List.length args });
           bump t (fun a ->
               { a with
                 alu_ops = a.alu_ops + 1;
@@ -98,21 +202,28 @@ let run ?(mem_ports = 8) ?(max_blocks = 1_000_000) (p : Asm.program) ~mem =
           Some (Opcode.eval op args)
       in
       (match result, dst with
-       | Some v, Some d -> write t d v
+       | Some v, Some d -> check_reg t ~block ~cycle d; write t d v
        | Some _, None -> ()
-       | None, Some _ -> error "store with a destination"
+       | None, Some _ -> fail (Store_with_dst { tile = t; block; cycle })
        | None, None -> ());
       if set_cond then (
         match result with
         | Some v -> cond := Some (v <> 0)
-        | None -> error "set_cond on an instruction without result")
+        | None -> fail (Cond_without_result { tile = t; block; cycle }))
     | Isa.Imov { from_tile; from_slot; dst } ->
       bump t (fun a -> { a with moves = a.moves + 1 });
+      check_tile t ~block ~cycle from_tile;
+      let d = Cgra.distance cgra t from_tile in
+      if d > 1 then
+        fail (Non_neighbour_read { tile = t; block; cycle; from_tile; distance = d });
+      check_reg t ~block ~cycle from_slot;
+      check_reg t ~block ~cycle dst;
       let v = tstates.(from_tile).rf.(from_slot) in
       write t dst v
     | Isa.Icopy { src; dst; set_cond } ->
       bump t (fun a -> { a with moves = a.moves + 1 });
-      let v = src_value t src in
+      let v = src_value t ~block ~cycle src in
+      check_reg t ~block ~cycle dst;
       write t dst v;
       if set_cond then cond := Some (v <> 0)
   in
@@ -123,7 +234,7 @@ let run ?(mem_ports = 8) ?(max_blocks = 1_000_000) (p : Asm.program) ~mem =
           { stream = p.Asm.tiles.(t).Asm.sections.(bi); sleep = 0 })
     in
     cond := None;
-    for _cycle = 0 to len - 1 do
+    for cycle = 0 to len - 1 do
       (* Phase 1: execute this cycle's instruction on every tile. *)
       let mem_ops_before =
         Array.fold_left (fun acc ts -> acc + ts.act.mem_ops) 0 tstates
@@ -141,12 +252,11 @@ let run ?(mem_ports = 8) ?(max_blocks = 1_000_000) (p : Asm.program) ~mem =
               cur.sleep <- n - 1;
               cur.stream <- rest
             | instr :: rest ->
-              exec_instr t instr;
+              exec_instr t ~block:bi ~cycle instr;
               cur.stream <- rest)
         cursors;
       (* Phase 2: commit register writes. *)
-      List.iter (fun (t, r, v) -> tstates.(t).rf.(r) <- Opcode.wrap32 v) !pending;
-      pending := [];
+      commit ~block:bi ~cycle;
       (* Logarithmic-interconnect arbitration: accesses beyond the port
          count this cycle stall the whole array. *)
       let mem_ops_now =
@@ -155,24 +265,29 @@ let run ?(mem_ports = 8) ?(max_blocks = 1_000_000) (p : Asm.program) ~mem =
       let this_cycle = mem_ops_now - mem_ops_before in
       let extra = if this_cycle = 0 then 0 else ((this_cycle - 1) / mem_ports) in
       stalls := !stalls + extra;
-      cycles := !cycles + 1 + extra
+      let before = !cycles in
+      cycles := before + 1 + extra;
+      apply_faults before !cycles
     done;
-    Array.iter
-      (fun cur ->
-        if cur.stream <> [] then error "section b%d: unexecuted instructions" bi)
+    Array.iteri
+      (fun t cur ->
+        if cur.stream <> [] then
+          fail (Unexecuted_instructions { tile = t; block = bi; left = List.length cur.stream }))
       cursors
   in
   let rec go bi =
-    if !blocks >= max_blocks then error "runaway execution (max_blocks)";
+    if !blocks >= max_blocks then fail (Runaway { max_blocks });
     incr blocks;
     run_section bi;
     (* Global controller: one transition cycle per block. *)
+    let before = !cycles in
     incr cycles;
+    apply_faults before !cycles;
     match cdfg.Cdfg.blocks.(bi).Cdfg.terminator with
     | Cdfg.Jump next -> go next
     | Cdfg.Branch (_, bt, be) -> (
       match !cond with
-      | None -> error "block %d: branch executed but no condition was set" bi
+      | None -> fail (Missing_condition { block = bi })
       | Some c -> go (if c then bt else be))
     | Cdfg.Return -> ()
   in

@@ -9,7 +9,18 @@
     whole array (the paper's global stall signal).
 
     Register-file semantics: writes land at the end of a cycle, reads see
-    the start-of-cycle state, matching the assembler's assumptions.
+    the start-of-cycle state, matching the assembler's assumptions.  Two
+    same-cycle writes to one (tile, register) have no defined winner in
+    hardware; the simulator detects the conflict during the commit phase
+    and raises {!Sim_error} ([Write_conflict]) instead of letting the
+    pending-list order decide.
+
+    Every structural check raises a typed {!error} carrying (tile, block,
+    cycle) coordinates, so callers — in particular the fault-injection
+    campaigns of [Cgra_verify] — can classify failures without parsing
+    strings.  The simulator is fully defensive: a corrupted context word
+    (out-of-range register, tile or CRF index) produces a typed error,
+    never an [Invalid_argument] from an array access.
 
     The simulator also gathers the per-tile activity counters the energy
     model integrates. *)
@@ -31,18 +42,53 @@ type result = {
   activity : activity array;  (** per tile *)
 }
 
-exception Sim_error of string
+(** Structured simulation errors.  [block] is the basic-block index of
+    the executing section, [cycle] the 0-based cycle within it. *)
+type error =
+  | Crf_out_of_range of { tile : int; block : int; cycle : int; index : int; pool : int }
+  | Rf_out_of_range of { tile : int; block : int; cycle : int; reg : int; rf_words : int }
+  | Bad_tile of { tile : int; block : int; cycle : int; target : int; tiles : int }
+  | Non_neighbour_read of
+      { tile : int; block : int; cycle : int; from_tile : int; distance : int }
+  | Mem_out_of_bounds of { tile : int; block : int; cycle : int; addr : int; words : int }
+  | Bad_arity of
+      { tile : int; block : int; cycle : int; opcode : Cgra_ir.Opcode.t; args : int }
+  | Store_with_dst of { tile : int; block : int; cycle : int }
+  | Cond_without_result of { tile : int; block : int; cycle : int }
+  | Write_conflict of { tile : int; reg : int; block : int; cycle : int }
+  | Missing_condition of { block : int }
+  | Unexecuted_instructions of { tile : int; block : int; left : int }
+  | Runaway of { max_blocks : int }
+
+val error_to_string : error -> string
+
+exception Sim_error of error
+(** Also registered with [Printexc.register_printer], so an uncaught
+    [Sim_error] still prints a readable message. *)
+
+type rf_fault = {
+  at_cycle : int;   (** global cycle (stalls and transitions included) *)
+  fault_tile : int;
+  fault_reg : int;
+  xor_mask : int;   (** XORed into the register when the counter crosses *)
+}
+(** A register-file bit-upset for the fault-injection campaigns: when the
+    global cycle counter crosses [at_cycle], [xor_mask] is XORed into
+    [fault_reg] of [fault_tile]. *)
 
 val run :
   ?mem_ports:int ->
   ?max_blocks:int ->
+  ?rf_faults:rf_fault list ->
   Cgra_asm.Assemble.program ->
   mem:int array ->
   result
 (** [run program ~mem] executes from the entry block until [Return],
     mutating [mem].  Symbol RF slots start at zero, matching the
     reference interpreter.  Defaults: [mem_ports = 8],
-    [max_blocks = 1_000_000].  Raises {!Sim_error} on a malformed program
-    (missing condition, out-of-range memory access, runaway loop). *)
+    [max_blocks = 1_000_000], [rf_faults = []].  Raises {!Sim_error} on a
+    malformed program (missing condition, out-of-range memory access,
+    write conflict, runaway loop); raises [Invalid_argument] if an
+    [rf_fault] names a tile or register outside the fabric. *)
 
 val total_activity : result -> activity

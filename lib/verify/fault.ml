@@ -1,0 +1,201 @@
+module Asm = Cgra_asm.Assemble
+module Sim = Cgra_sim.Simulator
+module Isa = Cgra_arch.Isa
+module Cgra = Cgra_arch.Cgra
+module Opcode = Cgra_ir.Opcode
+module Rng = Cgra_util.Rng
+module Pool = Cgra_util.Pool
+
+type injection =
+  | Context_bit of { tile : int; word : int; bit : int }
+  | Crf_bit of { tile : int; index : int; bit : int }
+  | Rf_bit of { cycle : int; tile : int; reg : int; bit : int }
+
+type outcome =
+  | Masked
+  | Wrong_output
+  | Crash of string
+  | Hang
+
+type trial = { index : int; injection : injection; outcome : outcome }
+
+type summary = {
+  trials : int;
+  masked : int;
+  wrong_output : int;
+  crash : int;
+  hang : int;
+}
+
+type campaign = {
+  summary : summary;
+  runs : trial list;  (** in trial-index order, independent of [jobs] *)
+  golden_cycles : int;
+}
+
+let injection_to_string = function
+  | Context_bit { tile; word; bit } ->
+    Printf.sprintf "CM   tile %2d word %3d bit %2d" tile word bit
+  | Crf_bit { tile; index; bit } ->
+    Printf.sprintf "CRF  tile %2d slot %3d bit %2d" tile index bit
+  | Rf_bit { cycle; tile; reg; bit } ->
+    Printf.sprintf "RF   tile %2d reg  %3d bit %2d @cycle %d" tile reg bit cycle
+
+let outcome_to_string = function
+  | Masked -> "masked"
+  | Wrong_output -> "wrong-output"
+  | Crash e -> "crash: " ^ e
+  | Hang -> "hang"
+
+let summarize runs =
+  List.fold_left
+    (fun s t ->
+      match t.outcome with
+      | Masked -> { s with masked = s.masked + 1 }
+      | Wrong_output -> { s with wrong_output = s.wrong_output + 1 }
+      | Crash _ -> { s with crash = s.crash + 1 }
+      | Hang -> { s with hang = s.hang + 1 })
+    { trials = List.length runs; masked = 0; wrong_output = 0; crash = 0; hang = 0 }
+    runs
+
+(* Rebuild one tile's program from its bit-flipped binary image.  The
+   per-section instruction counts of the original program give the section
+   boundaries back (every instruction, pnops included, is one word). *)
+let reassemble_tile (tp : Asm.tile_program) (words : int64 array) =
+  let decoded = Array.map Isa.decode words in
+  let bad = ref None in
+  Array.iter
+    (fun d -> match d with Error e when !bad = None -> bad := Some e | _ -> ())
+    decoded;
+  match !bad with
+  | Some e -> Error e
+  | None ->
+    let cursor = ref 0 in
+    let sections =
+      Array.map
+        (fun sec ->
+          List.map
+            (fun _ ->
+              let d = decoded.(!cursor) in
+              incr cursor;
+              match d with Ok i -> i | Error _ -> assert false)
+            sec)
+        tp.Asm.sections
+    in
+    Ok { tp with Asm.sections }
+
+let run_trial ~key ~seed ~mem_ports ~max_blocks ~(program : Asm.program)
+    ~ctx_words ~ctx_sites ~crf_sites ~golden_cycles ~fresh_mem ~golden index =
+  let rng = Rng.create (Rng.seed_of ~base:seed (key ^ "#" ^ string_of_int index)) in
+  let cgra = program.Asm.mapping.Cgra_core.Mapping.cgra in
+  let nt = Cgra.tile_count cgra in
+  (* Class mix: context memory is the paper's dominant structure, so it
+     takes half the injections; the rest split between the constant pools
+     (when any exist) and live RF state. *)
+  let kind =
+    let r = Rng.int rng 100 in
+    if r < 50 && ctx_sites > 0 then `Ctx
+    else if r < 75 && crf_sites > 0 then `Crf
+    else if ctx_sites > 0 && Rng.bool rng then `Ctx
+    else `Rf
+  in
+  let injection =
+    match kind with
+    | `Ctx ->
+      let site = Rng.int rng ctx_sites in
+      (* Walk the per-tile word counts to the owning tile. *)
+      let tile = ref 0 and off = ref site in
+      while !off >= Array.length ctx_words.(!tile) do
+        off := !off - Array.length ctx_words.(!tile);
+        incr tile
+      done;
+      Context_bit { tile = !tile; word = !off; bit = Rng.int rng 64 }
+    | `Crf ->
+      let site = Rng.int rng crf_sites in
+      let tile = ref 0 and off = ref site in
+      while !off >= Array.length program.Asm.tiles.(!tile).Asm.crf do
+        off := !off - Array.length program.Asm.tiles.(!tile).Asm.crf;
+        incr tile
+      done;
+      Crf_bit { tile = !tile; index = !off; bit = Rng.int rng 32 }
+    | `Rf ->
+      Rf_bit
+        {
+          cycle = Rng.int rng (max 1 golden_cycles);
+          tile = Rng.int rng nt;
+          reg = Rng.int rng cgra.Cgra.rf_words;
+          bit = Rng.int rng 32;
+        }
+  in
+  let faulted, rf_faults =
+    match injection with
+    | Context_bit { tile; word; bit } ->
+      let words = Array.copy ctx_words.(tile) in
+      words.(word) <- Int64.logxor words.(word) (Int64.shift_left 1L bit);
+      (match reassemble_tile program.Asm.tiles.(tile) words with
+       | Error e -> (Error ("undecodable context word: " ^ e), [])
+       | Ok tp ->
+         ( Ok
+             {
+               program with
+               Asm.tiles =
+                 Array.mapi
+                   (fun i t -> if i = tile then tp else t)
+                   program.Asm.tiles;
+             },
+           [] ))
+    | Crf_bit { tile; index; bit } ->
+      let tp = program.Asm.tiles.(tile) in
+      let crf = Array.copy tp.Asm.crf in
+      crf.(index) <- Opcode.wrap32 (crf.(index) lxor (1 lsl bit));
+      ( Ok
+          {
+            program with
+            Asm.tiles =
+              Array.mapi
+                (fun i t -> if i = tile then { tp with Asm.crf } else t)
+                program.Asm.tiles;
+          },
+        [] )
+    | Rf_bit { cycle; tile; reg; bit } ->
+      ( Ok program,
+        [
+          {
+            Sim.at_cycle = cycle;
+            fault_tile = tile;
+            fault_reg = reg;
+            xor_mask = 1 lsl bit;
+          };
+        ] )
+  in
+  let outcome =
+    match faulted with
+    | Error e -> Crash e
+    | Ok p -> (
+      let mem = fresh_mem () in
+      match Sim.run ~mem_ports ~max_blocks ~rf_faults p ~mem with
+      | exception Sim.Sim_error (Sim.Runaway _) -> Hang
+      | exception Sim.Sim_error e -> Crash (Sim.error_to_string e)
+      | _ -> if mem = golden then Masked else Wrong_output)
+  in
+  { index; injection; outcome }
+
+let run_campaign ?jobs ?(mem_ports = 8) ~seed ~trials ~key ~fresh_mem
+    (program : Asm.program) =
+  let golden = fresh_mem () in
+  let baseline = Sim.run ~mem_ports program ~mem:golden in
+  (* Corrupted control flow must terminate quickly: anything running past a
+     generous multiple of the fault-free block count is a hang. *)
+  let max_blocks = (baseline.Sim.blocks_executed * 4) + 64 in
+  let ctx_words = Array.map Asm.encode_tile program.Asm.tiles in
+  let ctx_sites = Array.fold_left (fun a w -> a + Array.length w) 0 ctx_words in
+  let crf_sites =
+    Array.fold_left (fun a t -> a + Array.length t.Asm.crf) 0 program.Asm.tiles
+  in
+  let runs =
+    Pool.map ?jobs
+      (run_trial ~key ~seed ~mem_ports ~max_blocks ~program ~ctx_words ~ctx_sites
+         ~crf_sites ~golden_cycles:baseline.Sim.cycles ~fresh_mem ~golden)
+      (List.init trials Fun.id)
+  in
+  { summary = summarize runs; runs; golden_cycles = baseline.Sim.cycles }

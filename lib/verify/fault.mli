@@ -1,0 +1,65 @@
+(** Deterministic fault-injection campaigns.
+
+    Each trial flips one bit in the program's state — a context-memory
+    word of the binary image ({!Cgra_asm.Assemble.encode_tile}), a
+    constant-register-file entry, or a live register-file bit at a chosen
+    cycle — re-runs the cycle-level simulator, and classifies the result:
+
+    - {e masked}: the final data memory equals the fault-free image;
+    - {e wrong-output}: simulation completed but the memory differs;
+    - {e crash}: an undecodable context word, or a typed
+      {!Cgra_sim.Simulator.Sim_error};
+    - {e hang}: execution past 4x the fault-free block count
+      ([max_blocks], surfacing as [Runaway]).
+
+    Determinism: trial [i] of a campaign draws from its own keyed split
+    [Rng.seed_of ~base:seed (key ^ "#" ^ i)], so the classification — and
+    the whole per-trial list — is byte-identical at any [jobs] value and
+    across reruns with the same seed. *)
+
+type injection =
+  | Context_bit of { tile : int; word : int; bit : int }
+  | Crf_bit of { tile : int; index : int; bit : int }
+  | Rf_bit of { cycle : int; tile : int; reg : int; bit : int }
+
+type outcome =
+  | Masked
+  | Wrong_output
+  | Crash of string
+  | Hang
+
+type trial = { index : int; injection : injection; outcome : outcome }
+
+type summary = {
+  trials : int;
+  masked : int;
+  wrong_output : int;
+  crash : int;
+  hang : int;
+}
+
+type campaign = {
+  summary : summary;
+  runs : trial list;  (** in trial-index order, independent of [jobs] *)
+  golden_cycles : int;  (** fault-free execution cycles *)
+}
+
+val injection_to_string : injection -> string
+val outcome_to_string : outcome -> string
+
+val run_campaign :
+  ?jobs:int ->
+  ?mem_ports:int ->
+  seed:int ->
+  trials:int ->
+  key:string ->
+  fresh_mem:(unit -> int array) ->
+  Cgra_asm.Assemble.program ->
+  campaign
+(** [run_campaign ~seed ~trials ~key ~fresh_mem program] first runs the
+    fault-free program on [fresh_mem ()] to obtain the golden memory
+    image, then executes [trials] independent single-fault trials
+    (parallelised over [jobs] domains; default
+    {!Cgra_util.Pool.default_jobs}).  [key] names the campaign — use a
+    distinct key per (kernel, config, flow) point so campaigns draw
+    independent streams.  The input [program] is never mutated. *)

@@ -96,7 +96,8 @@ let run_cgra cdfg seed config flow =
     | prog -> (
       let mem = init_mem seed in
       match Cgra_sim.Simulator.run prog ~mem with
-      | exception Cgra_sim.Simulator.Sim_error e -> Error ("sim: " ^ e)
+      | exception Cgra_sim.Simulator.Sim_error e ->
+        Error ("sim: " ^ Cgra_sim.Simulator.error_to_string e)
       | _ -> Ok mem))
 
 let run_cpu cdfg seed =

@@ -151,7 +151,7 @@ let test_validate_unreachable () =
     (try
        ignore (B.finish b);
        false
-     with Failure _ -> true)
+     with B.Build_error (B.Invalid_cdfg _) -> true)
 
 let test_block_weight () =
   let cdfg = square_cdfg () in
