@@ -18,7 +18,12 @@
    directly and ignores the flag.
 
    --trials N sizes the fault_report injection campaigns (default 120 per
-   kernel); the table is deterministic for a given N at any --jobs.
+   kernel) and the repair_report survivability campaigns (default 30 per
+   kernel x configuration cell); must be positive.  The tables are
+   deterministic for a given N at any --jobs.
+
+   --faults N sets how many random permanent faults each repair_report
+   trial injects (default 2); must be positive.
 
    Artifact regeneration prints the same rows/series as the paper's
    evaluation section (see EXPERIMENTS.md for the paper-vs-measured
@@ -272,28 +277,49 @@ let parse_flags args =
   let parse flag n =
     match int_of_string_opt n with Some j -> j | None -> bad flag n
   in
-  let rec go jobs opt trials acc = function
-    | [] -> (jobs, opt, trials, List.rev acc)
+  (* Campaign-sizing flags must be positive: a zero or negative count
+     would silently render an empty table. *)
+  let positive flag n =
+    let v = parse flag n in
+    if v <= 0 then begin
+      Printf.eprintf "%s must be positive (got %d)\n" flag v;
+      exit 1
+    end;
+    v
+  in
+  let rec go jobs opt trials faults acc = function
+    | [] -> (jobs, opt, trials, faults, List.rev acc)
     | ("--jobs" | "-j") :: n :: rest ->
-      go (Some (parse "--jobs" n)) opt trials acc rest
+      go (Some (parse "--jobs" n)) opt trials faults acc rest
     | [ ("--jobs" | "-j") ] -> bad "--jobs" "<missing>"
     | arg :: rest when starts_with "--jobs=" arg ->
       let n = String.sub arg 7 (String.length arg - 7) in
-      go (Some (parse "--jobs" n)) opt trials acc rest
-    | "--trials" :: n :: rest -> go jobs opt (Some (parse "--trials" n)) acc rest
+      go (Some (parse "--jobs" n)) opt trials faults acc rest
+    | "--trials" :: n :: rest ->
+      go jobs opt (Some (positive "--trials" n)) faults acc rest
     | [ "--trials" ] -> bad "--trials" "<missing>"
     | arg :: rest when starts_with "--trials=" arg ->
       let n = String.sub arg 9 (String.length arg - 9) in
-      go jobs opt (Some (parse "--trials" n)) acc rest
-    | "--opt" :: rest -> go jobs true trials acc rest
-    | arg :: rest -> go jobs opt trials (arg :: acc) rest
+      go jobs opt (Some (positive "--trials" n)) faults acc rest
+    | "--faults" :: n :: rest ->
+      go jobs opt trials (Some (positive "--faults" n)) acc rest
+    | [ "--faults" ] -> bad "--faults" "<missing>"
+    | arg :: rest when starts_with "--faults=" arg ->
+      let n = String.sub arg 9 (String.length arg - 9) in
+      go jobs opt trials (Some (positive "--faults" n)) acc rest
+    | "--opt" :: rest -> go jobs true trials faults acc rest
+    | arg :: rest -> go jobs opt trials faults (arg :: acc) rest
   in
-  go None false None [] args
+  go None false None None [] args
 
 let () =
-  let jobs, opt, trials, rest = parse_flags (List.tl (Array.to_list Sys.argv)) in
+  let jobs, opt, trials, faults, rest =
+    parse_flags (List.tl (Array.to_list Sys.argv))
+  in
   if opt then Cgra_exp.Runner.set_opt_mode Cgra_exp.Runner.Optimized;
   Option.iter Cgra_exp.Figures.set_fault_trials trials;
+  Option.iter Cgra_exp.Figures.set_repair_trials trials;
+  Option.iter Cgra_exp.Figures.set_repair_faults faults;
   let warm () = Cgra_exp.Runner.warm ?jobs () in
   match rest with
   | [] ->
@@ -314,7 +340,7 @@ let () =
     print_artifact name
   | _ ->
     prerr_endline
-      "usage: main.exe [--jobs N] [--opt] [--trials N] \
+      "usage: main.exe [--jobs N] [--opt] [--trials N] [--faults N] \
        [<artifact>|all|micro|ablation|list]   (artifact names: main.exe \
        list)";
     exit 1

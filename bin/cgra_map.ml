@@ -3,7 +3,7 @@
    cgra_map list
    cgra_map map -k <kernel> [-c <config>] [-f <flow>] [--opt] [--jobs N]
                 [--trace FILE] [--dump-dfg before|after] [--asm] [--simulate]
-                [--validate] [--degrade] [--max-attempts N]
+                [--validate] [--degrade] [--max-attempts N] [--faults FILE]
    cgra_map fault -k <kernel> [-c <config>] [-f <flow>] [--seed N]
                   [--trials K] [--show M]
    cgra_map compile <file>        compile a kernel-language source file
@@ -11,11 +11,18 @@
 
 open Cmdliner
 
+let config_names () =
+  String.concat "|" (List.map Cgra_arch.Config.to_string Cgra_arch.Config.all)
+
 let config_conv =
   let parse s =
     match Cgra_arch.Config.of_string s with
     | Some c -> Ok c
-    | None -> Error (`Msg ("unknown configuration " ^ s))
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown configuration %s (valid: %s, case-insensitive)"
+             s (config_names ())))
   in
   Arg.conv (parse, fun fmt c -> Format.fprintf fmt "%s" (Cgra_arch.Config.to_string c))
 
@@ -104,6 +111,16 @@ let map_cmd =
          & info [ "max-attempts" ]
              ~doc:"Attempt budget of the --degrade ladder." ~docv:"N")
   in
+  let faults_file =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ]
+             ~doc:"Map around the permanent faults listed in $(docv) (one \
+                   s-expression per line: (dead_tile T), (cm_rows_stuck T \
+                   ROWS), (dead_link T north|south|west|east), (no_lsu T); \
+                   ';' starts a comment).  Home selection, the capacity \
+                   checks and the route table all see the degraded array."
+             ~docv:"FILE")
+  in
   let dump_asm = Arg.(value & flag & info [ "asm" ] ~doc:"Print the per-tile assembly.") in
   let schedule = Arg.(value & flag & info [ "schedule" ] ~doc:"Print per-block schedule grids.") in
   let simulate = Arg.(value & flag & info [ "simulate" ] ~doc:"Run the cycle-level simulator and verify.") in
@@ -162,8 +179,8 @@ let map_cmd =
       stats.Cgra_core.Flow.recomputes stats.Cgra_core.Flow.population_peak;
     close_out oc
   in
-  let run slug config flow opt jobs validate degrade max_attempts trace
-      dump_dfg dump_asm schedule simulate =
+  let run slug config flow opt jobs validate degrade max_attempts faults_file
+      trace dump_dfg dump_asm schedule simulate =
     match Cgra_kernels.Kernels.by_slug slug with
     | None ->
       Printf.eprintf "unknown kernel %s (try: cgra_map list)\n" slug;
@@ -174,10 +191,20 @@ let map_cmd =
         else Cgra_kernels.Kernel_def.cdfg k
       in
       if validate then Cgra_verify.Validator.install ();
+      let faults =
+        match faults_file with
+        | None -> []
+        | Some file -> (
+          match Cgra_arch.Fault_map.load file with
+          | Ok fs -> fs
+          | Error e ->
+            Printf.eprintf "--faults %s: %s\n" file e;
+            exit 1)
+      in
       let flow =
         { flow with
           Cgra_core.Flow_config.optimize = opt; expand_jobs = max 1 jobs;
-          validate; degrade; max_attempts = max 1 max_attempts }
+          validate; degrade; max_attempts = max 1 max_attempts; faults }
       in
       let opt_verify =
         if opt then
@@ -187,6 +214,18 @@ let map_cmd =
         else None
       in
       let cgra = Cgra_arch.Config.cgra config in
+      (if faults <> [] then
+         (* Surface bad tile ids before mapping, and show what remains. *)
+         match Cgra_arch.Cgra.degrade cgra faults with
+         | exception Invalid_argument e ->
+           Printf.eprintf "--faults %s: %s\n" (Option.get faults_file) e;
+           exit 1
+         | degraded ->
+           Printf.printf "fault map: %s\n"
+             (String.concat " "
+                (List.map Cgra_arch.Cgra.fault_to_string
+                   (Cgra_arch.Cgra.faults degraded)));
+           Format.printf "%a@." Cgra_arch.Cgra.pp_grid degraded);
       if dump_dfg = Some `Before then dump_dfg_of cdfg;
       let print_escalations = function
         | [] -> ()
@@ -229,7 +268,7 @@ let map_cmd =
           let mem = Cgra_kernels.Kernel_def.fresh_mem k in
           let r = Cgra_sim.Simulator.run prog ~mem in
           let ok = mem = Cgra_kernels.Kernel_def.run_golden k in
-          let e = Cgra_power.Energy.cgra cgra r in
+          let e = Cgra_power.Energy.cgra m.Cgra_core.Mapping.cgra r in
           Format.printf
             "simulated: %d cycles (%d stalls), functional check %s, %.3f uJ@."
             r.Cgra_sim.Simulator.cycles r.Cgra_sim.Simulator.stall_cycles
@@ -240,7 +279,8 @@ let map_cmd =
   in
   Cmd.v (Cmd.info "map" ~doc)
     Term.(const run $ kernel $ config $ flow $ opt $ jobs $ validate $ degrade
-          $ max_attempts $ trace $ dump_dfg $ dump_asm $ schedule $ simulate)
+          $ max_attempts $ faults_file $ trace $ dump_dfg $ dump_asm $ schedule
+          $ simulate)
 
 let fault_cmd =
   let doc =
@@ -279,6 +319,10 @@ let fault_cmd =
              ~docv:"M")
   in
   let run slug config flow seed trials jobs show =
+    if trials <= 0 then begin
+      Printf.eprintf "--trials must be positive (got %d)\n" trials;
+      exit 1
+    end;
     match Cgra_kernels.Kernels.by_slug slug with
     | None ->
       Printf.eprintf "unknown kernel %s (try: cgra_map list)\n" slug;
@@ -299,7 +343,7 @@ let fault_cmd =
             (Cgra_core.Flow_config.steps_of flow)
         in
         let c =
-          F.run_campaign ?jobs ~seed ~trials:(max 1 trials) ~key
+          F.run_campaign ?jobs ~seed ~trials ~key
             ~fresh_mem:(fun () -> Cgra_kernels.Kernel_def.fresh_mem k)
             program
         in

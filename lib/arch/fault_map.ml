@@ -1,0 +1,76 @@
+let to_string faults =
+  String.concat "" (List.map (fun f -> Cgra.fault_to_string f ^ "\n") faults)
+
+let strip_comment line =
+  match String.index_opt line ';' with
+  | None -> line
+  | Some i -> String.sub line 0 i
+
+let tokens_of_line line =
+  let buf = Buffer.create 16 in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '(' | ')' -> Buffer.add_char buf ' '
+      | c -> Buffer.add_char buf c)
+    (strip_comment line);
+  String.split_on_char ' ' (Buffer.contents buf)
+  |> List.filter_map (fun s ->
+         let s = String.trim s in
+         if s = "" then None else Some s)
+
+let parse_line ~lineno line =
+  let err msg =
+    Error (Printf.sprintf "fault map line %d: %s" lineno msg)
+  in
+  let int_of what s =
+    match int_of_string_opt s with
+    | Some v -> Ok v
+    | None -> Result.Error (Printf.sprintf "%s is not an integer: %S" what s)
+  in
+  match tokens_of_line line with
+  | [] -> Ok None
+  | [ kw; t ] when String.lowercase_ascii kw = "dead_tile" -> (
+      match int_of "tile" t with
+      | Ok tile -> Ok (Some (Cgra.Dead_tile { tile }))
+      | Error m -> err m)
+  | [ kw; t; r ] when String.lowercase_ascii kw = "cm_rows_stuck" -> (
+      match (int_of "tile" t, int_of "rows" r) with
+      | Ok tile, Ok rows when rows >= 0 ->
+          Ok (Some (Cgra.Cm_rows_stuck { tile; rows }))
+      | Ok _, Ok _ -> err "cm_rows_stuck needs a non-negative row count"
+      | Error m, _ | _, Error m -> err m)
+  | [ kw; t; d ] when String.lowercase_ascii kw = "dead_link" -> (
+      match (int_of "tile" t, Cgra.direction_of_string d) with
+      | Ok tile, Some dir -> Ok (Some (Cgra.Dead_link { tile; dir }))
+      | Error m, _ -> err m
+      | _, None ->
+          err
+            (Printf.sprintf "unknown direction %S (north|south|west|east)" d))
+  | [ kw; t ] when String.lowercase_ascii kw = "no_lsu" -> (
+      match int_of "tile" t with
+      | Ok tile -> Ok (Some (Cgra.No_lsu { tile }))
+      | Error m -> err m)
+  | kw :: _ ->
+      err
+        (Printf.sprintf
+           "unknown fault %S (expected dead_tile | cm_rows_stuck | dead_link \
+            | no_lsu)"
+           kw)
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line ~lineno line with
+        | Ok None -> go (lineno + 1) acc rest
+        | Ok (Some f) -> go (lineno + 1) (f :: acc) rest
+        | Error _ as e -> e)
+  in
+  go 1 [] lines
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> ( match of_string s with Ok fs -> Ok fs | Error m -> Error m)
+  | exception Sys_error m -> Error m

@@ -1,0 +1,22 @@
+(** On-disk format for permanent-fault maps.
+
+    One s-expression per line, [;] starts a comment:
+
+    {v
+    ; two stuck CM rows on tile 3, tile 5 dead, east link of 2 severed
+    (cm_rows_stuck 3 2)
+    (dead_tile 5)
+    (dead_link 2 east)
+    (no_lsu 1)
+    v}
+
+    [of_string] accepts exactly what [to_string] prints. *)
+
+val to_string : Cgra.fault list -> string
+(** One fault per line, with a trailing newline per fault. *)
+
+val of_string : string -> (Cgra.fault list, string) result
+(** Parse a fault map; the error names the offending line. *)
+
+val load : string -> (Cgra.fault list, string) result
+(** Read and parse a file; I/O errors are returned as [Error]. *)

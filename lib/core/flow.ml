@@ -234,6 +234,10 @@ let run_once ~t0 ~work ~retries_used ~config ~opt_report cgra cdfg =
 let run ?(config = Flow_config.default) ?opt_verify cgra cdfg =
   let t0 = Cgra_util.Clock.now () in
   let work = ref 0 in
+  (* Map onto the degraded fabric when a permanent-fault map is given.
+     [degrade] with an empty list returns the array physically unchanged,
+     so the pristine flow is a strict no-op. *)
+  let cgra = Cgra.degrade cgra config.Flow_config.faults in
   (* Optimize before mapping when asked.  An invalid CDFG skips the
      pipeline and falls through to [run_once], whose validation reports
      it as an ordinary mapping failure. *)

@@ -20,6 +20,7 @@ type t = {
   validate : bool;
   degrade : bool;
   max_attempts : int;
+  faults : Cgra_arch.Cgra.fault list;
 }
 
 let default =
@@ -43,6 +44,7 @@ let default =
     validate = false;
     degrade = false;
     max_attempts = 6;
+    faults = [];
   }
 
 let basic = default

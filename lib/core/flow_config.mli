@@ -74,6 +74,12 @@ type t = {
       (** total mapping attempts (the base attempt included) the
           degradation ladder may spend per kernel (default 6); only read
           when [degrade] is set. *)
+  faults : Cgra_arch.Cgra.fault list;
+      (** permanent-fault map applied to the target array before mapping
+          ({!Cgra_arch.Cgra.degrade}): home selection, the ACMAP/ECMAP
+          capacity checks and the precomputed route table all see the
+          reduced CM capacities and severed links (default [[]] — the
+          pristine array, byte-identical to the fault-free flow). *)
 }
 
 val default : t

@@ -77,7 +77,7 @@ type ctx = {
   homes : int array;
   home_mask : int; (* bit t set when tile t hosts a committed symbol home *)
   tally : tally; (* binding attempts — the deterministic effort counter *)
-  routes : (int list * int list) array;
+  routes : int list list array;
       (* (row-first, column-first) path per (src, dst), flattened
          [src * ntiles + dst]: routing is queried for the same few pairs on
          every binding attempt of the block, so the paths are computed once
@@ -240,26 +240,45 @@ let apply_path ctx p ~value ~src ~ready path =
   in
   go p src ready path
 
-(* Column-first variant of Cgra.route (which is row-first): route on the
-   transposed problem by chaining the two half-routes. *)
+(* Column-first variant of Cgra.route_geometric (which is row-first):
+   route on the transposed problem by chaining the two half-routes. *)
 let route_col_first cgra ~src ~dst =
   let ts = cgra.Cgra.tiles.(src) and td = cgra.Cgra.tiles.(dst) in
   let corner_id =
     (ts.Cgra.row * cgra.Cgra.cols) + td.Cgra.col
   in
-  if corner_id = src then Cgra.route cgra ~src ~dst
-  else if corner_id = dst then Cgra.route cgra ~src ~dst
-  else Cgra.route cgra ~src ~dst:corner_id @ Cgra.route cgra ~src:corner_id ~dst
+  if corner_id = src then Cgra.route_geometric cgra ~src ~dst
+  else if corner_id = dst then Cgra.route_geometric cgra ~src ~dst
+  else
+    Cgra.route_geometric cgra ~src ~dst:corner_id
+    @ Cgra.route_geometric cgra ~src:corner_id ~dst
 
+(* Candidate paths per (src, dst) pair.  Pristine arrays keep exactly the
+   two deterministic shapes (row-first, column-first).  On degraded arrays
+   each shape survives only if it avoids dead tiles and severed links; when
+   both are broken the deterministic BFS detour is the sole candidate, and
+   a partitioned pair has no candidates at all — the binding that needs it
+   then fails routing, which the beam search treats like any other
+   infeasible placement. *)
 let build_routes cgra =
   let nt = Cgra.tile_count cgra in
   Array.init (nt * nt) (fun i ->
       let src = i / nt and dst = i mod nt in
-      (Cgra.route cgra ~src ~dst, route_col_first cgra ~src ~dst))
+      let row = Cgra.route_geometric cgra ~src ~dst
+      and col = route_col_first cgra ~src ~dst in
+      if Cgra.pristine cgra then [ row; col ]
+      else
+        match
+          List.filter (Cgra.path_ok cgra ~src)
+            (if row = col then [ row ] else [ row; col ])
+        with
+        | [] -> (
+          match Cgra.route_opt cgra ~src ~dst with
+          | Some p -> [ p ]
+          | None -> [])
+        | ps -> ps)
 
-let paths_of ctx ~src ~dst =
-  let row, col = ctx.routes.((src * ntiles ctx) + dst) in
-  [ row; col ]
+let paths_of ctx ~src ~dst = ctx.routes.((src * ntiles ctx) + dst)
 
 (* Land [value] in [dst]'s own register file: Some (state, ready cycle).
    Used for the mandatory live-out writes, whose destination is a fixed RF
@@ -567,18 +586,21 @@ exception Finalize_failed of string
    tiles the context-aware flow tries to keep free — because an empty
    4-word tile looks "less loaded" than a lightly-used 192-word one. *)
 let least_loaded_tile ctx p =
-  let best = ref 0 and best_headroom = ref min_int and best_load = ref max_int in
+  let best = ref (-1) and best_headroom = ref min_int and best_load = ref max_int in
   for t = 0 to ntiles ctx - 1 do
-    let load = ctx.committed.(t) + p.instr.(t) in
-    let headroom = cm_of ctx t - load in
-    if headroom > !best_headroom
-       || (headroom = !best_headroom && load < !best_load)
-    then begin
-      best := t;
-      best_headroom := headroom;
-      best_load := load
+    if Cgra.alive ctx.cgra t then begin
+      let load = ctx.committed.(t) + p.instr.(t) in
+      let headroom = cm_of ctx t - load in
+      if headroom > !best_headroom
+         || (headroom = !best_headroom && load < !best_load)
+      then begin
+        best := t;
+        best_headroom := headroom;
+        best_load := load
+      end
     end
   done;
+  if !best < 0 then raise (Finalize_failed "no live tile for a fallback home");
   !best
 
 (* Mark the slot at (tile, cycle) — unique — as writing symbol [s] and/or

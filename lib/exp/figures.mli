@@ -77,6 +77,23 @@ val fault_report : unit -> string
     Deterministic: per-trial keyed RNG splits make the table byte-identical
     at any [--jobs] value and across reruns with the same seed. *)
 
+val set_repair_trials : int -> unit
+(** Trials per (kernel, configuration) cell used by {!repair_report}
+    (default 30; clamped to >= 1) — the bench [--trials] flag. *)
+
+val set_repair_faults : int -> unit
+(** Random permanent faults injected per trial (default 2; clamped to
+    >= 1) — the bench [--faults] flag. *)
+
+val repair_report : unit -> string
+(** Not in the paper: permanent-fault survivability table over the
+    [Cgra_verify.Repair] detect → diagnose → remap loop, per kernel and
+    Table-I configuration under the full context-aware flow — counts of
+    unaffected / repaired / gave-up trials, the survivability fraction,
+    and the mean cycle/energy overhead of the repaired mappings vs the
+    pristine ones, plus one example repair trace.  Deterministic at any
+    [--jobs] value. *)
+
 val run_all : unit -> string
 (** The paper set ({!artifacts}), concatenated in paper order. *)
 

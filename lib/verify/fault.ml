@@ -199,3 +199,34 @@ let run_campaign ?jobs ?(mem_ports = 8) ~seed ~trials ~key ~fresh_mem
       (List.init trials Fun.id)
   in
   { summary = summarize runs; runs; golden_cycles = baseline.Sim.cycles }
+
+(* ------------------------------------------------------------------ *)
+(* Permanent faults: random silicon-degradation maps for the self-repair
+   campaigns (Repair).  Class mix mirrors what ages first in a
+   CM-dominated fabric: stuck context-memory rows take the largest share,
+   then severed mesh links, whole-PE death and broken load-store units. *)
+
+let sample_permanent rng (cgra : Cgra.t) =
+  let tile = Rng.int rng (Cgra.tile_count cgra) in
+  let r = Rng.int rng 100 in
+  if r < 20 then Cgra.Dead_tile { tile }
+  else if r < 60 then
+    let cm = Cgra.base_cm cgra tile in
+    Cgra.Cm_rows_stuck { tile; rows = 1 + Rng.int rng (max 1 cm) }
+  else if r < 85 then
+    let dir =
+      match Rng.int rng 4 with
+      | 0 -> Cgra.North
+      | 1 -> Cgra.South
+      | 2 -> Cgra.West
+      | _ -> Cgra.East
+    in
+    Cgra.Dead_link { tile; dir }
+  else Cgra.No_lsu { tile }
+
+let sample_fault_map rng cgra ~faults =
+  let rec go k acc =
+    if k <= 0 then List.rev acc
+    else go (k - 1) (sample_permanent rng cgra :: acc)
+  in
+  go faults []

@@ -63,3 +63,13 @@ val run_campaign :
     {!Cgra_util.Pool.default_jobs}).  [key] names the campaign — use a
     distinct key per (kernel, config, flow) point so campaigns draw
     independent streams.  The input [program] is never mutated. *)
+
+val sample_permanent : Cgra_util.Rng.t -> Cgra_arch.Cgra.t -> Cgra_arch.Cgra.fault
+(** One random permanent fault on the (pristine) array: 20% dead tile,
+    40% stuck CM rows (1..cm of the tile), 25% dead link, 15% broken LSU.
+    Draws a bounded number of values from [rng], so sampling is
+    deterministic for a given stream position. *)
+
+val sample_fault_map :
+  Cgra_util.Rng.t -> Cgra_arch.Cgra.t -> faults:int -> Cgra_arch.Cgra.fault list
+(** [faults] independent draws of {!sample_permanent}, in draw order. *)

@@ -27,6 +27,7 @@ type violation =
   | Bad_home of { sym : int; home : int; tiles : int }
   | Block_index_mismatch of { block : int; bb : int }
   | Encoding_mismatch of { tile : int; word : int; detail : string }
+  | Lsu_required of { at : coord; node : int }
 
 let pp_coord c = Printf.sprintf "tile %d b%d@%d" c.tile c.block c.cycle
 
@@ -80,6 +81,9 @@ let to_string = function
   | Encoding_mismatch { tile; word; detail } ->
     Printf.sprintf "tile %d context word %d: encode/decode mismatch: %s" tile word
       detail
+  | Lsu_required { at; node } ->
+    Printf.sprintf "%s: tile cannot execute node %d (no load-store unit)"
+      (pp_coord at) node
 
 let value_to_string = function
   | M.Vnode i -> Printf.sprintf "node %d" i
@@ -155,6 +159,8 @@ let check_block ~(cgra : Cgra.t) ~homes ~nodes (bm : M.bb_mapping) =
           if j < 0 || j >= Array.length nodes then
             emit (Bad_node_ref { at; node = j; nodes = Array.length nodes })
           else begin
+            if not (Cgra.can_execute cgra sl.M.tile nodes.(j).Cdfg.opcode) then
+              emit (Lsu_required { at; node = j });
             let operands = nodes.(j).Cdfg.operands in
             if List.length operands <> List.length operand_tiles then
               emit

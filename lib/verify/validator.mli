@@ -42,6 +42,10 @@ type violation =
   | Bad_home of { sym : int; home : int; tiles : int }
   | Block_index_mismatch of { block : int; bb : int }
   | Encoding_mismatch of { tile : int; word : int; detail : string }
+  | Lsu_required of { at : coord; node : int }
+      (** an operation needing the load-store unit sits on a tile that has
+          none — on degraded arrays also raised for any operation placed on
+          a dead tile ({!Cgra_arch.Cgra.can_execute}) *)
 
 val to_string : violation -> string
 

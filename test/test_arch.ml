@@ -123,6 +123,161 @@ let test_custom_grid () =
   Alcotest.(check int) "5 LSU tiles" 5 (List.length (Cgra.lsu_tiles c));
   Alcotest.(check int) "torus distance" 1 (Cgra.distance c 0 10)
 
+(* ---- degraded arrays (permanent faults) ----------------------------- *)
+
+let test_degrade_semantics () =
+  let c =
+    Cgra.degrade grid
+      [ Cgra.Dead_tile { tile = 5 };
+        Cgra.Cm_rows_stuck { tile = 3; rows = 16 };
+        Cgra.No_lsu { tile = 1 };
+        Cgra.Dead_link { tile = 2; dir = Cgra.East } ]
+  in
+  Alcotest.(check bool) "not pristine" false (Cgra.pristine c);
+  Alcotest.(check bool) "tile 5 dead" false (Cgra.alive c 5);
+  Alcotest.(check int) "dead tile CM reads 0" 0 c.Cgra.tiles.(5).Cgra.cm_words;
+  Alcotest.(check bool) "dead tile executes nothing" false
+    (Cgra.can_execute c 5 Op.Mul);
+  Alcotest.(check (list int)) "dead tile has no neighbours" []
+    (Cgra.neighbors c 5);
+  Alcotest.(check bool) "neighbours exclude the dead tile" false
+    (List.mem 5 (Cgra.neighbors c 1));
+  Alcotest.(check int) "stuck rows shrink the CM" 48 c.Cgra.tiles.(3).Cgra.cm_words;
+  Alcotest.(check int) "pristine capacity still visible" 64 (Cgra.base_cm c 3);
+  Alcotest.(check bool) "no_lsu keeps the ALU" true (Cgra.can_execute c 1 Op.Add);
+  Alcotest.(check bool) "no_lsu breaks loads" false (Cgra.can_execute c 1 Op.Load);
+  (* east link of tile 2 reaches tile 3; severing is symmetric *)
+  Alcotest.(check bool) "link severed 2->3" true (Cgra.link_severed c 2 3);
+  Alcotest.(check bool) "link severed 3->2" true (Cgra.link_severed c 3 2);
+  Alcotest.(check bool) "severed neighbour dropped" false
+    (List.mem 3 (Cgra.neighbors c 2));
+  Alcotest.(check int) "severed pair detours" 3 (Cgra.distance c 2 3)
+
+let test_degrade_pristine_noop () =
+  Alcotest.(check bool) "degrade [] is physically the same array" true
+    (Cgra.degrade grid [] == grid)
+
+let test_degrade_accumulate_clamp () =
+  let c =
+    Cgra.degrade grid
+      [ Cgra.Cm_rows_stuck { tile = 0; rows = 40 };
+        Cgra.Cm_rows_stuck { tile = 0; rows = 60 } ]
+  in
+  Alcotest.(check int) "distinct stuck-row faults accumulate, clamped" 0
+    c.Cgra.tiles.(0).Cgra.cm_words;
+  Alcotest.(check bool) "tile still alive" true (Cgra.alive c 0);
+  (* applying more faults on an already-degraded array composes *)
+  let c2 = Cgra.degrade c [ Cgra.Dead_tile { tile = 9 } ] in
+  Alcotest.(check int) "earlier faults preserved" 0 c2.Cgra.tiles.(0).Cgra.cm_words;
+  Alcotest.(check bool) "new fault applied" false (Cgra.alive c2 9)
+
+let test_degrade_invalid () =
+  Alcotest.check_raises "out-of-range tile"
+    (Invalid_argument "Cgra.degrade: dead_tile names tile 99 outside 0..15")
+    (fun () -> ignore (Cgra.degrade grid [ Cgra.Dead_tile { tile = 99 } ]))
+
+let test_unroutable_partition () =
+  (* sever all four links of tile 10: it is alive but unreachable *)
+  let c =
+    Cgra.degrade grid
+      [ Cgra.Dead_link { tile = 10; dir = Cgra.North };
+        Cgra.Dead_link { tile = 10; dir = Cgra.South };
+        Cgra.Dead_link { tile = 10; dir = Cgra.West };
+        Cgra.Dead_link { tile = 10; dir = Cgra.East } ]
+  in
+  Alcotest.(check bool) "still alive" true (Cgra.alive c 10);
+  Alcotest.(check (list int)) "no usable neighbours" [] (Cgra.neighbors c 10);
+  Alcotest.(check int) "unreachable distance" (Cgra.unreachable c)
+    (Cgra.distance c 10 0);
+  Alcotest.(check bool) "route_opt none" true (Cgra.route_opt c ~src:0 ~dst:10 = None);
+  Alcotest.(check (list int)) "self route still empty" []
+    (Cgra.route c ~src:10 ~dst:10);
+  Alcotest.check_raises "route raises Unroutable"
+    (Cgra.Unroutable { src = 10; dst = 0 })
+    (fun () -> ignore (Cgra.route c ~src:10 ~dst:0))
+
+let test_fault_map_roundtrip () =
+  let module Fm = Cgra_arch.Fault_map in
+  let fs =
+    [ Cgra.Dead_tile { tile = 5 };
+      Cgra.Cm_rows_stuck { tile = 3; rows = 8 };
+      Cgra.Dead_link { tile = 2; dir = Cgra.East };
+      Cgra.No_lsu { tile = 1 } ]
+  in
+  (match Fm.of_string (Fm.to_string fs) with
+   | Ok fs' -> Alcotest.(check bool) "printer/parser round-trip" true (fs = fs')
+   | Error e -> Alcotest.fail e);
+  (match Fm.of_string "; comment\n  (dead_tile 7) ; trailing\n\n(DEAD_LINK 0 N)\n" with
+   | Ok fs' ->
+     Alcotest.(check bool) "comments, case and blanks accepted" true
+       (fs' = [ Cgra.Dead_tile { tile = 7 };
+                Cgra.Dead_link { tile = 0; dir = Cgra.North } ])
+   | Error e -> Alcotest.fail e);
+  match Fm.of_string "(dead_tile 1)\n(bogus 2)" with
+  | Ok _ -> Alcotest.fail "bogus fault accepted"
+  | Error e ->
+    Alcotest.(check bool) "error names the line" true
+      (String.length e >= 17 && String.sub e 0 17 = "fault map line 2:")
+
+let gen_fault =
+  let open QCheck.Gen in
+  int_bound 15 >>= fun tile ->
+  int_bound 3 >>= function
+  | 0 -> return (Cgra.Dead_tile { tile })
+  | 1 -> int_range 1 64 >>= fun rows -> return (Cgra.Cm_rows_stuck { tile; rows })
+  | 2 ->
+    oneofl [ Cgra.North; Cgra.South; Cgra.West; Cgra.East ] >>= fun dir ->
+    return (Cgra.Dead_link { tile; dir })
+  | _ -> return (Cgra.No_lsu { tile })
+
+let arb_degraded_case =
+  QCheck.make
+    QCheck.Gen.(
+      triple (list_size (int_range 0 5) gen_fault) (int_bound 15) (int_bound 15))
+
+let arb_fault_list =
+  QCheck.make QCheck.Gen.(list_size (int_range 0 6) gen_fault)
+
+let prop_degraded_route_matches_distance =
+  QCheck.Test.make
+    ~name:"degraded: route length = distance, no dead tile/link traversed"
+    ~count:500 arb_degraded_case (fun (fs, src, dst) ->
+      let c = Cgra.degrade grid fs in
+      match Cgra.route_opt c ~src ~dst with
+      | None -> Cgra.distance c src dst = Cgra.unreachable c
+      | Some path ->
+        if src = dst then path = []
+        else
+          List.length path = Cgra.distance c src dst
+          && Cgra.path_ok c ~src path
+          && (let rec ok prev = function
+                | [] -> prev = dst
+                | hop :: rest -> Cgra.distance c prev hop = 1 && ok hop rest
+              in
+              ok src path))
+
+let prop_unroutable_iff_no_path =
+  QCheck.Test.make ~name:"Unroutable raised exactly on partition" ~count:500
+    arb_degraded_case (fun (fs, src, dst) ->
+      let c = Cgra.degrade grid fs in
+      match Cgra.route c ~src ~dst with
+      | _ -> Cgra.route_opt c ~src ~dst <> None
+      | exception Cgra.Unroutable { src = s; dst = d } ->
+        s = src && d = dst
+        && Cgra.route_opt c ~src ~dst = None
+        && Cgra.distance c src dst = Cgra.unreachable c)
+
+let prop_degrade_idempotent =
+  QCheck.Test.make ~name:"degrade is idempotent" ~count:200 arb_fault_list
+    (fun fs ->
+      let c = Cgra.degrade grid fs in
+      Cgra.degrade c fs = c)
+
+let prop_degrade_order_insensitive =
+  QCheck.Test.make ~name:"degrade is order-insensitive" ~count:200
+    arb_fault_list (fun fs ->
+      Cgra.degrade grid (List.rev fs) = Cgra.degrade grid fs)
+
 let suite =
   [ ( "arch",
       [ Alcotest.test_case "Table I totals" `Quick test_table1_totals;
@@ -136,4 +291,19 @@ let suite =
         Alcotest.test_case "ISA durations" `Quick test_isa_durations;
         Alcotest.test_case "ISA rendering" `Quick test_isa_strings;
         Alcotest.test_case "decode rejects bad pnop" `Quick test_decode_bad_pnop;
-        Alcotest.test_case "custom grid" `Quick test_custom_grid ] ) ]
+        Alcotest.test_case "custom grid" `Quick test_custom_grid;
+        Alcotest.test_case "degrade semantics" `Quick test_degrade_semantics;
+        Alcotest.test_case "degrade [] is a no-op" `Quick
+          test_degrade_pristine_noop;
+        Alcotest.test_case "stuck rows accumulate and clamp" `Quick
+          test_degrade_accumulate_clamp;
+        Alcotest.test_case "degrade rejects bad tile ids" `Quick
+          test_degrade_invalid;
+        Alcotest.test_case "partitioned tile is unroutable" `Quick
+          test_unroutable_partition;
+        Alcotest.test_case "fault-map file format round-trips" `Quick
+          test_fault_map_roundtrip;
+        QCheck_alcotest.to_alcotest prop_degraded_route_matches_distance;
+        QCheck_alcotest.to_alcotest prop_unroutable_iff_no_path;
+        QCheck_alcotest.to_alcotest prop_degrade_idempotent;
+        QCheck_alcotest.to_alcotest prop_degrade_order_insensitive ] ) ]

@@ -200,6 +200,36 @@ let test_flow_fails_on_tiny_cm () =
   | Ok (m, _) ->
     Alcotest.(check bool) "cannot fit 2-word CMs" false (M.fits m)
 
+let test_flow_maps_around_faults () =
+  let module Cgra = Cgra_arch.Cgra in
+  let cdfg = loop_cdfg () in
+  let faults =
+    [ Cgra.Dead_tile { tile = 2 };
+      Cgra.No_lsu { tile = 0 };
+      Cgra.Dead_link { tile = 5; dir = Cgra.East } ]
+  in
+  let config = { FC.basic with FC.faults } in
+  match Flow.run ~config (Config.cgra Config.HOM64) cdfg with
+  | Error f -> Alcotest.fail f.Flow.reason
+  | Ok (m, _) ->
+    Alcotest.(check bool) "mapping carries the degraded fabric" true
+      (m.M.cgra.Cgra.faults <> []);
+    Array.iter
+      (fun bm ->
+        List.iter
+          (fun sl ->
+            Alcotest.(check bool) "no slot on the dead tile" true (sl.M.tile <> 2);
+            match sl.M.action with
+            | M.Aop { node; _ } ->
+              let nodes = cdfg.Cdfg.blocks.(bm.M.bb).Cdfg.nodes in
+              if Cgra_ir.Opcode.needs_lsu nodes.(node).Cdfg.opcode then
+                Alcotest.(check bool) "memory op avoids the disabled LSU" true
+                  (sl.M.tile <> 0)
+            | M.Amove _ | M.Acopy _ -> ())
+          bm.M.slots)
+      m.M.bbs;
+    Alcotest.(check bool) "fits the degraded capacities" true (M.fits m)
+
 let test_flow_rejects_sym_overflow () =
   let b = B.create "many" in
   for i = 0 to 40 do
@@ -385,6 +415,7 @@ let suite =
         Alcotest.test_case "flow deterministic" `Quick test_flow_deterministic;
         Alcotest.test_case "flow respects LSU" `Quick test_flow_respects_lsu;
         Alcotest.test_case "flow fails on tiny CM" `Quick test_flow_fails_on_tiny_cm;
+        Alcotest.test_case "flow maps around faults" `Quick test_flow_maps_around_faults;
         Alcotest.test_case "flow rejects symbol overflow" `Quick test_flow_rejects_sym_overflow;
         Alcotest.test_case "weighted traversal" `Quick test_weighted_traversal_order;
         Alcotest.test_case "usage within capacity" `Quick test_mapping_usage_vs_capacity;

@@ -353,6 +353,169 @@ let test_campaign_counts_consistent () =
   let c' = campaign ~jobs:2 ~seed:10 () in
   Alcotest.(check bool) "different seed, different campaign" true (c <> c')
 
+(* ---- permanent faults: detect -> diagnose -> remap -------------------- *)
+
+module R = Cgra_verify.Repair
+module Op = Cgra_ir.Opcode
+
+(* Remaps must be capacity-aware or a stuck-row fault is unrepairable:
+   use the context-aware flow, as [repair_report] does. *)
+let repair_config = { FC.context_aware with FC.degrade = true }
+
+let run_repair ~injected (k, m) =
+  R.repair ~config:repair_config ~injected
+    ~fresh_mem:(fun () -> K.fresh_mem k)
+    ~golden:(K.run_golden k) m
+
+(* Context words the pristine mapping puts on [tile], read off the
+   validator itself: killing the tile makes it report the exact count. *)
+let words_on m tile =
+  let truth = Cgra.degrade m.M.cgra [ Cgra.Dead_tile { tile } ] in
+  List.find_map
+    (function
+      | V.Cm_overflow { tile = t; words; _ } when t = tile -> Some words
+      | _ -> None)
+    (R.detect ~truth m)
+
+let busiest_tile m =
+  let nt = Cgra.tile_count m.M.cgra in
+  let best = ref (-1) and bw = ref 0 in
+  for t = 0 to nt - 1 do
+    match words_on m t with
+    | Some w when w > !bw ->
+      best := t;
+      bw := w
+    | _ -> ()
+  done;
+  if !best < 0 then Alcotest.fail "mapping uses no tile" else (!best, !bw)
+
+let assert_repaired name m (tr : R.trace) =
+  match tr.R.status with
+  | R.Repaired { mapping; _ } ->
+    let truth = Cgra.degrade m.M.cgra tr.R.injected in
+    Alcotest.(check string) (name ^ ": repaired mapping clean") ""
+      (violations_str (R.detect ~truth mapping))
+  | R.Unaffected -> Alcotest.fail (name ^ ": expected a repair, got unaffected")
+  | R.Gave_up { reason; _ } -> Alcotest.fail (name ^ ": gave up: " ^ reason)
+
+let test_repair_dead_tile () =
+  let (_, m) as base = Lazy.force base_aware in
+  let tile, _ = busiest_tile m in
+  let tr = run_repair ~injected:[ Cgra.Dead_tile { tile } ] base in
+  Alcotest.(check bool) "violations detected" true (tr.R.detected <> []);
+  Alcotest.(check bool) "dead tile diagnosed" true
+    (List.mem (Cgra.Dead_tile { tile }) tr.R.diagnosed);
+  assert_repaired "dead tile" m tr
+
+let test_repair_cm_rows_stuck () =
+  let (_, m) as base = Lazy.force base_aware in
+  let tile, words = busiest_tile m in
+  Alcotest.(check bool) "busiest tile holds >= 2 words" true (words >= 2);
+  (* Leave one word fewer than the mapping needs: a partial-capacity
+     overflow, which must diagnose to the exact stuck-row count. *)
+  let rows = Cgra.base_cm m.M.cgra tile - words + 1 in
+  let tr = run_repair ~injected:[ Cgra.Cm_rows_stuck { tile; rows } ] base in
+  Alcotest.(check bool) "exact rows diagnosed" true
+    (List.mem (Cgra.Cm_rows_stuck { tile; rows }) tr.R.diagnosed);
+  assert_repaired "stuck rows" m tr
+
+(* A slot reading a value from an adjacent tile's RF, as (reader, source). *)
+let neighbour_read m =
+  List.find_map
+    (fun (_, _, s) ->
+      let reads =
+        match s.M.action with
+        | M.Amove { from_tile; _ } -> [ from_tile ]
+        | M.Aop { operand_tiles; _ } -> operand_tiles
+        | _ -> []
+      in
+      List.find_map
+        (fun src ->
+          if src <> s.M.tile && Cgra.distance m.M.cgra s.M.tile src = 1 then
+            Some (s.M.tile, src)
+          else None)
+        reads)
+    (all_slots m)
+
+let test_repair_dead_link () =
+  let (_, m) as base = Lazy.force base_aware in
+  match neighbour_read m with
+  | None -> Alcotest.fail "mapping has no neighbour read to sever"
+  | Some (reader, src) ->
+    let dir = Option.get (Cgra.dir_between m.M.cgra reader src) in
+    let tr = run_repair ~injected:[ Cgra.Dead_link { tile = reader; dir } ] base in
+    Alcotest.(check bool) "non-neighbour read detected" true
+      (has_violation
+         (function V.Non_neighbour_read _ -> true | _ -> false)
+         tr.R.detected);
+    Alcotest.(check bool) "severed link diagnosed" true
+      (List.mem (Cgra.Dead_link { tile = reader; dir }) tr.R.diagnosed);
+    assert_repaired "dead link" m tr
+
+(* A tile on which the mapping executes a load or store. *)
+let lsu_tile m =
+  List.find_map
+    (fun (bi, _, s) ->
+      match s.M.action with
+      | M.Aop { node; _ } ->
+        let op =
+          m.M.cdfg.Cgra_ir.Cdfg.blocks.(bi).Cgra_ir.Cdfg.nodes.(node)
+            .Cgra_ir.Cdfg.opcode
+        in
+        if Op.needs_lsu op then Some s.M.tile else None
+      | _ -> None)
+    (all_slots m)
+
+let test_repair_no_lsu () =
+  let (_, m) as base = Lazy.force base_aware in
+  match lsu_tile m with
+  | None -> Alcotest.fail "mapping executes no load/store"
+  | Some tile ->
+    let tr = run_repair ~injected:[ Cgra.No_lsu { tile } ] base in
+    Alcotest.(check bool) "LSU violation detected" true
+      (has_violation
+         (function V.Lsu_required _ -> true | _ -> false)
+         tr.R.detected);
+    Alcotest.(check bool) "missing LSU diagnosed" true
+      (List.mem (Cgra.No_lsu { tile }) tr.R.diagnosed);
+    assert_repaired "no lsu" m tr
+
+let test_repair_unaffected () =
+  let (_, m) as base = Lazy.force base_aware in
+  (* One stuck context row on a tile with at least one word of slack is
+     invisible to every invariant: nothing to repair. *)
+  let nt = Cgra.tile_count m.M.cgra in
+  let rec slack t =
+    if t >= nt then Alcotest.fail "every tile is packed to capacity"
+    else
+      let words = Option.value ~default:0 (words_on m t) in
+      if words + 1 <= Cgra.base_cm m.M.cgra t then t else slack (t + 1)
+  in
+  let tile = slack 0 in
+  let tr = run_repair ~injected:[ Cgra.Cm_rows_stuck { tile; rows = 1 } ] base in
+  Alcotest.(check bool) "unaffected" true (tr.R.status = R.Unaffected);
+  Alcotest.(check bool) "trace renders" true
+    (contains_sub ~sub:"unaffected" (R.trace_to_string tr))
+
+let repair_campaign ~jobs ~seed () =
+  let k, m = Lazy.force base_aware in
+  R.run_campaign ~jobs ~seed ~trials:5 ~faults:1 ~key:"test/fir/repair"
+    ~config:repair_config
+    ~fresh_mem:(fun () -> K.fresh_mem k)
+    m
+
+let test_repair_campaign_deterministic () =
+  let c1 = repair_campaign ~jobs:1 ~seed:7 () in
+  let c2 = repair_campaign ~jobs:2 ~seed:7 () in
+  Alcotest.(check bool) "jobs 1 = jobs 2" true (c1 = c2);
+  let s = c1.R.summary in
+  Alcotest.(check int) "classes sum to trials" s.R.trials
+    (s.R.unaffected + s.R.repaired + s.R.gave_up);
+  List.iteri
+    (fun i (t : R.trial) -> Alcotest.(check int) "index order" i t.R.index)
+    c1.R.runs;
+  Alcotest.(check bool) "pristine baseline recorded" true (c1.R.pristine_cycles > 0)
+
 (* ---- Flow integration: validate + degrade ----------------------------- *)
 
 let test_flow_validate_passes () =
@@ -437,6 +600,18 @@ let suite =
           test_campaign_deterministic_across_jobs;
         Alcotest.test_case "fault campaign: counts consistent" `Quick
           test_campaign_counts_consistent;
+        Alcotest.test_case "repair: dead tile round-trip" `Quick
+          test_repair_dead_tile;
+        Alcotest.test_case "repair: stuck CM rows round-trip" `Quick
+          test_repair_cm_rows_stuck;
+        Alcotest.test_case "repair: dead link round-trip" `Quick
+          test_repair_dead_link;
+        Alcotest.test_case "repair: missing LSU round-trip" `Quick
+          test_repair_no_lsu;
+        Alcotest.test_case "repair: unused fault is unaffected" `Quick
+          test_repair_unaffected;
+        Alcotest.test_case "repair campaign: jobs-independent" `Quick
+          test_repair_campaign_deterministic;
         Alcotest.test_case "flow: validate passes on real mapping" `Quick
           test_flow_validate_passes;
         Alcotest.test_case "flow: degrade is a no-op when mappable" `Quick
