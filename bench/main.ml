@@ -25,6 +25,17 @@
    --faults N sets how many random permanent faults each repair_report
    trial injects (default 2); must be positive.
 
+   --mode full|incremental selects the repair_report remap strategy:
+   full re-searches the whole kernel on every repair (default);
+   incremental reuses every block the diagnosed faults do not touch and
+   re-searches only the dirty ones.  Either mode is deterministic at any
+   --jobs; per-cell campaign wall-clock goes to stderr.
+
+   alloc_check (a command, not an artifact) maps FIR on HOM64 with the
+   basic flow and fails if the allocated words per binding attempt
+   regress past the recorded budget — the smoke guard for the flattened
+   search inner loop.
+
    Artifact regeneration prints the same rows/series as the paper's
    evaluation section (see EXPERIMENTS.md for the paper-vs-measured
    record). *)
@@ -264,6 +275,46 @@ let run_ablations () =
   ablation_cfg_simplification ();
   ablation_if_conversion ()
 
+(* ---- allocation-budget smoke check ----------------------------------- *)
+
+(* Budget for the flattened search inner loop, in allocated words per
+   binding attempt (FIR @ HOM64, basic flow, expand_jobs = 1).  The
+   measured figure is stable for a fixed build but not byte-portable
+   across compiler versions, so this is a regression bound with headroom
+   (~1.5x the measured value at the time of recording, 608.8), not an
+   exact expectation. *)
+let alloc_budget_words_per_attempt = 900.0
+
+let run_alloc_check () =
+  match
+    Cgra_core.Flow.run ~config:Cgra_core.Flow_config.basic
+      (Cgra_arch.Config.cgra Cgra_arch.Config.HOM64)
+      fir_cdfg
+  with
+  | Error f ->
+    Printf.eprintf "alloc_check: FIR must map on HOM64: %s\n"
+      f.Cgra_core.Flow.reason;
+    exit 1
+  | Ok (_, stats) ->
+    let words, attempts =
+      List.fold_left
+        (fun (w, a) (b : Cgra_core.Search.block_stats) ->
+          (w +. b.Cgra_core.Search.alloc_words, a + b.Cgra_core.Search.attempts))
+        (0.0, 0) stats.Cgra_core.Flow.search
+    in
+    let per = words /. float_of_int (max 1 attempts) in
+    Printf.printf
+      "alloc_check: %.0f words over %d binding attempts = %.1f words/attempt \
+       (budget %.1f)\n"
+      words attempts per alloc_budget_words_per_attempt;
+    if per > alloc_budget_words_per_attempt then begin
+      Printf.eprintf
+        "alloc_check: FAIL — per-attempt allocation regressed past the \
+         recorded budget\n";
+      exit 1
+    end
+    else print_endline "alloc_check: OK"
+
 (* --jobs N / -j N / --jobs=N and --opt anywhere on the command line. *)
 let parse_flags args =
   let starts_with prefix s =
@@ -287,39 +338,53 @@ let parse_flags args =
     end;
     v
   in
-  let rec go jobs opt trials faults acc = function
-    | [] -> (jobs, opt, trials, faults, List.rev acc)
+  let repair_mode flag = function
+    | "full" -> Cgra_verify.Repair.Full
+    | "incremental" -> Cgra_verify.Repair.Incremental
+    | n ->
+      Printf.eprintf "invalid %s value %S (expected full|incremental)\n" flag n;
+      exit 1
+  in
+  let rec go jobs opt trials faults mode acc = function
+    | [] -> (jobs, opt, trials, faults, mode, List.rev acc)
     | ("--jobs" | "-j") :: n :: rest ->
-      go (Some (parse "--jobs" n)) opt trials faults acc rest
+      go (Some (parse "--jobs" n)) opt trials faults mode acc rest
     | [ ("--jobs" | "-j") ] -> bad "--jobs" "<missing>"
     | arg :: rest when starts_with "--jobs=" arg ->
       let n = String.sub arg 7 (String.length arg - 7) in
-      go (Some (parse "--jobs" n)) opt trials faults acc rest
+      go (Some (parse "--jobs" n)) opt trials faults mode acc rest
     | "--trials" :: n :: rest ->
-      go jobs opt (Some (positive "--trials" n)) faults acc rest
+      go jobs opt (Some (positive "--trials" n)) faults mode acc rest
     | [ "--trials" ] -> bad "--trials" "<missing>"
     | arg :: rest when starts_with "--trials=" arg ->
       let n = String.sub arg 9 (String.length arg - 9) in
-      go jobs opt (Some (positive "--trials" n)) faults acc rest
+      go jobs opt (Some (positive "--trials" n)) faults mode acc rest
     | "--faults" :: n :: rest ->
-      go jobs opt trials (Some (positive "--faults" n)) acc rest
+      go jobs opt trials (Some (positive "--faults" n)) mode acc rest
     | [ "--faults" ] -> bad "--faults" "<missing>"
     | arg :: rest when starts_with "--faults=" arg ->
       let n = String.sub arg 9 (String.length arg - 9) in
-      go jobs opt trials (Some (positive "--faults" n)) acc rest
-    | "--opt" :: rest -> go jobs true trials faults acc rest
-    | arg :: rest -> go jobs opt trials faults (arg :: acc) rest
+      go jobs opt trials (Some (positive "--faults" n)) mode acc rest
+    | "--mode" :: n :: rest ->
+      go jobs opt trials faults (Some (repair_mode "--mode" n)) acc rest
+    | [ "--mode" ] -> bad "--mode" "<missing>"
+    | arg :: rest when starts_with "--mode=" arg ->
+      let n = String.sub arg 7 (String.length arg - 7) in
+      go jobs opt trials faults (Some (repair_mode "--mode" n)) acc rest
+    | "--opt" :: rest -> go jobs true trials faults mode acc rest
+    | arg :: rest -> go jobs opt trials faults mode (arg :: acc) rest
   in
-  go None false None None [] args
+  go None false None None None [] args
 
 let () =
-  let jobs, opt, trials, faults, rest =
+  let jobs, opt, trials, faults, mode, rest =
     parse_flags (List.tl (Array.to_list Sys.argv))
   in
   if opt then Cgra_exp.Runner.set_opt_mode Cgra_exp.Runner.Optimized;
   Option.iter Cgra_exp.Figures.set_fault_trials trials;
   Option.iter Cgra_exp.Figures.set_repair_trials trials;
   Option.iter Cgra_exp.Figures.set_repair_faults faults;
+  Option.iter Cgra_exp.Figures.set_repair_mode mode;
   let warm () = Cgra_exp.Runner.warm ?jobs () in
   match rest with
   | [] ->
@@ -332,6 +397,7 @@ let () =
     run_all_artifacts ()
   | [ "micro" ] -> run_micro ()
   | [ "ablation" ] -> run_ablations ()
+  | [ "alloc_check" ] -> run_alloc_check ()
   | [ "list" ] -> list_artifacts ()
   | [ name ] ->
     (* a single artifact only needs its own cells; fan out only when the
@@ -341,6 +407,7 @@ let () =
   | _ ->
     prerr_endline
       "usage: main.exe [--jobs N] [--opt] [--trials N] [--faults N] \
-       [<artifact>|all|micro|ablation|list]   (artifact names: main.exe \
-       list)";
+       [--mode full|incremental] \
+       [<artifact>|all|micro|ablation|alloc_check|list]   (artifact names: \
+       main.exe list)";
     exit 1

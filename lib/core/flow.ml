@@ -113,7 +113,13 @@ let block_words cgra (bm : Mapping.bb_mapping) =
   Array.init nt (fun t ->
       instr.(t) + Occupancy.pnops occ.(t))
 
-let run_once ~t0 ~work ~retries_used ~config ~opt_report cgra cdfg =
+(* [base = Some (m, dirty, kept_homes)] switches one mapping attempt into
+   partial mode: blocks with [dirty.(b) = false] reuse [m]'s placements
+   verbatim — their exact context words are pre-committed and their home
+   pins pre-applied — and only dirty blocks are searched, in the usual
+   traversal order.  [None] is the ordinary full flow. *)
+let run_once ~t0 ~work ~retries_used ~config ~opt_report ~routes ?base cgra
+    cdfg =
   match Cdfg.validate cdfg with
   | Error msg ->
     Error { reason = "invalid CDFG: " ^ msg; at_block = None; work = !work; gave_up = [] }
@@ -131,9 +137,31 @@ let run_once ~t0 ~work ~retries_used ~config ~opt_report cgra cdfg =
         }
     else begin
       let order = traversal_order config.Flow_config.traversal cdfg in
+      let order =
+        match base with
+        | None -> order
+        | Some (_, dirty, _) -> List.filter (fun b -> dirty.(b)) order
+      in
       let nt = Cgra.tile_count cgra in
       let committed = Array.make nt 0 in
-      let homes = Array.make (max 1 cdfg.Cdfg.sym_count) (-1) in
+      let homes =
+        match base with
+        | Some (_, _, kept) -> Array.copy kept
+        | None -> Array.make (max 1 cdfg.Cdfg.sym_count) (-1)
+      in
+      (match base with
+      | None -> ()
+      | Some (m, dirty, _) ->
+        (* Surviving blocks keep their placements: charge their exact
+           context words up front so the dirty-block search sees the same
+           CM pressure a full flow would have accumulated. *)
+        Array.iteri
+          (fun bi bm ->
+            if not dirty.(bi) then begin
+              let words = block_words cgra bm in
+              Array.iteri (fun t w -> committed.(t) <- committed.(t) + w) words
+            end)
+          m.Mapping.bbs);
       let rng = Rng.create config.Flow_config.seed in
       let recomputes = ref 0 in
       let peak = ref 1 in
@@ -142,7 +170,8 @@ let run_once ~t0 ~work ~retries_used ~config ~opt_report cgra cdfg =
         | [] -> Ok (List.rev acc)
         | bi :: rest -> (
           match
-            Search.map_block ~config ~cgra ~committed ~homes ~rng ~work cdfg bi
+            Search.map_block ~routes ~config ~cgra ~committed ~homes ~rng
+              ~work cdfg bi
           with
           | exception Cgra_graph.Digraph.Cycle ids ->
             (* A cyclic per-block DFG that slipped past validation (e.g. a
@@ -178,7 +207,14 @@ let run_once ~t0 ~work ~retries_used ~config ~opt_report cgra cdfg =
       match map_blocks [] order with
       | Error f -> Error f
       | Ok bbs_in_order ->
-        let bbs = Array.make (Array.length cdfg.Cdfg.blocks) None in
+        let bbs =
+          match base with
+          | None -> Array.make (Array.length cdfg.Cdfg.blocks) None
+          | Some (m, dirty, _) ->
+            Array.mapi
+              (fun bi bm -> if dirty.(bi) then None else Some bm)
+              m.Mapping.bbs
+        in
         List.iter
           (fun bm -> bbs.(bm.Mapping.bb) <- Some bm)
           bbs_in_order;
@@ -186,7 +222,7 @@ let run_once ~t0 ~work ~retries_used ~config ~opt_report cgra cdfg =
           Array.map
             (function
               | Some bm -> bm
-              | None -> assert false (* every block is in the traversal *))
+              | None -> assert false (* every block is mapped or reused *))
             bbs
         in
         (* Symbols never touched keep home -1; pin them anywhere so the
@@ -231,73 +267,56 @@ let run_once ~t0 ~work ~retries_used ~config ~opt_report cgra cdfg =
             }
     end
 
-let run ?(config = Flow_config.default) ?opt_verify cgra cdfg =
-  let t0 = Cgra_util.Clock.now () in
-  let work = ref 0 in
-  (* Map onto the degraded fabric when a permanent-fault map is given.
-     [degrade] with an empty list returns the array physically unchanged,
-     so the pristine flow is a strict no-op. *)
-  let cgra = Cgra.degrade cgra config.Flow_config.faults in
-  (* Optimize before mapping when asked.  An invalid CDFG skips the
-     pipeline and falls through to [run_once], whose validation reports
-     it as an ordinary mapping failure. *)
-  let cdfg, opt_report =
-    if config.Flow_config.optimize && Cdfg.validate cdfg = Ok () then begin
-      let verify =
-        match opt_verify with
-        | Some v -> v
-        | None -> Cgra_opt.Pipeline.default_verifier ()
-      in
-      let cdfg', report = Cgra_opt.Pipeline.run ~verify cdfg in
-      (cdfg', Some report)
-    end
-    else (cdfg, None)
-  in
-  let escalation_of ~attempt (c : Flow_config.t) (f : failure) =
-    {
-      e_attempt = attempt;
-      e_seed = c.Flow_config.seed;
-      e_beam_width = c.Flow_config.beam_width;
-      e_expand_per_state = c.Flow_config.expand_per_state;
-      e_keep_prob = c.Flow_config.keep_prob;
-      e_prune_slack = c.Flow_config.prune_slack;
-      e_reason = f.reason;
-      e_at_block = f.at_block;
-    }
-  in
-  (* Independent re-validation of a successful mapping (the tentpole's
-     third eye): a violation is a mapper bug, not a stochastic dead-end,
-     so it is never retried. *)
-  let validated = function
-    | Error _ as e -> e
-    | Ok (mapping, _stats) as ok ->
-      if not config.Flow_config.validate then ok
-      else (
-        match !validator with
-        | None ->
+let escalation_of ~attempt (c : Flow_config.t) (f : failure) =
+  {
+    e_attempt = attempt;
+    e_seed = c.Flow_config.seed;
+    e_beam_width = c.Flow_config.beam_width;
+    e_expand_per_state = c.Flow_config.expand_per_state;
+    e_keep_prob = c.Flow_config.keep_prob;
+    e_prune_slack = c.Flow_config.prune_slack;
+    e_reason = f.reason;
+    e_at_block = f.at_block;
+  }
+
+(* Independent re-validation of a successful mapping (the tentpole's
+   third eye): a violation is a mapper bug, not a stochastic dead-end,
+   so it is never retried. *)
+let validated ~config ~work = function
+  | Error _ as e -> e
+  | Ok (mapping, _stats) as ok ->
+    if not config.Flow_config.validate then ok
+    else (
+      match !validator with
+      | None ->
+        Error
+          {
+            reason =
+              "validate requested but no validator is installed \
+               (call Cgra_verify.Validator.install ())";
+            at_block = None;
+            work = !work;
+            gave_up = [];
+          }
+      | Some check -> (
+        match check mapping with
+        | [] -> ok
+        | violations ->
           Error
             {
               reason =
-                "validate requested but no validator is installed \
-                 (call Cgra_verify.Validator.install ())";
+                Printf.sprintf "validation failed: %s"
+                  (String.concat "; " violations);
               at_block = None;
               work = !work;
               gave_up = [];
-            }
-        | Some check -> (
-          match check mapping with
-          | [] -> ok
-          | violations ->
-            Error
-              {
-                reason =
-                  Printf.sprintf "validation failed: %s"
-                    (String.concat "; " violations);
-                at_block = None;
-                work = !work;
-                gave_up = [];
-              }))
-  in
+            }))
+
+(* Shared retry / graceful-degradation driver over [run_once].  The route
+   table depends only on the (already degraded) array, so it is interned
+   here once and reused by every attempt and every block. *)
+let drive ~t0 ~work ~config ~opt_report ?base cgra cdfg =
+  let routes = Search.build_routes cgra in
   let result =
     if not config.Flow_config.degrade then
       (* The stochastic pruning can dead-end; the context-aware flows
@@ -309,7 +328,8 @@ let run ?(config = Flow_config.default) ?opt_verify cgra cdfg =
           { config with Flow_config.seed = config.Flow_config.seed + (1000 * k) }
         in
         match
-          run_once ~t0 ~work ~retries_used:k ~config:seeded ~opt_report cgra cdfg
+          run_once ~t0 ~work ~retries_used:k ~config:seeded ~opt_report
+            ~routes ?base cgra cdfg
         with
         | Ok _ as ok -> ok
         | Error _ as e ->
@@ -344,7 +364,8 @@ let run ?(config = Flow_config.default) ?opt_verify cgra cdfg =
       let rec attempt k trace =
         let cfg_k = escalate k in
         match
-          run_once ~t0 ~work ~retries_used:k ~config:cfg_k ~opt_report cgra cdfg
+          run_once ~t0 ~work ~retries_used:k ~config:cfg_k ~opt_report ~routes
+            ?base cgra cdfg
         with
         | Ok (m, s) -> Ok (m, { s with escalations = List.rev trace })
         | Error f ->
@@ -355,4 +376,38 @@ let run ?(config = Flow_config.default) ?opt_verify cgra cdfg =
       attempt 0 []
     end
   in
-  validated result
+  validated ~config ~work result
+
+let run ?(config = Flow_config.default) ?opt_verify cgra cdfg =
+  let t0 = Cgra_util.Clock.now () in
+  let work = ref 0 in
+  (* Map onto the degraded fabric when a permanent-fault map is given.
+     [degrade] with an empty list returns the array physically unchanged,
+     so the pristine flow is a strict no-op. *)
+  let cgra = Cgra.degrade cgra config.Flow_config.faults in
+  (* Optimize before mapping when asked.  An invalid CDFG skips the
+     pipeline and falls through to [run_once], whose validation reports
+     it as an ordinary mapping failure. *)
+  let cdfg, opt_report =
+    if config.Flow_config.optimize && Cdfg.validate cdfg = Ok () then begin
+      let verify =
+        match opt_verify with
+        | Some v -> v
+        | None -> Cgra_opt.Pipeline.default_verifier ()
+      in
+      let cdfg', report = Cgra_opt.Pipeline.run ~verify cdfg in
+      (cdfg', Some report)
+    end
+    else (cdfg, None)
+  in
+  drive ~t0 ~work ~config ~opt_report cgra cdfg
+
+let run_partial ?(config = Flow_config.default) ~base ~dirty ~homes cgra =
+  let t0 = Cgra_util.Clock.now () in
+  let work = ref 0 in
+  let cgra = Cgra.degrade cgra config.Flow_config.faults in
+  (* [base.cdfg] is the CDFG that was actually mapped (post-optimization
+     when the original flow optimized), so the pipeline must not run
+     again: the surviving placements reference its node ids. *)
+  drive ~t0 ~work ~config ~opt_report:None ~base:(base, dirty, homes) cgra
+    base.Mapping.cdfg

@@ -109,3 +109,31 @@ val run :
     {!Cgra_opt.Pipeline.default_verifier}).  A pipeline bug raises
     {!Cgra_opt.Pipeline.Verification_failed} rather than mapping a
     wrong program. *)
+
+val run_partial :
+  ?config:Flow_config.t ->
+  base:Mapping.t ->
+  dirty:bool array ->
+  homes:int array ->
+  Cgra_arch.Cgra.t ->
+  result
+(** [run_partial ~config ~base ~dirty ~homes cgra] remaps only the dirty
+    blocks of [base] onto [cgra] (degraded by [config.faults]), reusing
+    every block [b] with [dirty.(b) = false] verbatim: its placement is
+    kept, its exact context words are pre-committed before the search
+    starts, and the home pins in [homes] ([homes.(s)] = kept tile of
+    symbol [s], [-1] = free to re-pin) are pre-applied.  The result merges
+    the surviving and freshly-searched blocks into one mapping over
+    [base.cdfg] — the optimization pipeline never reruns, because the
+    surviving placements reference the already-optimized CDFG's node ids.
+
+    The caller owns the dirty-set contract: every block whose placed
+    tiles, routes, or referenced symbol homes touch a fault must be dirty,
+    and [homes] must not keep a symbol on a faulted tile
+    ([Cgra_verify.Repair] computes both from the diagnosis).  Reused
+    placements are {e not} re-validated here beyond the final context-fit
+    check — run with [config.validate] (as the repair loop does) to
+    re-check the merged mapping independently.
+
+    Retries, the graceful-degradation ladder, and validation behave as in
+    {!run}; determinism for a fixed [config.seed] is preserved. *)

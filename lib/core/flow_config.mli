@@ -79,7 +79,12 @@ type t = {
           ({!Cgra_arch.Cgra.degrade}): home selection, the ACMAP/ECMAP
           capacity checks and the precomputed route table all see the
           reduced CM capacities and severed links (default [[]] — the
-          pristine array, byte-identical to the fault-free flow). *)
+          pristine array, byte-identical to the fault-free flow).  The
+          route table is interned once per flow run on the degraded
+          array and shared by every attempt of the retry/degradation
+          ladder — and by the partial searches of
+          {!Flow.run_partial}, which reuses the whole configuration
+          (this field included) for the dirty-block re-search. *)
 }
 
 val default : t

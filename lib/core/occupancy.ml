@@ -76,3 +76,96 @@ let busy_cycles t =
     if not (is_free t c) then acc := c :: !acc
   done;
   !acc
+
+(* A whole array's worth of per-tile occupancies flattened into one byte
+   buffer (tile-major) plus per-tile counter arrays.  Semantically
+   identical to an [t array], but a copy is 4 small allocations instead of
+   2 x tiles — and the search copies its state on every binding attempt,
+   so this sits squarely on the mapper's hot path. *)
+module Flat = struct
+  type grid = {
+    nt : int;
+    mutable cap : int; (* cycle capacity per tile *)
+    mutable bytes : Bytes.t; (* nt * cap, row [t * cap .. t * cap + cap) *)
+    last : int array;
+    busy : int array;
+    runs : int array;
+  }
+
+  let create nt =
+    {
+      nt;
+      cap = 32;
+      bytes = Bytes.make (nt * 32) '\000';
+      last = Array.make nt (-1);
+      busy = Array.make nt 0;
+      runs = Array.make nt 0;
+    }
+
+  let copy g =
+    {
+      g with
+      bytes = Bytes.copy g.bytes;
+      last = Array.copy g.last;
+      busy = Array.copy g.busy;
+      runs = Array.copy g.runs;
+    }
+
+  let ensure g c =
+    if c >= g.cap then begin
+      let ncap = max (c + 1) (2 * g.cap) in
+      let nb = Bytes.make (g.nt * ncap) '\000' in
+      for t = 0 to g.nt - 1 do
+        Bytes.blit g.bytes (t * g.cap) nb (t * ncap) g.cap
+      done;
+      g.bytes <- nb;
+      g.cap <- ncap
+    end
+
+  let is_free g t c =
+    c >= 0 && (c >= g.cap || Bytes.get g.bytes ((t * g.cap) + c) = '\000')
+
+  (* Same run accounting as the scalar [occupy] above, per tile row. *)
+  let occupy g t c =
+    if c < 0 then invalid_arg "Occupancy.Flat.occupy: negative cycle";
+    ensure g c;
+    let base = t * g.cap in
+    if Bytes.get g.bytes (base + c) <> '\000' then
+      invalid_arg
+        (Printf.sprintf "Occupancy.Flat.occupy: tile %d cycle %d already busy"
+           t c);
+    if c > g.last.(t) then begin
+      if c > g.last.(t) + 1 then g.runs.(t) <- g.runs.(t) + 1;
+      g.last.(t) <- c
+    end
+    else begin
+      let left_free = c > 0 && Bytes.get g.bytes (base + c - 1) = '\000' in
+      let right_free = Bytes.get g.bytes (base + c + 1) = '\000' in
+      (* c < last.(t) here (last is busy), so c+1 <= last.(t) is in range *)
+      if left_free && right_free then g.runs.(t) <- g.runs.(t) + 1
+      else if (not left_free) && not right_free then g.runs.(t) <- g.runs.(t) - 1
+    end;
+    Bytes.set g.bytes (base + c) '\001';
+    g.busy.(t) <- g.busy.(t) + 1
+
+  let first_free_at_or_after g t c =
+    let c = max 0 c in
+    if c >= g.cap then c
+    else begin
+      let base = t * g.cap in
+      let rec go i =
+        if i >= g.cap || Bytes.get g.bytes (base + i) = '\000' then i
+        else go (i + 1)
+      in
+      go c
+    end
+
+  let last_busy g t = g.last.(t)
+  let busy_count g t = g.busy.(t)
+  let pnops g t = g.runs.(t)
+
+  let pnops_optimistic g t =
+    if g.last.(t) < 0 then 0
+    else if Bytes.get g.bytes (t * g.cap) = '\000' then max 0 (g.runs.(t) - 1)
+    else g.runs.(t)
+end

@@ -49,3 +49,33 @@ val pnops_optimistic : t -> int
 
 val busy_cycles : t -> int list
 (** Ascending busy cycles; used by the assembler. *)
+
+(** The occupancies of a whole tile array flattened into one byte buffer
+    plus per-tile counter arrays.  Behaviourally identical to a [t array]
+    indexed by tile, but copying is O(1) allocations instead of
+    O(tiles) — the search duplicates its occupancy state on every binding
+    attempt, so the copy cost dominates the mapper's allocation rate. *)
+module Flat : sig
+  type grid
+
+  val create : int -> grid
+  (** [create nt] is an all-free grid for [nt] tiles. *)
+
+  val copy : grid -> grid
+
+  val occupy : grid -> int -> int -> unit
+  (** [occupy g t c] marks cycle [c] of tile [t] busy.  Raises
+      [Invalid_argument] if already busy or negative. *)
+
+  val is_free : grid -> int -> int -> bool
+  val first_free_at_or_after : grid -> int -> int -> int
+  val last_busy : grid -> int -> int
+  val busy_count : grid -> int -> int
+
+  val pnops : grid -> int -> int
+  (** Exact pnop count of the tile, as {!val:pnops}. *)
+
+  val pnops_optimistic : grid -> int -> int
+  (** ACMAP's approximate count of the tile, as
+      {!val:pnops_optimistic}. *)
+end

@@ -18,6 +18,7 @@ type block_stats = {
   recomputes : int;
   population_peak : int;
   wall_seconds : float;
+  alloc_words : float;
 }
 
 type outcome = {
@@ -48,9 +49,11 @@ let merge_tally ~into t =
 
 (* A partial mapping.  [avail.(v)] lists the (tile, ready-cycle) pairs where
    value [v] can be read; value ids are node ids, then [nnodes + sym].
-   Copies share the immutable lists, so duplicating a state is cheap. *)
+   Copies share the immutable lists, so duplicating a state is cheap: the
+   occupancy of all tiles lives in one flat grid ([Occupancy.Flat]), so the
+   whole copy is a handful of flat-array allocations, not one per tile. *)
 type pstate = {
-  occ : Occupancy.t array;
+  occ : Occupancy.Flat.grid;
   instr : int array;
   avail : (int * int) list array;
   place_cycle : int array; (* node -> latest cycle it executes at, -1 unplaced *)
@@ -80,8 +83,17 @@ type ctx = {
   routes : int list list array;
       (* (row-first, column-first) path per (src, dst), flattened
          [src * ntiles + dst]: routing is queried for the same few pairs on
-         every binding attempt of the block, so the paths are computed once
-         per block instead of per probe *)
+         every binding attempt of the block, so the paths are interned once
+         per flow run ([Flow] precomputes the table and hands it to every
+         block) instead of per block or per probe *)
+  able : int list array;
+      (* per node, the tiles able to execute its opcode, in id order (the
+         re-computation transformation enumerates in this neutral order) *)
+  able_sorted : int list array;
+      (* the same tiles pre-sorted by context-memory size when the energy
+         bias applies (physically [able] otherwise).  Candidate enumeration
+         runs once per expansion, so the able-filter and the sort (both
+         pstate-independent) are hoisted out of the hot loop. *)
 }
 
 let ntiles ctx = Cgra.tile_count ctx.cgra
@@ -103,7 +115,7 @@ let initial_pstate ctx =
   let nt = ntiles ctx in
   let nvals = ctx.nnodes + ctx.cdfg.Cdfg.sym_count in
   {
-    occ = Array.init nt (fun _ -> Occupancy.create ());
+    occ = Occupancy.Flat.create nt;
     instr = Array.make nt 0;
     avail = Array.make (max 1 nvals) [];
     place_cycle = Array.make (max 1 ctx.nnodes) (-1);
@@ -118,7 +130,7 @@ let initial_pstate ctx =
 let copy_pstate p =
   {
     p with
-    occ = Array.map Occupancy.copy p.occ;
+    occ = Occupancy.Flat.copy p.occ;
     instr = Array.copy p.instr;
     avail = Array.copy p.avail;
     place_cycle = Array.copy p.place_cycle;
@@ -163,7 +175,7 @@ let bump_horizon p c = if c + 1 > p.horizon then { p with horizon = c + 1 } else
    occupancy over the current horizon. *)
 let words_now ctx p t =
   ctx.committed.(t) + p.instr.(t)
-  + Occupancy.pnops p.occ.(t)
+  + Occupancy.Flat.pnops p.occ t
 
 let blacklisted ctx p t =
   ctx.config.Flow_config.cab && words_now ctx p t + 1 > binding_cm ctx p t
@@ -177,7 +189,7 @@ let blacklisted ctx p t =
 let acmap_ok ctx p =
   let ok = ref true in
   for t = 0 to ntiles ctx - 1 do
-    let gap = min 1 (Occupancy.pnops_optimistic p.occ.(t)) in
+    let gap = min 1 (Occupancy.Flat.pnops_optimistic p.occ t) in
     let est = ctx.committed.(t) + p.instr.(t) + gap in
     if est > binding_cm ctx p t then ok := false
   done;
@@ -205,7 +217,7 @@ let probe_path p ~ready path =
   let rec go ready = function
     | [] -> ready
     | hop :: rest ->
-      let c = Occupancy.first_free_at_or_after p.occ.(hop) ready in
+      let c = Occupancy.Flat.first_free_at_or_after p.occ hop ready in
       go (c + 1) rest
   in
   go ready path
@@ -216,8 +228,8 @@ let apply_path ctx p ~value ~src ~ready path =
   let rec go p prev ready = function
     | [] -> (p, ready)
     | hop :: rest ->
-      let c = Occupancy.first_free_at_or_after p.occ.(hop) ready in
-      Occupancy.occupy p.occ.(hop) c;
+      let c = Occupancy.Flat.first_free_at_or_after p.occ hop ready in
+      Occupancy.Flat.occupy p.occ hop c;
       p.instr.(hop) <- p.instr.(hop) + 1;
       add_avail ctx p value hop (c + 1);
       let slot =
@@ -401,8 +413,8 @@ let place_node ctx p ~node_id ~tile =
     let earliest =
       List.fold_left (fun acc (r, _) -> max acc r) dep_ready operand_info
     in
-    let c = Occupancy.first_free_at_or_after p.occ.(tile) earliest in
-    Occupancy.occupy p.occ.(tile) c;
+    let c = Occupancy.Flat.first_free_at_or_after p.occ tile earliest in
+    Occupancy.Flat.occupy p.occ tile c;
     p.instr.(tile) <- p.instr.(tile) + 1;
     let operand_tiles = List.map snd operand_info in
     let slot =
@@ -431,40 +443,27 @@ let place_node ctx p ~node_id ~tile =
     if c > p.place_cycle.(node_id) then p.place_cycle.(node_id) <- c;
     Some (p, c)
 
-let candidate_tiles ctx p opcode =
-  let all = List.init (ntiles ctx) Fun.id in
-  let able = List.filter (fun t -> Cgra.can_execute ctx.cgra t opcode) all in
-  match List.filter (fun t -> not (blacklisted ctx p t)) able with
-  | [] -> able
-    (* Every able tile is blacklisted: binding somewhere beats dying here —
-       the exact pruning and final validation will judge the overflow. *)
+(* Keep the non-blacklisted candidates, or everything when CAB blocks them
+   all: binding somewhere beats dying here — the exact pruning and final
+   validation will judge the overflow.  The able-tile enumeration (and the
+   energy-bias sort of the context-aware flows) is pstate-independent, so
+   it is precomputed per node in [ctx.able_sorted]; only this cheap filter
+   runs per expansion. *)
+let candidate_tiles ctx p tiles =
+  match List.filter (fun t -> not (blacklisted ctx p t)) tiles with
+  | [] -> tiles
   | unblocked -> unblocked
 
 (* Expand one partial mapping with the feasible bindings of [node_id],
    keeping the [expand_per_state] locally-best children. *)
 let expand_state ctx p node_id =
-  let opcode = ctx.block.Cdfg.nodes.(node_id).Cdfg.opcode in
-  (* For kernels that use only a small fraction of the aggregate context
-     capacity, the context-aware flows enumerate candidates smallest
-     context memory first, so exact (cycle, moves) ties settle on the tile
-     that is cheaper to fetch from and to leak — a gentle energy bias.
-     Capacity-bound kernels keep the neutral order: for them feasibility,
-     not placement cost, decides. *)
-  let aware =
-    (ctx.config.Flow_config.acmap || ctx.config.Flow_config.ecmap
-     || ctx.config.Flow_config.cab)
-    && Cdfg.node_count ctx.cdfg <= ctx.config.Flow_config.energy_bias_nodes
-  in
   let children =
     List.filter_map
       (fun tile ->
         match place_node ctx p ~node_id ~tile with
         | Some (p', cycle) -> Some ((cycle, p'.n_moves - p.n_moves), p')
         | None -> None)
-      (let tiles = candidate_tiles ctx p opcode in
-       if aware then
-         List.stable_sort (fun a b -> compare (cm_of ctx a) (cm_of ctx b)) tiles
-       else tiles)
+      (candidate_tiles ctx p ctx.able_sorted.(node_id))
   in
   let sorted = List.stable_sort (fun (a, _) (b, _) -> compare a b) children in
   List.map snd (take ctx.config.Flow_config.expand_per_state sorted)
@@ -500,7 +499,6 @@ let expand_with_recompute ctx p node_id =
       (function Cdfg.Node j -> Some j | Cdfg.Sym _ | Cdfg.Imm _ -> None)
       node.Cdfg.operands
   in
-  let opcode = node.Cdfg.opcode in
   let try_tile tile =
     List.find_map
       (fun j ->
@@ -515,7 +513,7 @@ let expand_with_recompute ctx p node_id =
             | Some (p2, _) -> Some p2))
       producers
   in
-  List.find_map try_tile (candidate_tiles ctx p opcode)
+  List.find_map try_tile (candidate_tiles ctx p ctx.able.(node_id))
 
 (* ---- pruning -------------------------------------------------------- *)
 
@@ -654,8 +652,8 @@ let add_copy ctx p ~tile ~value ~min_cycle ?sym ?(set_cond = false) () =
       | [] -> raise (Finalize_failed "add_copy: value not local")
       | locs -> List.fold_left (fun acc (_, r) -> min acc r) max_int locs)
   in
-  let c = Occupancy.first_free_at_or_after p.occ.(tile) (max ready min_cycle) in
-  Occupancy.occupy p.occ.(tile) c;
+  let c = Occupancy.Flat.first_free_at_or_after p.occ tile (max ready min_cycle) in
+  Occupancy.Flat.occupy p.occ tile c;
   p.instr.(tile) <- p.instr.(tile) + 1;
   let slot =
     {
@@ -802,11 +800,40 @@ let finalize ctx p =
 
 (* ---- driver ---------------------------------------------------------- *)
 
-let map_block ~config ~cgra ~committed ~homes ~rng ~work cdfg bi =
+let map_block ?routes ~config ~cgra ~committed ~homes ~rng ~work cdfg bi =
   let t_start = Cgra_util.Clock.now () in
+  let alloc_start = Gc.allocated_bytes () in
   let block = cdfg.Cdfg.blocks.(bi) in
   let home_mask =
     Array.fold_left (fun m h -> if h >= 0 then m lor (1 lsl h) else m) 0 homes
+  in
+  let nt = Cgra.tile_count cgra in
+  let all_tiles = List.init nt Fun.id in
+  let able =
+    Array.map
+      (fun n ->
+        List.filter (fun t -> Cgra.can_execute cgra t n.Cdfg.opcode) all_tiles)
+      block.Cdfg.nodes
+  in
+  (* For kernels that use only a small fraction of the aggregate context
+     capacity, the context-aware flows enumerate candidates smallest
+     context memory first, so exact (cycle, moves) ties settle on the tile
+     that is cheaper to fetch from and to leak — a gentle energy bias.
+     Capacity-bound kernels keep the neutral order: for them feasibility,
+     not placement cost, decides. *)
+  let aware =
+    (config.Flow_config.acmap || config.Flow_config.ecmap
+     || config.Flow_config.cab)
+    && Cdfg.node_count cdfg <= config.Flow_config.energy_bias_nodes
+  in
+  let able_sorted =
+    if aware then
+      let cm t = cgra.Cgra.tiles.(t).cm_words in
+      Array.map
+        (fun tiles ->
+          List.stable_sort (fun a b -> compare (cm a) (cm b)) tiles)
+        able
+    else able
   in
   let ctx =
     {
@@ -820,7 +847,9 @@ let map_block ~config ~cgra ~committed ~homes ~rng ~work cdfg bi =
       homes;
       home_mask;
       tally = fresh_tally ();
-      routes = build_routes cgra;
+      routes = (match routes with Some r -> r | None -> build_routes cgra);
+      able;
+      able_sorted;
     }
   in
   let info = Sched.analyse cdfg bi in
@@ -848,6 +877,9 @@ let map_block ~config ~cgra ~committed ~homes ~rng ~work cdfg bi =
       recomputes = !recomputes;
       population_peak = !peak;
       wall_seconds = Cgra_util.Clock.elapsed_s t_start;
+      alloc_words =
+        (Gc.allocated_bytes () -. alloc_start)
+        /. float_of_int (Sys.word_size / 8);
     }
   in
   let acmap_filter children =

@@ -547,14 +547,27 @@ let repair_faults = Atomic.make 2
 let set_repair_faults n = Atomic.set repair_faults (max 1 n)
 let repair_seed = 11
 
+let repair_mode : Cgra_verify.Repair.mode Atomic.t =
+  Atomic.make Cgra_verify.Repair.Full
+
+let set_repair_mode m = Atomic.set repair_mode m
+
 let repair_report () =
   let module R = Cgra_verify.Repair in
   let flow = Runner.Full in
   let trials = Atomic.get repair_trials in
   let faults = Atomic.get repair_faults in
+  let mode = Atomic.get repair_mode in
+  let mode_label =
+    match mode with R.Full -> "full" | R.Incremental -> "incremental"
+  in
   let num = string_of_int in
   let pct a b = Printf.sprintf "%.1f%%" (100.0 *. float_of_int a /. float_of_int (max 1 b)) in
   let example = ref None in
+  (* Per-cell campaign wall-clock, for the stderr timing table below: the
+     numbers are host-dependent, so they must stay out of the (byte-
+     reproducible) report itself. *)
+  let timings = ref [] in
   let rows =
     List.concat_map
       (fun k ->
@@ -563,7 +576,7 @@ let repair_report () =
             match Runner.run_of k config flow with
             | Runner.Unmappable u ->
               [ k.K.name; Config.to_string config; "-"; "-"; "-"; "-"; "-";
-                "-"; "unmappable: " ^ u.reason ]
+                "-"; "-"; "unmappable: " ^ u.reason ]
             | Runner.Mapped r ->
               let key =
                 k.K.slug ^ "/" ^ Config.to_string config ^ "/"
@@ -573,12 +586,17 @@ let repair_report () =
                 { (Runner.cell_flow_config k.K.slug config flow) with
                   Cgra_core.Flow_config.degrade = true }
               in
+              let t0 = Cgra_util.Clock.now () in
               let c =
-                R.run_campaign ~seed:repair_seed ~trials ~faults ~key
+                R.run_campaign ~seed:repair_seed ~trials ~faults ~key ~mode
                   ~config:config_flow
                   ~fresh_mem:(fun () -> K.fresh_mem k)
                   r.Runner.mapping
               in
+              timings :=
+                (k.K.name, Config.to_string config,
+                 Cgra_util.Clock.elapsed_s t0)
+                :: !timings;
               (if !example = None then
                  match
                    List.find_opt
@@ -597,7 +615,7 @@ let repair_report () =
                  | None -> ());
               let s = c.R.summary in
               [ k.K.name; Config.to_string config; num s.R.unaffected;
-                num s.R.repaired; num s.R.gave_up;
+                num s.R.repaired; num s.R.partial_repairs; num s.R.gave_up;
                 pct (s.R.unaffected + s.R.repaired) s.R.trials;
                 (if s.R.repaired = 0 then "-"
                  else Printf.sprintf "%+.1f%%" (100.0 *. s.R.mean_cycle_overhead));
@@ -607,8 +625,24 @@ let repair_report () =
           configs)
       Runner.kernels
   in
+  (* Host-dependent timing goes to stderr so stdout stays byte-identical
+     at any --jobs value (and across hosts). *)
+  if !timings <> [] then begin
+    let trows =
+      List.rev_map
+        (fun (kn, cn, s) -> [ kn; cn; Printf.sprintf "%.2f" s ])
+        !timings
+    in
+    prerr_string
+      (Printf.sprintf
+         "repair_report campaign wall-clock (%s mode, host-dependent):\n"
+         mode_label
+      ^ T.render_aligned ~align:[ `L; `L; `R ]
+          ~header:[ "Kernel"; "Config"; "seconds" ]
+          ~rows:trows)
+  end;
   Printf.sprintf
-    "Repair report: permanent-fault survivability, %s flow\n\
+    "Repair report: permanent-fault survivability, %s flow, %s remap\n\
      %d trials per cell, %d random permanent fault(s) per trial, seed %d.\n\
      Each trial degrades the array under the pristine mapping; violated\n\
      invariants are detected (validator), diagnosed back to a fault map \
@@ -618,14 +652,16 @@ let repair_report () =
      the\n\
      true degraded array and golden-equal in simulation; survive%% = \
      both.\n\
+     inc = repaired trials whose final remap re-searched only the dirty\n\
+     blocks (always 0 in full mode).\n\
      Overheads are means over repaired trials vs the pristine mapping.\n\
      Deterministic at any --jobs value.\n"
-    (Runner.flow_label flow) trials faults repair_seed
+    (Runner.flow_label flow) mode_label trials faults repair_seed
   ^ T.render_aligned
-      ~align:[ `L; `L; `R; `R; `R; `R; `R; `R; `R ]
+      ~align:[ `L; `L; `R; `R; `R; `R; `R; `R; `R; `R ]
       ~header:
-        [ "Kernel"; "Config"; "unaff"; "repaired"; "gave-up"; "survive%";
-          "cycle-ovh"; "energy-ovh"; "cycles0" ]
+        [ "Kernel"; "Config"; "unaff"; "repaired"; "inc"; "gave-up";
+          "survive%"; "cycle-ovh"; "energy-ovh"; "cycles0" ]
       ~rows
   ^
   match !example with

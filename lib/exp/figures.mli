@@ -85,14 +85,21 @@ val set_repair_faults : int -> unit
 (** Random permanent faults injected per trial (default 2; clamped to
     >= 1) — the bench [--faults] flag. *)
 
+val set_repair_mode : Cgra_verify.Repair.mode -> unit
+(** Remap strategy used by {!repair_report} (default
+    [Cgra_verify.Repair.Full]) — the bench [--mode full|incremental]
+    flag. *)
+
 val repair_report : unit -> string
 (** Not in the paper: permanent-fault survivability table over the
     [Cgra_verify.Repair] detect → diagnose → remap loop, per kernel and
     Table-I configuration under the full context-aware flow — counts of
-    unaffected / repaired / gave-up trials, the survivability fraction,
-    and the mean cycle/energy overhead of the repaired mappings vs the
-    pristine ones, plus one example repair trace.  Deterministic at any
-    [--jobs] value. *)
+    unaffected / repaired (with the incremental-remap subset in the
+    [inc] column) / gave-up trials, the survivability fraction, and the
+    mean cycle/energy overhead of the repaired mappings vs the pristine
+    ones, plus one example repair trace.  Deterministic at any [--jobs]
+    value; per-cell campaign wall-clock (host-dependent) is printed to
+    stderr, never into the returned report. *)
 
 val run_all : unit -> string
 (** The paper set ({!artifacts}), concatenated in paper order. *)

@@ -106,59 +106,96 @@ type cell =
    variable until the producer publishes, so a cell is *computed exactly
    once* no matter how many domains ask for it concurrently.  Exceptions
    (e.g. the golden-model check failing — a harness bug) are cached and
-   re-raised to every consumer rather than recomputed. *)
-type 'a slot =
-  | Computing
-  | Ready of 'a
-  | Failed of exn * Printexc.raw_backtrace
+   re-raised to every consumer rather than recomputed.
 
-let memo_mutex = Mutex.create ()
-let memo_cond = Condition.create ()
-let computes = Atomic.make 0
+   Exception safety is load-bearing: the claiming domain MUST publish
+   something, or every waiter blocks forever and every later lookup finds
+   a stale [Computing] marker (which used to die on [assert false],
+   permanently poisoning the key).  [get] therefore runs the compute under
+   [Fun.protect]: a value publishes [Ready], a caught exception publishes
+   [Failed] (cached, re-raised to all consumers with its original
+   backtrace), and anything that escapes both — an asynchronous interrupt
+   landing between the claim and the publish — clears the slot in the
+   [finally], so the key merely recomputes on the next call. *)
+module Memo = struct
+  type 'a slot =
+    | Computing
+    | Ready of 'a
+    | Failed of exn * Printexc.raw_backtrace
 
-let memo table key compute =
-  Mutex.lock memo_mutex;
-  let rec claim () =
-    match Hashtbl.find_opt table key with
-    | None ->
-      Hashtbl.replace table key Computing;
-      `Compute
-    | Some (Ready v) -> `Value v
-    | Some (Failed (e, bt)) -> `Reraise (e, bt)
-    | Some Computing ->
-      Condition.wait memo_cond memo_mutex;
-      claim ()
-  in
-  let decision = claim () in
-  Mutex.unlock memo_mutex;
-  match decision with
-  | `Value v -> v
-  | `Reraise (e, bt) -> Printexc.raise_with_backtrace e bt
-  | `Compute ->
-    Atomic.incr computes;
-    let outcome =
-      match compute () with
-      | v -> Ready v
-      | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+  type ('k, 'v) t = {
+    table : ('k, 'v slot) Hashtbl.t;
+    mutex : Mutex.t;
+    cond : Condition.t;
+    computes : int Atomic.t;
+  }
+
+  let create n =
+    {
+      table = Hashtbl.create n;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      computes = Atomic.make 0;
+    }
+
+  let computed m = Atomic.get m.computes
+
+  let reset m =
+    Mutex.lock m.mutex;
+    Hashtbl.reset m.table;
+    Atomic.set m.computes 0;
+    Mutex.unlock m.mutex
+
+  let get m key compute =
+    Mutex.lock m.mutex;
+    let rec claim () =
+      match Hashtbl.find_opt m.table key with
+      | None ->
+        Hashtbl.replace m.table key Computing;
+        `Compute
+      | Some (Ready v) -> `Value v
+      | Some (Failed (e, bt)) -> `Reraise (e, bt)
+      | Some Computing ->
+        Condition.wait m.cond m.mutex;
+        claim ()
     in
-    Mutex.lock memo_mutex;
-    Hashtbl.replace table key outcome;
-    Condition.broadcast memo_cond;
-    Mutex.unlock memo_mutex;
-    (match outcome with
-     | Ready v -> v
-     | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
-     | Computing -> assert false)
+    let decision = claim () in
+    Mutex.unlock m.mutex;
+    match decision with
+    | `Value v -> v
+    | `Reraise (e, bt) -> Printexc.raise_with_backtrace e bt
+    | `Compute ->
+      Atomic.incr m.computes;
+      let published = ref false in
+      let publish outcome =
+        Mutex.lock m.mutex;
+        (match outcome with
+        | Some o -> Hashtbl.replace m.table key o
+        | None -> Hashtbl.remove m.table key);
+        published := true;
+        Condition.broadcast m.cond;
+        Mutex.unlock m.mutex
+      in
+      Fun.protect
+        ~finally:(fun () -> if not !published then publish None)
+        (fun () ->
+          match compute () with
+          | v ->
+            publish (Some (Ready v));
+            v
+          | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            publish (Some (Failed (e, bt)));
+            Printexc.raise_with_backtrace e bt)
+end
 
 let cache :
-    ( string * Cgra_arch.Config.name * flow_kind * opt_mode,
-      cell slot )
-    Hashtbl.t =
-  Hashtbl.create 64
+    (string * Cgra_arch.Config.name * flow_kind * opt_mode, cell) Memo.t =
+  Memo.create 64
 
 let run_of ?opt k config flow =
   let opt = match opt with Some m -> m | None -> Atomic.get global_opt_mode in
-  memo cache (k.K.slug, config, flow, opt) (fun () ->
+  Memo.get cache (k.K.slug, config, flow, opt) (fun () ->
       let cdfg =
         match opt with Default -> K.cdfg k | Raw | Optimized -> K.cdfg_raw k
       in
@@ -220,10 +257,10 @@ type cpu_run = {
   cpu_energy : Cgra_power.Energy.breakdown;
 }
 
-let cpu_cache : (string, cpu_run slot) Hashtbl.t = Hashtbl.create 8
+let cpu_cache : (string, cpu_run) Memo.t = Memo.create 8
 
 let cpu_of k =
-  memo cpu_cache k.K.slug (fun () ->
+  Memo.get cpu_cache k.K.slug (fun () ->
       let prog = Cgra_cpu.Codegen.compile (K.cdfg k) in
       let mem = K.fresh_mem k in
       let cpu_sim = Cgra_cpu.Cpu_sim.run prog ~mem in
@@ -259,15 +296,12 @@ let warm ?jobs () =
       | `Cpu k -> ignore (cpu_of k))
     (grid ())
 
-let compute_count () = Atomic.get computes
+let compute_count () = Memo.computed cache + Memo.computed cpu_cache
 
+(* Reset the compute counters together with the caches: they count
+   computations *since the last clear*, and tests that clear the cache
+   and then assert "computed exactly once" would otherwise see the
+   residue of every cell computed before the clear. *)
 let clear_caches () =
-  Mutex.lock memo_mutex;
-  Hashtbl.reset cache;
-  Hashtbl.reset cpu_cache;
-  (* Reset the compute counter together with the caches: it counts
-     computations *since the last clear*, and tests that clear the cache
-     and then assert "computed exactly once" would otherwise see the
-     residue of every cell computed before the clear. *)
-  Atomic.set computes 0;
-  Mutex.unlock memo_mutex
+  Memo.reset cache;
+  Memo.reset cpu_cache

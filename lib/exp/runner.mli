@@ -25,6 +25,36 @@ exception
     memoised artifact — likewise a tool bug, likewise cached and
     re-raised to every consumer. *)
 
+(** Thread-safe single-flight memoisation, the machinery under {!run_of}
+    and {!cpu_of}.  Exposed so the exception-safety contract is testable
+    in isolation. *)
+module Memo : sig
+  type ('k, 'v) t
+
+  val create : int -> ('k, 'v) t
+  (** [create n] is an empty memo with initial capacity [n]. *)
+
+  val get : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+  (** [get m key compute] returns the cached value for [key], computing it
+      at most once no matter how many domains ask concurrently (waiters
+      block until the claiming domain publishes).  A [compute] that raises
+      publishes a cached failure: the exception is re-raised — with its
+      original backtrace — to the computing caller and to {e every}
+      past-and-future waiter of the key.  The claim is exception-safe
+      ([Fun.protect]): an exception that cannot be cached (asynchronous
+      interrupt between claim and publish) clears the slot instead of
+      leaving a stale [Computing] marker, so the key recomputes rather
+      than poisoning every later lookup. *)
+
+  val computed : ('k, 'v) t -> int
+  (** Computations claimed (not served from cache) since creation or the
+      last {!reset} — failed computes included. *)
+
+  val reset : ('k, 'v) t -> unit
+  (** Drop all entries and zero {!computed}.  Do not call while a compute
+      is in flight. *)
+end
+
 type flow_kind = Basic | With_acmap | With_ecmap | Full
 
 val flow_kinds : flow_kind list

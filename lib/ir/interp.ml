@@ -5,6 +5,10 @@ type trace = {
 }
 
 exception Out_of_bounds of { block : string; node : int; addr : int }
+
+exception
+  Bad_arity of { block : string; node : int; opcode : string; expected : int; got : int }
+
 exception Step_limit_exceeded
 
 let eval_block (c : Cdfg.t) bi ~sym_env ~mem =
@@ -19,18 +23,32 @@ let eval_block (c : Cdfg.t) bi ~sym_env ~mem =
     if addr < 0 || addr >= Array.length mem then
       raise (Out_of_bounds { block = b.name; node = i; addr })
   in
+  (* Strict operand patterns instead of [List.nth]: a malformed node (one
+     that slipped past [Cdfg.validate]) surfaces as a typed [Bad_arity]
+     naming the node, not as a bare [Failure "nth"]. *)
+  let bad_arity i op expected got =
+    raise
+      (Bad_arity
+         { block = b.name; node = i; opcode = Opcode.to_string op; expected; got })
+  in
   Array.iteri
     (fun i n ->
       match n.Cdfg.opcode with
-      | Opcode.Load ->
-        let addr = value (List.nth n.operands 0) in
-        mem_check i addr;
-        results.(i) <- mem.(addr)
-      | Opcode.Store ->
-        let addr = value (List.nth n.operands 0) in
-        let v = value (List.nth n.operands 1) in
-        mem_check i addr;
-        mem.(addr) <- v
+      | Opcode.Load -> (
+        match n.Cdfg.operands with
+        | [ a ] ->
+          let addr = value a in
+          mem_check i addr;
+          results.(i) <- mem.(addr)
+        | ops -> bad_arity i Opcode.Load 1 (List.length ops))
+      | Opcode.Store -> (
+        match n.Cdfg.operands with
+        | [ a; v ] ->
+          let addr = value a in
+          let v = value v in
+          mem_check i addr;
+          mem.(addr) <- v
+        | ops -> bad_arity i Opcode.Store 2 (List.length ops))
       | op -> results.(i) <- Opcode.eval op (List.map value n.operands))
     b.nodes;
   (* live_out right-hand sides are all read before any write, so

@@ -14,6 +14,13 @@ type trace = {
 exception Out_of_bounds of { block : string; node : int; addr : int }
 (** A load or store escaped the memory image. *)
 
+exception
+  Bad_arity of { block : string; node : int; opcode : string; expected : int; got : int }
+(** A [Load]/[Store] node carried the wrong operand count — a malformed
+    CDFG that slipped past {!Cdfg.validate} (which rejects it when run).
+    Named diagnostics instead of the bare [Failure "nth"] the old
+    operand indexing died with. *)
+
 exception Step_limit_exceeded
 (** The kernel did not return within [max_steps] blocks. *)
 

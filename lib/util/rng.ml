@@ -69,4 +69,9 @@ let shuffle g a =
 
 let pick g = function
   | [] -> invalid_arg "Rng.pick: empty list"
-  | l -> List.nth l (int g (List.length l))
+  | l ->
+    (* One traversal instead of two ([List.length] + [List.nth]); the
+       bound passed to [int] is unchanged, so the draw sequence — and
+       every artifact seeded through it — is identical. *)
+    let a = Array.of_list l in
+    a.(int g (Array.length a))

@@ -224,6 +224,15 @@ let sample_permanent rng (cgra : Cgra.t) =
     Cgra.Dead_link { tile; dir }
   else Cgra.No_lsu { tile }
 
+(* Tiles whose resources a permanent fault sits on: the owning tile, plus
+   the far endpoint of a severed link — either side may have placed a read
+   across it. *)
+let tiles cgra = function
+  | Cgra.Dead_tile { tile } | Cgra.Cm_rows_stuck { tile; _ } | Cgra.No_lsu { tile }
+    ->
+    [ tile ]
+  | Cgra.Dead_link { tile; dir } -> [ tile; Cgra.dir_neighbor cgra tile dir ]
+
 let sample_fault_map rng cgra ~faults =
   let rec go k acc =
     if k <= 0 then List.rev acc

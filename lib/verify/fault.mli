@@ -73,3 +73,10 @@ val sample_permanent : Cgra_util.Rng.t -> Cgra_arch.Cgra.t -> Cgra_arch.Cgra.fau
 val sample_fault_map :
   Cgra_util.Rng.t -> Cgra_arch.Cgra.t -> faults:int -> Cgra_arch.Cgra.fault list
 (** [faults] independent draws of {!sample_permanent}, in draw order. *)
+
+val tiles : Cgra_arch.Cgra.t -> Cgra_arch.Cgra.fault -> int list
+(** Tiles the fault touches: the owning tile for [Dead_tile],
+    [Cm_rows_stuck] and [No_lsu]; both endpoints (via
+    [Cgra.dir_neighbor] on the torus) for [Dead_link].  The
+    incremental-repair dirty-set rule ({!Repair.dirty_blocks}) marks a
+    block dirty iff its placement touches one of these tiles. *)

@@ -1,4 +1,5 @@
 module M = Cgra_core.Mapping
+module Cdfg = Cgra_ir.Cdfg
 module Flow = Cgra_core.Flow
 module Flow_config = Cgra_core.Flow_config
 module Asm = Cgra_asm.Assemble
@@ -8,6 +9,10 @@ module Cgra = Cgra_arch.Cgra
 module Rng = Cgra_util.Rng
 module Pool = Cgra_util.Pool
 
+type mode = Full | Incremental
+
+type remap_kind = Full_remap | Partial of { dirty : int; total : int }
+
 type status =
   | Unaffected
   | Repaired of {
@@ -16,6 +21,7 @@ type status =
       escalations : int;
       cycles : int;
       energy_pj : float;
+      remap : remap_kind;
     }
   | Gave_up of { reason : string; rounds : int }
 
@@ -65,13 +71,98 @@ let diagnose ~pristine vs =
     vs
   |> normalize_faults
 
-let repair ?(max_rounds = 4) ?(mem_ports = 8) ~config ~injected ~fresh_mem
-    ~golden (pristine_m : M.t) =
+(* Incremental remap, step 1: which blocks does the diagnosed fault map
+   actually touch?  A block must be re-searched iff its placement uses a
+   faulted resource: an executing tile, an operand/move source tile, or
+   the home tile of a symbol it reads or writes (home references are
+   collected from both the placement — [writes_sym], [Vsym] move/copy
+   values — and the CDFG — [Sym] operands, live-out assignments, branch
+   conditions; over-approximating only re-searches more, never less).
+   Returns the per-block dirty flags plus the kept-homes array: the home
+   tile per symbol, [-1] when the home sat on a faulted tile.  Freed
+   symbols are safe to re-pin because the home-reference rule already
+   marked every block that touches them dirty. *)
+let dirty_blocks (m : M.t) faults =
+  let cgra = m.M.cgra in
+  let nt = Cgra.tile_count cgra in
+  let bad = Array.make nt false in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun t -> if t >= 0 && t < nt then bad.(t) <- true)
+        (Fault.tiles cgra f))
+    faults;
+  let bad_tile t = t >= 0 && t < nt && bad.(t) in
+  let bad_home s = bad_tile m.M.homes.(s) in
+  let value_refs = function M.Vsym s -> bad_home s | M.Vnode _ | M.Vimm _ -> false in
+  let dirty =
+    Array.mapi
+      (fun bi (bm : M.bb_mapping) ->
+        let block = m.M.cdfg.Cdfg.blocks.(bi) in
+        let nodes = block.Cdfg.nodes in
+        let slot_dirty (sl : M.slot) =
+          bad_tile sl.M.tile
+          || (match sl.M.writes_sym with Some s -> bad_home s | None -> false)
+          ||
+          match sl.M.action with
+          | M.Aop { node = j; operand_tiles } ->
+            List.exists bad_tile operand_tiles
+            || j >= 0
+               && j < Array.length nodes
+               && List.exists
+                    (function Cdfg.Sym s -> bad_home s | _ -> false)
+                    nodes.(j).Cdfg.operands
+          | M.Amove { value; from_tile } ->
+            bad_tile from_tile || value_refs value
+          | M.Acopy value -> value_refs value
+        in
+        let block_sym_dirty =
+          List.exists
+            (fun (s, op) ->
+              bad_home s
+              || match op with Cdfg.Sym s' -> bad_home s' | _ -> false)
+            block.Cdfg.live_out
+          ||
+          match block.Cdfg.terminator with
+          | Cdfg.Branch (Cdfg.Sym s, _, _) -> bad_home s
+          | _ -> false
+        in
+        block_sym_dirty || List.exists slot_dirty bm.M.slots)
+      m.M.bbs
+  in
+  let kept = Array.map (fun h -> if bad_tile h then -1 else h) m.M.homes in
+  (dirty, kept)
+
+let repair ?(max_rounds = 4) ?(mem_ports = 8) ?(mode = Full) ~config ~injected
+    ~fresh_mem ~golden (pristine_m : M.t) =
   let pristine = pristine_m.M.cgra in
   let truth = Cgra.degrade pristine injected in
   let detected = detect ~truth pristine_m in
   if detected = [] then { injected; detected; diagnosed = []; status = Unaffected }
   else
+    (* One remap attempt on the accumulated fault map.  Incremental mode
+       re-searches only the dirty blocks with the survivors' placements
+       pre-committed, falling back to a full remap when every block is
+       dirty or the partial search dead-ends. *)
+    let remap cfg faults' =
+      let full () =
+        (Flow.run ~config:cfg pristine pristine_m.M.cdfg, Full_remap)
+      in
+      match mode with
+      | Full -> full ()
+      | Incremental -> (
+        let dirty, kept = dirty_blocks pristine_m faults' in
+        let ndirty = Array.fold_left (fun a d -> if d then a + 1 else a) 0 dirty in
+        let total = Array.length dirty in
+        if ndirty >= total then full ()
+        else
+          match
+            Flow.run_partial ~config:cfg ~base:pristine_m ~dirty ~homes:kept
+              pristine
+          with
+          | Ok _ as ok -> (ok, Partial { dirty = ndirty; total })
+          | Error _ -> full ())
+    in
     let rec go round faults vs =
       let faults' = normalize_faults (faults @ diagnose ~pristine vs) in
       if faults' = faults then
@@ -81,12 +172,12 @@ let repair ?(max_rounds = 4) ?(mem_ports = 8) ~config ~injected ~fresh_mem
         (faults', Gave_up { reason = "diagnosis did not converge"; rounds = round })
       else
         let cfg = { config with Flow_config.faults = faults' } in
-        match Flow.run ~config:cfg pristine pristine_m.M.cdfg with
-        | Error f ->
+        match remap cfg faults' with
+        | Error f, _ ->
             ( faults',
               Gave_up
                 { reason = "remap failed: " ^ f.Flow.reason; rounds = round } )
-        | Ok (m, stats) -> (
+        | Ok (m, stats), remap_kind -> (
             match detect ~truth m with
             | [] -> (
                 (* The remap satisfies every invariant on the true degraded
@@ -123,6 +214,7 @@ let repair ?(max_rounds = 4) ?(mem_ports = 8) ~config ~injected ~fresh_mem
                                   List.length stats.Flow.escalations;
                                 cycles = res.Sim.cycles;
                                 energy_pj = (Energy.cgra truth res).Energy.total_pj;
+                                remap = remap_kind;
                               } )))
             | vs' -> go (round + 1) faults' vs')
     in
@@ -131,13 +223,19 @@ let repair ?(max_rounds = 4) ?(mem_ports = 8) ~config ~injected ~fresh_mem
 
 let status_to_string = function
   | Unaffected -> "unaffected"
-  | Repaired { rounds; escalations; cycles; _ } ->
-      Printf.sprintf "remapped (%d diagnosis round%s, %d escalation%s, %d cycles)"
+  | Repaired { rounds; escalations; cycles; remap; _ } ->
+      (* Full-remap wording is byte-identical to the pre-incremental tool,
+         so full-mode reports stay stable artifacts. *)
+      Printf.sprintf "remapped (%d diagnosis round%s, %d escalation%s, %d cycles%s)"
         rounds
         (if rounds = 1 then "" else "s")
         escalations
         (if escalations = 1 then "" else "s")
         cycles
+        (match remap with
+         | Full_remap -> ""
+         | Partial { dirty; total } ->
+             Printf.sprintf ", partial %d/%d blocks" dirty total)
   | Gave_up { reason; rounds } ->
       Printf.sprintf "gave up after %d round%s: %s" rounds
         (if rounds = 1 then "" else "s")
@@ -170,6 +268,7 @@ type summary = {
   trials : int;
   unaffected : int;
   repaired : int;
+  partial_repairs : int;
   gave_up : int;
   mean_cycle_overhead : float;
   mean_energy_overhead : float;
@@ -184,7 +283,8 @@ type campaign = {
 
 let summarize ~pristine_cycles ~pristine_energy_pj runs =
   let z =
-    { trials = List.length runs; unaffected = 0; repaired = 0; gave_up = 0;
+    { trials = List.length runs; unaffected = 0; repaired = 0;
+      partial_repairs = 0; gave_up = 0;
       mean_cycle_overhead = 0.0; mean_energy_overhead = 0.0 }
   in
   let s, covh, eovh =
@@ -193,8 +293,12 @@ let summarize ~pristine_cycles ~pristine_energy_pj runs =
         match t.trace.status with
         | Unaffected -> ({ s with unaffected = s.unaffected + 1 }, covh, eovh)
         | Gave_up _ -> ({ s with gave_up = s.gave_up + 1 }, covh, eovh)
-        | Repaired { cycles; energy_pj; _ } ->
-            ( { s with repaired = s.repaired + 1 },
+        | Repaired { cycles; energy_pj; remap; _ } ->
+            ( { s with
+                repaired = s.repaired + 1;
+                partial_repairs =
+                  (s.partial_repairs
+                  + match remap with Partial _ -> 1 | Full_remap -> 0) },
               covh
               +. ((float_of_int cycles -. float_of_int pristine_cycles)
                  /. float_of_int (max 1 pristine_cycles)),
@@ -207,8 +311,8 @@ let summarize ~pristine_cycles ~pristine_energy_pj runs =
       mean_cycle_overhead = covh /. float_of_int s.repaired;
       mean_energy_overhead = eovh /. float_of_int s.repaired }
 
-let run_campaign ?jobs ?(mem_ports = 8) ?(max_rounds = 4) ~seed ~trials ~faults
-    ~key ~config ~fresh_mem (pristine_m : M.t) =
+let run_campaign ?jobs ?(mem_ports = 8) ?(max_rounds = 4) ?(mode = Full) ~seed
+    ~trials ~faults ~key ~config ~fresh_mem (pristine_m : M.t) =
   let pristine = pristine_m.M.cgra in
   let program = Asm.assemble pristine_m in
   let golden = fresh_mem () in
@@ -229,8 +333,8 @@ let run_campaign ?jobs ?(mem_ports = 8) ?(max_rounds = 4) ~seed ~trials ~faults
     in
     { index;
       trace =
-        repair ~max_rounds ~mem_ports ~config ~injected ~fresh_mem ~golden
-          pristine_m }
+        repair ~max_rounds ~mem_ports ~mode ~config ~injected ~fresh_mem
+          ~golden pristine_m }
   in
   let runs = Pool.map ?jobs run_trial (List.init trials Fun.id) in
   {

@@ -22,6 +22,20 @@
     against the golden memory image in the simulator) or a bounded number
     of rounds is exhausted. *)
 
+type mode =
+  | Full         (** every remap re-searches the whole kernel (PR-5 loop) *)
+  | Incremental
+      (** remaps reuse every block whose placement does not touch the
+          diagnosed faults ({!dirty_blocks}) and re-search only the dirty
+          ones via {!Cgra_core.Flow.run_partial}, falling back to a full
+          remap when the dirty set is everything or the partial search
+          fails *)
+
+type remap_kind =
+  | Full_remap  (** whole-kernel search (always the case in [Full] mode) *)
+  | Partial of { dirty : int; total : int }
+      (** incremental remap that re-searched [dirty] of [total] blocks *)
+
 type status =
   | Unaffected
       (** the pristine mapping satisfies every invariant on the degraded
@@ -32,6 +46,7 @@ type status =
       escalations : int;  (** degrade-ladder attempts of the final remap *)
       cycles : int;                   (** simulated cycles after repair *)
       energy_pj : float;  (** energy on the degraded array after repair *)
+      remap : remap_kind;  (** how the final successful remap was run *)
     }
   | Gave_up of { reason : string; rounds : int }
 
@@ -54,9 +69,24 @@ val diagnose :
 (** Attribute violations to a normalised candidate fault map (sorted,
     deduplicated, [Dead_tile] subsuming same-tile CM/LSU faults). *)
 
+val dirty_blocks :
+  Cgra_core.Mapping.t ->
+  Cgra_arch.Cgra.fault list ->
+  bool array * int array
+(** [dirty_blocks m faults] = [(dirty, kept_homes)]: [dirty.(b)] is true
+    iff block [b]'s placement touches a fault — an executing tile, an
+    operand/move source tile, or the home tile of a symbol the block
+    reads or writes is in {!Fault.tiles} of some fault.  [kept_homes.(s)]
+    is the symbol's home tile, or [-1] when that home sat on a faulted
+    tile (freed for re-pinning; every block referencing such a symbol is
+    dirty, so no surviving placement depends on the stale home).
+    Soundness contract, qcheck-tested: no surviving ([not dirty.(b)])
+    block touches any faulted tile. *)
+
 val repair :
   ?max_rounds:int ->
   ?mem_ports:int ->
+  ?mode:mode ->
   config:Cgra_core.Flow_config.t ->
   injected:Cgra_arch.Cgra.fault list ->
   fresh_mem:(unit -> int array) ->
@@ -66,7 +96,9 @@ val repair :
 (** Run the full loop for one injected fault map against the pristine
     mapping.  [golden] is the fault-free memory image the repaired
     program must reproduce; [max_rounds] bounds the diagnosis iterations
-    (default 4). *)
+    (default 4); [mode] (default [Full]) selects whole-kernel or
+    incremental remaps — both must converge to a golden-PASS repair,
+    incremental just spends less search on it. *)
 
 val status_to_string : status -> string
 val trace_to_string : trace -> string
@@ -78,6 +110,9 @@ type summary = {
   trials : int;
   unaffected : int;
   repaired : int;
+  partial_repairs : int;
+      (** repaired trials whose final remap was {!Partial} — always 0 in
+          [Full] mode *)
   gave_up : int;
   mean_cycle_overhead : float;
       (** mean of (repaired - pristine) / pristine cycles over the
@@ -96,6 +131,7 @@ val run_campaign :
   ?jobs:int ->
   ?mem_ports:int ->
   ?max_rounds:int ->
+  ?mode:mode ->
   seed:int ->
   trials:int ->
   faults:int ->
@@ -109,4 +145,4 @@ val run_campaign :
     ({!Fault.sample_fault_map}).  Trial [i] draws from the keyed split
     [Rng.seed_of ~base:seed (key ^ "#" ^ i)] and remaps with a seed split
     from [config.seed] the same way, so the campaign is byte-identical at
-    any [jobs] value. *)
+    any [jobs] value — in either [mode]. *)

@@ -102,6 +102,41 @@ let test_interp_init_syms () =
   ignore (Interp.run ~init_syms:[ (x, 42) ] cdfg ~mem);
   Alcotest.(check int) "init value stored" 42 mem.(0)
 
+(* A malformed Load/Store that bypasses the builder (and so
+   [Cdfg.validate]) must die with the typed [Bad_arity] diagnostics, not
+   the bare [Failure "nth"] the old operand indexing raised. *)
+let test_interp_bad_memory_arity () =
+  let mk opcode operands =
+    { Cdfg.kernel_name = "badmem";
+      blocks =
+        [| { Cdfg.name = "b";
+             nodes = [| { Cdfg.opcode; operands; mem_dep = [] } |];
+             live_out = [];
+             terminator = Cdfg.Return } |];
+      entry = 0;
+      sym_count = 0;
+      sym_names = [||] }
+  in
+  List.iter
+    (fun (op, operands, expected, got) ->
+      let cdfg = mk op operands in
+      (match Cdfg.validate cdfg with
+       | Error _ -> ()
+       | Ok () -> Alcotest.fail "validate accepted the malformed node");
+      match Interp.run cdfg ~mem:(Array.make 4 0) with
+      | (_ : Interp.trace) -> Alcotest.fail "malformed memory node executed"
+      | exception Interp.Bad_arity { block; node; opcode; expected = e; got = g }
+        ->
+        Alcotest.(check string) "block named" "b" block;
+        Alcotest.(check int) "node named" 0 node;
+        Alcotest.(check string) "opcode named" (Op.to_string op) opcode;
+        Alcotest.(check int) "expected arity" expected e;
+        Alcotest.(check int) "got arity" got g)
+    [ (Op.Store, [ Cdfg.Imm 0 ], 2, 1);
+      (Op.Store, [ Cdfg.Imm 0; Cdfg.Imm 1; Cdfg.Imm 2 ], 2, 3);
+      (Op.Load, [], 1, 0);
+      (Op.Load, [ Cdfg.Imm 0; Cdfg.Imm 1 ], 1, 2) ]
+
 let test_validate_rejects () =
   let bad_operand =
     { Cdfg.kernel_name = "bad";
@@ -331,6 +366,8 @@ let suite =
         Alcotest.test_case "interp out of bounds" `Quick test_interp_oob;
         Alcotest.test_case "interp step limit" `Quick test_interp_step_limit;
         Alcotest.test_case "interp initial symbols" `Quick test_interp_init_syms;
+        Alcotest.test_case "interp typed memory arity errors" `Quick
+          test_interp_bad_memory_arity;
         Alcotest.test_case "validate rejects" `Quick test_validate_rejects;
         Alcotest.test_case "validate unreachable" `Quick test_validate_unreachable;
         Alcotest.test_case "block weight Wbb" `Quick test_block_weight;

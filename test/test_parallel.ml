@@ -62,6 +62,46 @@ let test_cache_computes_once () =
         Alcotest.(check bool) "all callers see the same value" true (c == first))
       rest
 
+(* ---- cache poisoning regression --------------------------------------- *)
+
+(* A compute that raises used to leave its slot in [Computing] forever:
+   the first caller got the exception, every later caller of the same key
+   hit [assert false] (or hung).  The memo must instead cache the failure
+   and re-raise it to everyone, and a concurrent storm on a raising key
+   must neither hang nor poison. *)
+let test_cache_failure_not_poisoning () =
+  let memo : (int, int) Runner.Memo.t = Runner.Memo.create 4 in
+  let boom = Failure "memo compute failed" in
+  Alcotest.check_raises "first caller sees the exception" boom (fun () ->
+      ignore (Runner.Memo.get memo 1 (fun () -> raise boom)));
+  (* the failure is cached: later callers re-raise without recomputing,
+     and certainly without tripping the old [assert false] *)
+  Alcotest.check_raises "second caller re-raises the cached failure" boom
+    (fun () -> ignore (Runner.Memo.get memo 1 (fun () -> 42)));
+  Alcotest.(check int) "failed compute claimed exactly once" 1
+    (Runner.Memo.computed memo);
+  (* other keys are unaffected *)
+  Alcotest.(check int) "healthy key still computes" 7
+    (Runner.Memo.get memo 2 (fun () -> 7));
+  (* a concurrent storm on a raising key: every domain must terminate
+     with the exception, with exactly one claim *)
+  let storm : (int, int) Runner.Memo.t = Runner.Memo.create 4 in
+  let outcomes =
+    Pool.map ~jobs:8
+      (fun _ ->
+        match Runner.Memo.get storm 0 (fun () -> raise boom) with
+        | (_ : int) -> "returned"
+        | exception Failure msg -> msg)
+      (List.init 16 Fun.id)
+  in
+  List.iter
+    (fun o ->
+      Alcotest.(check string) "every storm caller sees the failure"
+        "memo compute failed" o)
+    outcomes;
+  Alcotest.(check int) "storm claimed exactly once" 1
+    (Runner.Memo.computed storm)
+
 (* ---- jobs invariance -------------------------------------------------- *)
 
 (* The full-artifact check lives in the bench driver (bench/main.exe all
@@ -184,6 +224,8 @@ let suite =
         Alcotest.test_case "pool covers every item" `Quick
           test_pool_runs_everything;
         Alcotest.test_case "cache computes once" `Quick test_cache_computes_once;
+        Alcotest.test_case "cache failure is cached, not poisoning" `Quick
+          test_cache_failure_not_poisoning;
         Alcotest.test_case "clear_caches resets compute count" `Quick
           test_clear_resets_compute_count;
         Alcotest.test_case "cell reproducible in isolation" `Quick

@@ -37,6 +37,22 @@ let test_pick_empty () =
   Alcotest.check_raises "empty list" (Invalid_argument "Rng.pick: empty list")
     (fun () -> ignore (Rng.pick (Rng.create 0) []))
 
+(* [pick] must behave exactly like [List.nth l (int g (length l))] —
+   including consuming one bounded draw even for a singleton list — so
+   the array-backed implementation cannot shift any downstream stream. *)
+let test_pick_matches_nth () =
+  let l = [ 10; 20; 30; 40; 50 ] in
+  let a = Rng.create 5 and b = Rng.create 5 in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "same element as the nth reference"
+      (List.nth l (Rng.int b (List.length l)))
+      (Rng.pick a l)
+  done;
+  Alcotest.(check int) "singleton picks its element" 7 (Rng.pick a [ 7 ]);
+  ignore (Rng.int b 1);
+  Alcotest.(check int64) "streams aligned after singleton pick" (Rng.int64 b)
+    (Rng.int64 a)
+
 let test_shuffle_permutation () =
   let g = Rng.create 3 in
   let a = Array.init 50 Fun.id in
@@ -112,6 +128,8 @@ let suite =
         Alcotest.test_case "rng copy replays" `Quick test_copy_replays;
         Alcotest.test_case "rng int bad bound" `Quick test_int_bounds_exn;
         Alcotest.test_case "rng pick empty" `Quick test_pick_empty;
+        Alcotest.test_case "rng pick matches nth reference" `Quick
+          test_pick_matches_nth;
         Alcotest.test_case "rng shuffle permutation" `Quick test_shuffle_permutation;
         Alcotest.test_case "rng int unbiased near max_int" `Quick
           test_int_unbiased;

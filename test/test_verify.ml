@@ -497,9 +497,134 @@ let test_repair_unaffected () =
   Alcotest.(check bool) "trace renders" true
     (contains_sub ~sub:"unaffected" (R.trace_to_string tr))
 
-let repair_campaign ~jobs ~seed () =
+(* ---- incremental remap: equivalence with the full mode ---------------- *)
+
+let run_repair_mode ~mode ~injected (k, m) =
+  R.repair ~mode ~config:repair_config ~injected
+    ~fresh_mem:(fun () -> K.fresh_mem k)
+    ~golden:(K.run_golden k) m
+
+(* The single-fault maps the full-mode round-trip tests above repair,
+   rebuilt from the pristine mapping. *)
+let equivalence_faults m =
+  let dead = [ Cgra.Dead_tile { tile = fst (busiest_tile m) } ] in
+  let lsu =
+    match lsu_tile m with
+    | Some tile -> [ [ Cgra.No_lsu { tile } ] ]
+    | None -> []
+  in
+  let link =
+    match neighbour_read m with
+    | None -> []
+    | Some (reader, src) ->
+      let dir = Option.get (Cgra.dir_between m.M.cgra reader src) in
+      [ [ Cgra.Dead_link { tile = reader; dir } ] ]
+  in
+  (dead :: lsu) @ link
+
+let test_repair_incremental_equivalence () =
+  let (_, m) as base = Lazy.force base_aware in
+  let partials = ref 0 in
+  List.iter
+    (fun injected ->
+      let tr_full = run_repair_mode ~mode:R.Full ~injected base in
+      let tr_inc = run_repair_mode ~mode:R.Incremental ~injected base in
+      (* both modes golden-PASS on every cell: [Repaired] means the
+         remapped program reproduced the golden memory image, and
+         [assert_repaired] re-checks the invariants on the true array *)
+      assert_repaired "full" m tr_full;
+      assert_repaired "incremental" m tr_inc;
+      (match tr_full.R.status with
+       | R.Repaired { remap; _ } ->
+         Alcotest.(check bool) "full mode never reports partial" true
+           (remap = R.Full_remap)
+       | _ -> ());
+      match tr_inc.R.status with
+      | R.Repaired { mapping; remap = R.Partial { dirty; total }; _ } ->
+        incr partials;
+        Alcotest.(check bool) "partial re-searched a strict subset" true
+          (dirty < total);
+        let dirty_flags, kept = R.dirty_blocks m tr_inc.R.diagnosed in
+        (* surviving blocks are reused verbatim... *)
+        Array.iteri
+          (fun bi d ->
+            if not d then
+              Alcotest.(check bool)
+                (Printf.sprintf "block %d reused verbatim" bi)
+                true
+                (mapping.M.bbs.(bi) = m.M.bbs.(bi)))
+          dirty_flags;
+        (* ...and every kept home survives into the repaired mapping *)
+        Array.iteri
+          (fun s h ->
+            if h >= 0 then
+              Alcotest.(check int)
+                (Printf.sprintf "home of symbol %d preserved" s)
+                h mapping.M.homes.(s))
+          kept
+      | _ -> ())
+    (equivalence_faults m);
+  Alcotest.(check bool) "at least one repair was partial" true (!partials > 0)
+
+(* Soundness of the dirty-set rule, with the touched-tile computation
+   re-derived here rather than through [Fault.tiles]: no surviving block
+   may execute on, read from, or keep a symbol home on a faulted tile. *)
+let prop_dirty_set_sound =
+  let open QCheck in
+  Test.make ~name:"repair: dirty-block set is sound" ~count:60
+    (pair (int_bound 100_000) (int_range 1 3))
+    (fun (seed, nfaults) ->
+      let _, m = Lazy.force base_aware in
+      let cgra = m.M.cgra in
+      let rng = Cgra_util.Rng.create seed in
+      let faults = F.sample_fault_map rng cgra ~faults:nfaults in
+      let dirty, kept = R.dirty_blocks m faults in
+      let bad =
+        List.concat_map
+          (function
+            | Cgra.Dead_tile { tile }
+            | Cgra.Cm_rows_stuck { tile; _ }
+            | Cgra.No_lsu { tile } -> [ tile ]
+            | Cgra.Dead_link { tile; dir } ->
+              [ tile; Cgra.dir_neighbor cgra tile dir ])
+          faults
+      in
+      let is_bad t = List.mem t bad in
+      let home_bad s = is_bad m.M.homes.(s) in
+      let slot_clean (s : M.slot) =
+        (not (is_bad s.M.tile))
+        && (match s.M.writes_sym with
+           | Some sym -> not (home_bad sym)
+           | None -> true)
+        && (match s.M.action with
+           | M.Aop { operand_tiles; _ } ->
+             List.for_all (fun t -> not (is_bad t)) operand_tiles
+           | M.Amove { from_tile; value } ->
+             (not (is_bad from_tile))
+             && (match value with
+                | M.Vsym sym -> not (home_bad sym)
+                | _ -> true)
+           | M.Acopy (M.Vsym sym) -> not (home_bad sym)
+           | M.Acopy _ -> true)
+      in
+      let survivors_clean =
+        Array.for_all
+          (fun (b : M.bb_mapping) ->
+            dirty.(b.M.bb) || List.for_all slot_clean b.M.slots)
+          m.M.bbs
+      in
+      let kept_consistent =
+        Array.for_all Fun.id
+          (Array.mapi
+             (fun s h ->
+               if h < 0 then true else h = m.M.homes.(s) && not (is_bad h))
+             kept)
+      in
+      survivors_clean && kept_consistent)
+
+let repair_campaign ?mode ~jobs ~seed () =
   let k, m = Lazy.force base_aware in
-  R.run_campaign ~jobs ~seed ~trials:5 ~faults:1 ~key:"test/fir/repair"
+  R.run_campaign ?mode ~jobs ~seed ~trials:5 ~faults:1 ~key:"test/fir/repair"
     ~config:repair_config
     ~fresh_mem:(fun () -> K.fresh_mem k)
     m
@@ -515,6 +640,24 @@ let test_repair_campaign_deterministic () =
     (fun i (t : R.trial) -> Alcotest.(check int) "index order" i t.R.index)
     c1.R.runs;
   Alcotest.(check bool) "pristine baseline recorded" true (c1.R.pristine_cycles > 0)
+
+let test_repair_campaign_incremental_deterministic () =
+  let c1 = repair_campaign ~mode:R.Incremental ~jobs:1 ~seed:7 () in
+  let c2 = repair_campaign ~mode:R.Incremental ~jobs:2 ~seed:7 () in
+  Alcotest.(check bool) "jobs 1 = jobs 2" true (c1 = c2);
+  let s = c1.R.summary in
+  Alcotest.(check bool) "partial repairs are a subset of repairs" true
+    (s.R.partial_repairs <= s.R.repaired);
+  (* the injected fault maps are drawn before the mode branches, so both
+     modes face identical trials *)
+  let full = repair_campaign ~jobs:1 ~seed:7 () in
+  Alcotest.(check int) "full mode counts no partials" 0
+    full.R.summary.R.partial_repairs;
+  List.iter2
+    (fun (a : R.trial) (b : R.trial) ->
+      Alcotest.(check bool) "same injected faults per trial" true
+        (a.R.trace.R.injected = b.R.trace.R.injected))
+    c1.R.runs full.R.runs
 
 (* ---- Flow integration: validate + degrade ----------------------------- *)
 
@@ -610,8 +753,13 @@ let suite =
           test_repair_no_lsu;
         Alcotest.test_case "repair: unused fault is unaffected" `Quick
           test_repair_unaffected;
+        Alcotest.test_case "repair: incremental = full on golden-PASS cells"
+          `Quick test_repair_incremental_equivalence;
+        QCheck_alcotest.to_alcotest prop_dirty_set_sound;
         Alcotest.test_case "repair campaign: jobs-independent" `Quick
           test_repair_campaign_deterministic;
+        Alcotest.test_case "repair campaign: incremental jobs-independent"
+          `Quick test_repair_campaign_incremental_deterministic;
         Alcotest.test_case "flow: validate passes on real mapping" `Quick
           test_flow_validate_passes;
         Alcotest.test_case "flow: degrade is a no-op when mappable" `Quick
