@@ -315,6 +315,119 @@ let run_alloc_check () =
     end
     else print_endline "alloc_check: OK"
 
+(* ---- serve_report ------------------------------------------------------ *)
+
+(* Latency profile of the cgra_mapd daemon (a command, not an artifact:
+   wall-clock numbers are machine-dependent and must not leak into the
+   deterministic artifact set).  An in-process server on a private
+   socket/store is measured per kernel: cold-miss latency (compute +
+   store write), store-hit latency, and the hit/miss ratio the daemon
+   exists to deliver.  Finally a 4-client hammer measures warm
+   throughput over concurrent connections. *)
+let run_serve_report () =
+  let module Serve = Cgra_serve in
+  let tmp tag =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cgra-serve-report-%d-%s" (Unix.getpid ()) tag)
+  in
+  let socket_path = tmp "sock" in
+  let server =
+    Serve.Server.start
+      {
+        Serve.Server.socket_path;
+        tcp_port = None;
+        store_root = Some (tmp "store");
+        jobs = None;
+        verbose = false;
+      }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.request_stop server;
+      Serve.Server.wait server;
+      Cgra_exp.Runner.set_artifact_backend None;
+      ignore (Serve.Store.clear (Serve.Server.store server)))
+    (fun () ->
+      let ep = Serve.Client.Unix_socket socket_path in
+      let request_bytes spec =
+        match Serve.Client.map ~fallback:false ep spec with
+        | Ok (Serve.Client.Artifact { bytes; _ }) -> Some bytes
+        | Ok (Serve.Client.Unmappable _) -> None
+        | Error e ->
+          Printf.eprintf "serve_report: %s\n" e;
+          exit 1
+      in
+      let time f =
+        let t0 = Cgra_util.Clock.now () in
+        let r = f () in
+        (r, Cgra_util.Clock.elapsed_s t0)
+      in
+      let hit_samples = 25 in
+      let rows =
+        List.filter_map
+          (fun k ->
+            let slug = k.Cgra_kernels.Kernel_def.slug in
+            match
+              Serve.Key.spec_of_bundled ~slug ~config:Cgra_arch.Config.HET2
+                ~flow:Cgra_core.Flow_config.context_aware ~opt:Serve.Key.Default
+                ~faults:[]
+            with
+            | Error e ->
+              Printf.eprintf "serve_report: %s\n" e;
+              exit 1
+            | Ok spec -> (
+              match time (fun () -> request_bytes spec) with
+              | None, _ -> None (* unmappable: nothing to serve *)
+              | Some bytes, miss_s ->
+                (* median of repeated hits, robust to scheduler noise *)
+                let hits =
+                  List.init hit_samples (fun _ ->
+                      snd (time (fun () -> ignore (request_bytes spec))))
+                  |> List.sort compare
+                in
+                let hit_s = List.nth hits (hit_samples / 2) in
+                Some
+                  [
+                    slug;
+                    string_of_int (String.length bytes);
+                    Printf.sprintf "%.1f" (miss_s *. 1e3);
+                    Printf.sprintf "%.1f" (hit_s *. 1e6);
+                    Printf.sprintf "%.0fx" (miss_s /. hit_s);
+                  ]))
+          Cgra_kernels.Kernels.all
+      in
+      print_string
+        (Cgra_util.Text_table.render_aligned
+           ~header:
+             [ "kernel"; "artifact B"; "miss ms"; "hit us"; "miss/hit" ]
+           ~align:[ `L; `R; `R; `R; `R ] ~rows);
+      (* warm throughput: 4 clients, every request a store hit *)
+      let clients = 4 and per_client = 50 in
+      let spec =
+        match
+          Serve.Key.spec_of_bundled ~slug:"fir" ~config:Cgra_arch.Config.HET2
+            ~flow:Cgra_core.Flow_config.context_aware ~opt:Serve.Key.Default
+            ~faults:[]
+        with
+        | Ok s -> s
+        | Error e ->
+          Printf.eprintf "serve_report: %s\n" e;
+          exit 1
+      in
+      let (), wall =
+        time (fun () ->
+            List.init clients (fun _ ->
+                Domain.spawn (fun () ->
+                    for _ = 1 to per_client do
+                      ignore (request_bytes spec)
+                    done))
+            |> List.iter Domain.join)
+      in
+      Printf.printf
+        "\nthroughput: %d clients x %d warm requests in %.2f s = %.0f req/s\n"
+        clients per_client wall
+        (float_of_int (clients * per_client) /. wall))
+
 (* --jobs N / -j N / --jobs=N and --opt anywhere on the command line. *)
 let parse_flags args =
   let starts_with prefix s =
@@ -398,6 +511,7 @@ let () =
   | [ "micro" ] -> run_micro ()
   | [ "ablation" ] -> run_ablations ()
   | [ "alloc_check" ] -> run_alloc_check ()
+  | [ "serve_report" ] -> run_serve_report ()
   | [ "list" ] -> list_artifacts ()
   | [ name ] ->
     (* a single artifact only needs its own cells; fan out only when the
@@ -408,6 +522,6 @@ let () =
     prerr_endline
       "usage: main.exe [--jobs N] [--opt] [--trials N] [--faults N] \
        [--mode full|incremental] \
-       [<artifact>|all|micro|ablation|alloc_check|list]   (artifact names: \
-       main.exe list)";
+       [<artifact>|all|micro|ablation|alloc_check|serve_report|list]   \
+       (artifact names: main.exe list)";
     exit 1

@@ -11,6 +11,28 @@
 
 open Cmdliner
 
+(* FILE arguments fail as one-line typed errors (exit 1), never as raw
+   Sys_error backtraces. *)
+let read_file_or_die ~what file =
+  try
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error e ->
+    Printf.eprintf "%s %s: %s\n" what file e;
+    exit 1
+
+let write_file_or_die ~what file contents =
+  try
+    let oc = open_out_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc contents)
+  with Sys_error e ->
+    Printf.eprintf "%s %s: %s\n" what file e;
+    exit 1
+
 let config_names () =
   String.concat "|" (List.map Cgra_arch.Config.to_string Cgra_arch.Config.all)
 
@@ -121,6 +143,15 @@ let map_cmd =
                    checks and the route table all see the degraded array."
              ~docv:"FILE")
   in
+  let emit =
+    Arg.(value & opt (some string) None
+         & info [ "emit" ]
+             ~doc:"Serialize the mapped-and-simulated result as a \
+                   deterministic artifact to $(docv) — the same bytes a \
+                   cgra_mapd daemon would store and serve for this request \
+                   key."
+             ~docv:"FILE")
+  in
   let dump_asm = Arg.(value & flag & info [ "asm" ] ~doc:"Print the per-tile assembly.") in
   let schedule = Arg.(value & flag & info [ "schedule" ] ~doc:"Print per-block schedule grids.") in
   let simulate = Arg.(value & flag & info [ "simulate" ] ~doc:"Run the cycle-level simulator and verify.") in
@@ -154,10 +185,10 @@ let map_cmd =
   in
   let write_trace file slug config stats =
     let module S = Cgra_core.Search in
-    let oc = open_out file in
+    let buf = Buffer.create 4096 in
     List.iter
       (fun (bs : S.block_stats) ->
-        Printf.fprintf oc
+        Printf.bprintf buf
           "{\"kernel\":\"%s\",\"config\":\"%s\",\"block\":%d,\"name\":\"%s\",\
            \"rounds\":%d,\"attempts\":%d,\"children\":%d,\
            \"route_failures\":%d,\"acmap_kills\":%d,\"ecmap_kills\":%d,\
@@ -170,17 +201,17 @@ let map_cmd =
           bs.S.prune_survivors bs.S.finalize_failures bs.S.recomputes
           bs.S.population_peak bs.S.wall_seconds)
       stats.Cgra_core.Flow.search;
-    Printf.fprintf oc
+    Printf.bprintf buf
       "{\"kernel\":\"%s\",\"config\":\"%s\",\"summary\":true,\"work\":%d,\
        \"retries_used\":%d,\"recomputes\":%d,\"population_peak\":%d}\n"
       slug
       (Cgra_arch.Config.to_string config)
       stats.Cgra_core.Flow.work stats.Cgra_core.Flow.retries_used
       stats.Cgra_core.Flow.recomputes stats.Cgra_core.Flow.population_peak;
-    close_out oc
+    write_file_or_die ~what:"--trace" file (Buffer.contents buf)
   in
   let run slug config flow opt jobs validate degrade max_attempts faults_file
-      trace dump_dfg dump_asm schedule simulate =
+      trace dump_dfg emit dump_asm schedule simulate =
     match Cgra_kernels.Kernels.by_slug slug with
     | None ->
       Printf.eprintf "unknown kernel %s (try: cgra_map list)\n" slug;
@@ -260,6 +291,31 @@ let map_cmd =
             (fun bi _ -> Format.printf "%a@." Cgra_core.Mapping.pp_schedule (m, bi))
             m.Cgra_core.Mapping.bbs;
         let prog = Cgra_asm.Assemble.assemble m in
+        (match emit with
+         | None -> ()
+         | Some file ->
+           let module Serve = Cgra_serve in
+           let spec =
+             match
+               Serve.Key.spec_of_bundled ~slug ~config ~flow
+                 ~opt:(if opt then Serve.Key.Optimized else Serve.Key.Default)
+                 ~faults
+             with
+             | Ok s -> s
+             | Error e ->
+               Printf.eprintf "--emit: %s\n" e;
+               exit 1
+           in
+           let mem = Cgra_kernels.Kernel_def.fresh_mem k in
+           let r = Cgra_sim.Simulator.run prog ~mem in
+           let e = Cgra_power.Energy.cgra m.Cgra_core.Mapping.cgra r in
+           let bytes =
+             Serve.Artifact.render ~key_digest:(Serve.Key.digest spec) ~spec
+               prog r e
+           in
+           write_file_or_die ~what:"--emit" file bytes;
+           Printf.printf "artifact %s written to %s (%d bytes)\n"
+             (Serve.Artifact.digest bytes) file (String.length bytes));
         if dump_asm then
           Array.iteri
             (fun t tp -> Format.printf "%a@." Cgra_asm.Assemble.pp_tile (t, tp))
@@ -279,8 +335,8 @@ let map_cmd =
   in
   Cmd.v (Cmd.info "map" ~doc)
     Term.(const run $ kernel $ config $ flow $ opt $ jobs $ validate $ degrade
-          $ max_attempts $ faults_file $ trace $ dump_dfg $ dump_asm $ schedule
-          $ simulate)
+          $ max_attempts $ faults_file $ trace $ dump_dfg $ emit $ dump_asm
+          $ schedule $ simulate)
 
 let fault_cmd =
   let doc =
@@ -372,10 +428,7 @@ let compile_cmd =
   let doc = "Compile a kernel-language source file and print its CDFG." in
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let run file =
-    let ic = open_in file in
-    let n = in_channel_length ic in
-    let src = really_input_string ic n in
-    close_in ic;
+    let src = read_file_or_die ~what:"compile" file in
     match Cgra_lang.Compile.compile src with
     | Ok cdfg -> Format.printf "%a@." Cgra_ir.Cdfg.pp cdfg
     | Error e ->
@@ -416,6 +469,194 @@ let stats_cmd =
   in
   Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ kernel)
 
+let remote_cmd =
+  let module Serve = Cgra_serve in
+  let doc =
+    "Request a mapping from a running cgra_mapd daemon; compute locally \
+     (identical bytes) when none is reachable."
+  in
+  let kernel =
+    Arg.(value & opt (some string) None
+         & info [ "k"; "kernel" ] ~doc:"Kernel slug.")
+  in
+  let config =
+    Arg.(value & opt config_conv Cgra_arch.Config.HET2
+         & info [ "c"; "config" ] ~doc:"CM configuration.")
+  in
+  let flow =
+    Arg.(value & opt flow_conv Cgra_core.Flow_config.context_aware
+         & info [ "f"; "flow" ] ~doc:"Mapping flow: basic, acmap, ecmap or full.")
+  in
+  let opt =
+    Arg.(value & flag
+         & info [ "opt" ]
+             ~doc:"Map the naive lowering through the cgra_opt pipeline.")
+  in
+  let faults_file =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~doc:"Map around the fault map in $(docv)."
+             ~docv:"FILE")
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ]
+             ~doc:"Daemon socket (default: cgra_mapd.sock inside the cache \
+                   directory)."
+             ~docv:"PATH")
+  in
+  let tcp =
+    Arg.(value & opt (some int) None
+         & info [ "tcp" ]
+             ~doc:"Connect to a daemon on 127.0.0.1:$(docv) instead of the \
+                   Unix socket."
+             ~docv:"PORT")
+  in
+  let emit =
+    Arg.(value & opt (some string) None
+         & info [ "emit" ] ~doc:"Write the artifact bytes to $(docv)."
+             ~docv:"FILE")
+  in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print daemon statistics.") in
+  let clear =
+    Arg.(value & flag
+         & info [ "clear" ] ~doc:"Clear the daemon's caches and stored artifacts.")
+  in
+  let shutdown =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the daemon to shut down.")
+  in
+  let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Check the daemon is alive.") in
+  let no_fallback =
+    Arg.(value & flag
+         & info [ "no-fallback" ]
+             ~doc:"Fail instead of computing locally when the daemon is \
+                   unreachable.")
+  in
+  let run kernel config flow opt faults_file socket tcp emit stats clear
+      shutdown ping no_fallback =
+    let endpoint =
+      match tcp with
+      | Some port -> Serve.Client.Tcp ("127.0.0.1", port)
+      | None ->
+        Serve.Client.Unix_socket
+          (match socket with
+           | Some p -> p
+           | None ->
+             Filename.concat (Serve.Store.default_root ()) "cgra_mapd.sock")
+    in
+    (* Control requests never fall back: they are about the daemon. *)
+    let control req render =
+      match
+        Serve.Client.with_conn endpoint (fun c -> Serve.Client.request c req)
+      with
+      | Error e | Ok (Error e) ->
+        Printf.eprintf "%s\n" e;
+        exit 1
+      | Ok (Ok resp) -> (
+        match render resp with
+        | Some line -> print_endline line
+        | None ->
+          Printf.eprintf "unexpected response\n";
+          exit 1)
+    in
+    if ping then
+      control Serve.Protocol.Ping (function
+        | Serve.Protocol.Pong -> Some "pong"
+        | _ -> None)
+    else if stats then
+      control Serve.Protocol.Stats (function
+        | Serve.Protocol.Stats_r s ->
+          let avg total n = if n = 0 then 0.0 else total /. float_of_int n in
+          Some
+            (Printf.sprintf
+               "(hits %d) (misses %d) (unmappable %d) (errors %d) (inflight \
+                %d)\n\
+                store: %d entries, %d bytes\n\
+                latency: hit avg %.1f us, miss avg %.1f ms\n\
+                uptime: %.1f s"
+               s.Serve.Protocol.hits s.Serve.Protocol.misses
+               s.Serve.Protocol.unmappable s.Serve.Protocol.errors
+               s.Serve.Protocol.inflight s.Serve.Protocol.stored_entries
+               s.Serve.Protocol.stored_bytes
+               (avg s.Serve.Protocol.hit_us_total s.Serve.Protocol.hits)
+               (avg s.Serve.Protocol.miss_us_total s.Serve.Protocol.misses
+                /. 1e3)
+               s.Serve.Protocol.uptime_s)
+        | _ -> None)
+    else if clear then
+      control Serve.Protocol.Clear (function
+        | Serve.Protocol.Cleared { evicted } ->
+          Some (Printf.sprintf "cleared (%d artifacts evicted)" evicted)
+        | _ -> None)
+    else if shutdown then
+      control Serve.Protocol.Shutdown (function
+        | Serve.Protocol.Shutting_down -> Some "shutting down"
+        | _ -> None)
+    else begin
+      let slug =
+        match kernel with
+        | Some s -> s
+        | None ->
+          Printf.eprintf
+            "remote: -k KERNEL required (or one of --ping --stats --clear \
+             --shutdown)\n";
+          exit 1
+      in
+      let faults =
+        match faults_file with
+        | None -> []
+        | Some file -> (
+          match Cgra_arch.Fault_map.load file with
+          | Ok fs -> fs
+          | Error e ->
+            Printf.eprintf "--faults %s: %s\n" file e;
+            exit 1)
+      in
+      let flow = { flow with Cgra_core.Flow_config.optimize = opt; faults } in
+      let spec =
+        match
+          Serve.Key.spec_of_bundled ~slug ~config ~flow
+            ~opt:(if opt then Serve.Key.Optimized else Serve.Key.Default)
+            ~faults
+        with
+        | Ok s -> s
+        | Error e ->
+          Printf.eprintf "%s (try: cgra_map list)\n" e;
+          exit 1
+      in
+      match Serve.Client.map ~fallback:(not no_fallback) endpoint spec with
+      | Error e ->
+        Printf.eprintf "%s\n" e;
+        exit 1
+      | Ok (Serve.Client.Unmappable { reason }) ->
+        Printf.printf "no mapping: %s\n" reason;
+        exit 2
+      | Ok (Serve.Client.Artifact { bytes; digest; source }) ->
+        (* write the artifact before any chatter: a closed stdout pipe
+           must not lose the file *)
+        (match emit with
+         | None -> ()
+         | Some file -> write_file_or_die ~what:"--emit" file bytes);
+        Printf.printf "artifact %s (%d bytes) via %s\n" digest
+          (String.length bytes)
+          (match source with
+           | Serve.Client.Daemon { cached = true } -> "daemon (cache hit)"
+           | Serve.Client.Daemon { cached = false } -> "daemon (computed)"
+           | Serve.Client.Local -> "local fallback");
+        (* echo the summary header lines up to the tile images *)
+        String.split_on_char '\n' bytes
+        |> List.to_seq
+        |> Seq.take_while (fun l ->
+               not (String.length l >= 5 && String.sub l 0 5 = "tiles"))
+        |> Seq.iter print_endline;
+        (match emit with
+         | None -> ()
+         | Some file -> Printf.printf "written to %s\n" file)
+    end
+  in
+  Cmd.v (Cmd.info "remote" ~doc)
+    Term.(const run $ kernel $ config $ flow $ opt $ faults_file $ socket $ tcp
+          $ emit $ stats $ clear $ shutdown $ ping $ no_fallback)
+
 let artifacts_cmd =
   let doc = "Regenerate the paper's tables and figures." in
   let which = Arg.(value & pos 0 string "all" & info [] ~docv:"ARTIFACT") in
@@ -449,5 +690,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; map_cmd; fault_cmd; compile_cmd; stats_cmd;
+          [ list_cmd; map_cmd; fault_cmd; compile_cmd; stats_cmd; remote_cmd;
             artifacts_cmd ]))

@@ -1,0 +1,68 @@
+(* The mapping daemon.
+
+   cgra_mapd [--socket PATH] [--tcp PORT] [--cache DIR] [--jobs N] [-v]
+
+   Listens on a Unix-domain socket (and optionally loopback TCP) for
+   length-prefixed s-expression requests, serves mapping artifacts out
+   of a content-addressed on-disk store, and computes misses on a
+   persistent domain pool with fair per-client queueing.  SIGTERM or a
+   [shutdown] request drains in-flight work and exits cleanly. *)
+
+open Cmdliner
+module Serve = Cgra_serve
+
+let default_socket () =
+  Filename.concat (Serve.Store.default_root ()) "cgra_mapd.sock"
+
+let socket =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ]
+           ~doc:"Unix-domain socket to listen on (default: \
+                 cgra_mapd.sock inside the cache directory)."
+           ~docv:"PATH")
+
+let tcp =
+  Arg.(value & opt (some int) None
+       & info [ "tcp" ]
+           ~doc:"Also listen on 127.0.0.1:$(docv)." ~docv:"PORT")
+
+let cache =
+  Arg.(value & opt (some string) None
+       & info [ "cache" ]
+           ~doc:"Artifact store root (default: \\$CGRA_MAPD_CACHE, then \
+                 \\$XDG_CACHE_HOME/cgra_mapd, then ~/.cache/cgra_mapd)."
+           ~docv:"DIR")
+
+let jobs =
+  Arg.(value & opt (some int) None
+       & info [ "j"; "jobs" ]
+           ~doc:"Compute worker domains (default: the machine's \
+                 recommended count)."
+           ~docv:"N")
+
+let verbose =
+  Arg.(value & flag
+       & info [ "v"; "verbose" ] ~doc:"Log each request to stderr.")
+
+let run socket tcp_port store_root jobs verbose =
+  let socket_path =
+    match socket with Some p -> p | None -> default_socket ()
+  in
+  match
+    Serve.Server.serve
+      { Serve.Server.socket_path; tcp_port; store_root; jobs; verbose }
+  with
+  | () -> ()
+  | exception Unix.Unix_error (err, fn, arg) ->
+    Printf.eprintf "cgra_mapd: %s %s: %s\n" fn arg (Unix.error_message err);
+    exit 1
+  | exception Sys_error e ->
+    Printf.eprintf "cgra_mapd: %s\n" e;
+    exit 1
+
+let () =
+  let doc = "persistent CGRA mapping service with a content-addressed store" in
+  let info = Cmd.info "cgra_mapd" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.v info Term.(const run $ socket $ tcp $ cache $ jobs $ verbose)))

@@ -128,6 +128,7 @@ module Memo = struct
     mutex : Mutex.t;
     cond : Condition.t;
     computes : int Atomic.t;
+    mutable generation : int;  (* bumped by [reset]; guarded by [mutex] *)
   }
 
   let create n =
@@ -136,14 +137,25 @@ module Memo = struct
       mutex = Mutex.create ();
       cond = Condition.create ();
       computes = Atomic.make 0;
+      generation = 0;
     }
 
   let computed m = Atomic.get m.computes
 
+  (* A reset must not only drop the table: computes claimed *before* the
+     reset may still be in flight, and their eventual publish (a value, a
+     cached failure, or the async-exception slot clear) would land in the
+     freshly cleared table — reviving a poisoned or stale computation
+     under a key that may since have been re-claimed by a new producer.
+     The generation counter makes those late publishes no-ops, and the
+     broadcast releases waiters blocked on pre-reset [Computing] markers
+     so they re-claim against the new generation. *)
   let reset m =
     Mutex.lock m.mutex;
     Hashtbl.reset m.table;
     Atomic.set m.computes 0;
+    m.generation <- m.generation + 1;
+    Condition.broadcast m.cond;
     Mutex.unlock m.mutex
 
   let get m key compute =
@@ -152,7 +164,7 @@ module Memo = struct
       match Hashtbl.find_opt m.table key with
       | None ->
         Hashtbl.replace m.table key Computing;
-        `Compute
+        `Compute m.generation
       | Some (Ready v) -> `Value v
       | Some (Failed (e, bt)) -> `Reraise (e, bt)
       | Some Computing ->
@@ -164,14 +176,15 @@ module Memo = struct
     match decision with
     | `Value v -> v
     | `Reraise (e, bt) -> Printexc.raise_with_backtrace e bt
-    | `Compute ->
+    | `Compute gen ->
       Atomic.incr m.computes;
       let published = ref false in
       let publish outcome =
         Mutex.lock m.mutex;
-        (match outcome with
-        | Some o -> Hashtbl.replace m.table key o
-        | None -> Hashtbl.remove m.table key);
+        (if m.generation = gen then
+           match outcome with
+           | Some o -> Hashtbl.replace m.table key o
+           | None -> Hashtbl.remove m.table key);
         published := true;
         Condition.broadcast m.cond;
         Mutex.unlock m.mutex
@@ -192,6 +205,30 @@ end
 let cache :
     (string * Cgra_arch.Config.name * flow_kind * opt_mode, cell) Memo.t =
   Memo.create 64
+
+(* ---- pluggable artifact-store backend -------------------------------- *)
+
+(* The serve subsystem (lib/serve) installs a hook here so every cell the
+   harness computes is also published — as deterministic artifact bytes
+   under its content-addressed key — into the same on-disk store the
+   [cgra_mapd] daemon serves from.  The hook runs once per *computed*
+   (not cache-served) Mapped cell; a failing backend must never fail the
+   harness, so errors are reported to stderr and swallowed. *)
+type artifact_backend =
+  opt_mode -> K.t -> Cgra_arch.Config.name -> flow_kind -> run -> unit
+
+let artifact_backend : artifact_backend option Atomic.t = Atomic.make None
+let set_artifact_backend b = Atomic.set artifact_backend b
+
+let publish_artifact opt k config flow r =
+  match Atomic.get artifact_backend with
+  | None -> ()
+  | Some f -> (
+    try f opt k config flow r
+    with e ->
+      Printf.eprintf "Runner: artifact backend failed on %s: %s\n%!"
+        (cell_key ~opt k.K.slug config flow)
+        (Printexc.to_string e))
 
 let run_of ?opt k config flow =
   let opt = match opt with Some m -> m | None -> Atomic.get global_opt_mode in
@@ -245,12 +282,15 @@ let run_of ?opt k config flow =
           if mem <> K.run_golden k then
             raise (Golden_mismatch { kernel = k.K.name; target });
           let energy = Cgra_power.Energy.cgra cgra sim in
-          Mapped
+          let r =
             { mapping; sim; cycles = sim.Cgra_sim.Simulator.cycles; energy;
               compile_seconds; compile_work;
               retries_used = stats.Cgra_core.Flow.retries_used;
               search = stats.Cgra_core.Flow.search;
-              opt_stats = stats.Cgra_core.Flow.opt }))
+              opt_stats = stats.Cgra_core.Flow.opt }
+          in
+          publish_artifact opt k config flow r;
+          Mapped r))
 
 type cpu_run = {
   cpu_sim : Cgra_cpu.Cpu_sim.result;

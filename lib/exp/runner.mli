@@ -51,8 +51,13 @@ module Memo : sig
       last {!reset} — failed computes included. *)
 
   val reset : ('k, 'v) t -> unit
-  (** Drop all entries and zero {!computed}.  Do not call while a compute
-      is in flight. *)
+  (** Drop all entries and zero {!computed}.  Safe to call while computes
+      are in flight: the reset bumps an internal generation counter, so a
+      pre-reset compute that later publishes (a value, a cached failure,
+      or the async-exception slot clear) is discarded instead of reviving
+      a stale — possibly poisoned — entry in the cleared table, and
+      waiters blocked on pre-reset in-flight slots are released to
+      re-claim their keys fresh. *)
 end
 
 type flow_kind = Basic | With_acmap | With_ecmap | Full
@@ -158,5 +163,27 @@ val compute_count : unit -> int
     this by exactly 1. *)
 
 val clear_caches : unit -> unit
-(** Drop both caches and reset {!compute_count} to 0 (tests only).  Do
-    not call while cells are being computed. *)
+(** Drop both caches and reset {!compute_count} to 0 — the code path the
+    daemon's [clear] admin request shares.  Safe under concurrent
+    computes: in-flight cells publish into the {e old} generation and are
+    discarded (see {!Memo.reset}), so a cleared cache never revives a
+    poisoned computation. *)
+
+type artifact_backend =
+  opt_mode ->
+  Cgra_kernels.Kernel_def.t ->
+  Cgra_arch.Config.name ->
+  flow_kind ->
+  run ->
+  unit
+(** A pluggable artifact store: called once per {e computed} (never
+    cache-served) [Mapped] cell, after validation and the golden check.
+    [Cgra_serve] installs a backend that serializes the cell to
+    deterministic artifact bytes and writes them into the daemon's
+    content-addressed on-disk store, so the bench harness and [cgra_mapd]
+    share one cache.  Backend exceptions are reported to stderr and
+    swallowed — publishing is best-effort and must never fail the
+    harness. *)
+
+val set_artifact_backend : artifact_backend option -> unit
+(** Install (or with [None] remove) the backend.  Thread-safe. *)

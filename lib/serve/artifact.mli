@@ -1,0 +1,25 @@
+(** Deterministic byte serialization of a compiled-and-simulated mapping —
+    the payload the store holds and the daemon ships.
+
+    The rendering contains only reproducible quantities: the binary
+    context-memory images ({!Cgra_asm.Assemble.encode_tile}), constant
+    pools, symbol register slots, per-block section lengths, simulated
+    cycle/stall/instruction counts and the energy breakdown.  Nothing
+    host- or wall-clock-dependent appears, so for a fixed request key the
+    bytes are identical on every run, host and [--jobs] value — the
+    end-to-end determinism contract the store verifies on every read. *)
+
+val render :
+  key_digest:string ->
+  spec:Key.spec ->
+  Cgra_asm.Assemble.program ->
+  Cgra_sim.Simulator.result ->
+  Cgra_power.Energy.breakdown ->
+  string
+(** Render the artifact bytes.  [key_digest] is embedded so a stored
+    artifact names its own request key. *)
+
+val digest : string -> string
+(** MD5 of the artifact bytes, lowercase hex — what the store records
+    next to the payload, what the wire protocol reports, and what the CI
+    smoke step compares with [md5sum]. *)

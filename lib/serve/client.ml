@@ -1,0 +1,92 @@
+type t = { fd : Unix.file_descr }
+
+type endpoint =
+  | Unix_socket of string
+  | Tcp of string * int
+
+let endpoint_to_string = function
+  | Unix_socket p -> p
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+
+let connect ep =
+  match
+    match ep with
+    | Unix_socket path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+      fd
+    | Tcp (host, port) ->
+      let addr =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_of_string host
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+       with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+      fd
+  with
+  | fd -> Ok { fd }
+  | exception Unix.Unix_error (err, _, _) ->
+    Error
+      (Printf.sprintf "cannot connect to %s: %s" (endpoint_to_string ep)
+         (Unix.error_message err))
+  | exception Not_found ->
+    Error (Printf.sprintf "cannot resolve %s" (endpoint_to_string ep))
+  | exception Failure msg ->
+    Error (Printf.sprintf "cannot connect to %s: %s" (endpoint_to_string ep) msg)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let with_conn ep f =
+  match connect ep with
+  | Error _ as e -> e
+  | Ok t -> Ok (Fun.protect ~finally:(fun () -> close t) (fun () -> f t))
+
+let request t req =
+  match
+    Wire.write_frame t.fd (Wire.to_string (Protocol.request_to_sexp req))
+  with
+  | exception Unix.Unix_error (err, _, _) ->
+    Error ("send failed: " ^ Unix.error_message err)
+  | () -> (
+    match Wire.read_frame t.fd with
+    | Error e -> Error ("receive failed: " ^ Wire.read_error_to_string e)
+    | Ok payload -> (
+      match Wire.parse payload with
+      | Error e -> Error ("malformed response: " ^ e)
+      | Ok sexp -> Protocol.response_of_sexp sexp))
+
+type source = Daemon of { cached : bool } | Local
+
+type map_result =
+  | Artifact of { bytes : string; digest : string; source : source }
+  | Unmappable of { reason : string }
+
+let map_local spec =
+  match Compute.run spec with
+  | Error e -> Error e
+  | Ok (Compute.Unmappable { reason }) -> Ok (Unmappable { reason })
+  | Ok (Compute.Artifact { bytes; digest }) ->
+    Ok (Artifact { bytes; digest; source = Local })
+
+let map ?(fallback = true) ep spec =
+  match connect ep with
+  | Error e -> if fallback then map_local spec else Error e
+  | Ok t -> (
+    let r = Fun.protect ~finally:(fun () -> close t) (fun () ->
+        request t (Protocol.Map spec))
+    in
+    match r with
+    | Error e ->
+      (* the daemon answered garbage or hung up mid-frame; that is an
+         I/O failure, not a rejection, so fall back like a dead socket *)
+      if fallback then map_local spec else Error e
+    | Ok (Protocol.Artifact_r { digest; cached; bytes }) ->
+      Ok (Artifact { bytes; digest; source = Daemon { cached } })
+    | Ok (Protocol.Unmappable_r { reason }) -> Ok (Unmappable { reason })
+    | Ok (Protocol.Error_r { reason }) -> Error reason
+    | Ok other ->
+      Error
+        ("unexpected response: "
+        ^ Wire.to_string (Protocol.response_to_sexp other)))

@@ -1,0 +1,38 @@
+(** Client side of the {!Protocol}: connect, exchange framed requests,
+    and a [map] convenience that falls back to computing locally
+    (through the same {!Compute} path the daemon uses, so the bytes are
+    identical either way) when no daemon is reachable. *)
+
+type t
+
+type endpoint =
+  | Unix_socket of string
+  | Tcp of string * int  (** host, port *)
+
+val connect : endpoint -> (t, string) result
+(** One-line typed error on failure (daemon not running, stale socket,
+    connection refused). *)
+
+val close : t -> unit
+
+val with_conn : endpoint -> (t -> 'a) -> ('a, string) result
+(** [connect], run the body, [close] (also on exception). *)
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** Send one framed request and block for the framed response. *)
+
+type source = Daemon of { cached : bool } | Local
+
+type map_result =
+  | Artifact of { bytes : string; digest : string; source : source }
+  | Unmappable of { reason : string }
+
+val map :
+  ?fallback:bool ->
+  endpoint ->
+  Key.spec ->
+  (map_result, string) result
+(** Try the daemon first; when it is unreachable and [fallback] is true
+    (the default), compute in-process via {!Compute.run}.  Daemon-side
+    request errors are returned as [Error] and do {e not} fall back —
+    the daemon was reachable and rejected the request. *)

@@ -1,0 +1,100 @@
+module K = Cgra_kernels.Kernel_def
+module FC = Cgra_core.Flow_config
+
+type outcome =
+  | Artifact of { bytes : string; digest : string }
+  | Unmappable of { reason : string }
+
+let ( let* ) = Result.bind
+
+let cdfg_of (spec : Key.spec) =
+  match spec.Key.kernel with
+  | Key.Bundled { slug; source = _ } -> (
+    match Cgra_kernels.Kernels.by_slug slug with
+    | None -> Error (Printf.sprintf "unknown kernel %S" slug)
+    | Some k -> (
+      match spec.Key.opt with
+      | Key.Default -> Ok (K.cdfg k)
+      | Key.Raw | Key.Optimized -> Ok (K.cdfg_raw k)))
+  | Key.Inline { source; _ } -> (
+    let raw =
+      match spec.Key.opt with
+      | Key.Default -> false
+      | Key.Raw | Key.Optimized -> true
+    in
+    match Cgra_lang.Compile.compile ~raw source with
+    | Ok cdfg -> Ok cdfg
+    | Error e ->
+      Error ("kernel source: " ^ Cgra_lang.Compile.error_to_string e))
+
+let bundled_kernel (spec : Key.spec) =
+  match spec.Key.kernel with
+  | Key.Bundled { slug; _ } -> Cgra_kernels.Kernels.by_slug slug
+  | Key.Inline _ -> None
+
+let fresh_mem (spec : Key.spec) =
+  match spec.Key.kernel with
+  | Key.Bundled { slug; _ } -> (
+    match Cgra_kernels.Kernels.by_slug slug with
+    | Some k -> K.fresh_mem k
+    | None -> assert false (* cdfg_of already resolved the slug *))
+  | Key.Inline { mem_words; _ } -> Array.make mem_words 0
+
+let run (spec : Key.spec) =
+  let* cdfg = cdfg_of spec in
+  let* fc = Key.config_of_knobs spec.Key.knobs in
+  let fc =
+    {
+      fc with
+      FC.optimize = (spec.Key.opt = Key.Optimized);
+      faults = spec.Key.faults;
+    }
+  in
+  let cgra = Cgra_arch.Config.cgra spec.Key.config in
+  let* () =
+    (* Surface bad tile ids in the fault map as a request error before
+       mapping, exactly like [cgra_map map --faults]. *)
+    if spec.Key.faults = [] then Ok ()
+    else
+      match Cgra_arch.Cgra.degrade cgra spec.Key.faults with
+      | _ -> Ok ()
+      | exception Invalid_argument e -> Error ("fault map: " ^ e)
+  in
+  let opt_verify =
+    match (spec.Key.opt, bundled_kernel spec) with
+    | Key.Optimized, Some k ->
+      Some (Cgra_opt.Pipeline.verifier_of_mems [ K.fresh_mem k ])
+    | _ -> None
+  in
+  match Cgra_core.Flow.run ~config:fc ?opt_verify cgra cdfg with
+  | exception Cgra_opt.Pipeline.Verification_failed _ ->
+    Error "optimization pipeline failed differential verification"
+  | Error f -> Ok (Unmappable { reason = f.Cgra_core.Flow.reason })
+  | Ok (m, _stats) -> (
+    match Cgra_asm.Assemble.assemble m with
+    | exception Cgra_asm.Assemble.Assembly_error e ->
+      (* register-file pressure the search does not model — same
+         unmappable classification the Runner uses *)
+      Ok (Unmappable { reason = "assembly: " ^ e })
+    | prog -> (
+      let mem = fresh_mem spec in
+      match Cgra_sim.Simulator.run prog ~mem with
+      | exception Cgra_sim.Simulator.Sim_error e ->
+        Error
+          ("simulation failed: " ^ Cgra_sim.Simulator.error_to_string e)
+      | sim ->
+        let* () =
+          match bundled_kernel spec with
+          | Some k when mem <> K.run_golden k ->
+            Error
+              (Printf.sprintf
+                 "golden-model mismatch for kernel %s — tool bug, refusing \
+                  to cache"
+                 k.K.slug)
+          | _ -> Ok ()
+        in
+        let energy = Cgra_power.Energy.cgra cgra sim in
+        let bytes =
+          Artifact.render ~key_digest:(Key.digest spec) ~spec prog sim energy
+        in
+        Ok (Artifact { bytes; digest = Artifact.digest bytes })))

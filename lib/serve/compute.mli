@@ -1,0 +1,22 @@
+(** The one compute path behind every cache miss.
+
+    [cgra_mapd] workers, the [cgra_map remote] local fallback and the
+    [cgra_map map --emit] artifact writer all call {!run} on the same
+    {!Key.spec}, so a warm daemon, a cold daemon and a local build
+    produce byte-identical artifacts by construction: compile → optional
+    [cgra_opt] pipeline → map ([Cgra_core.Flow.run], degraded by the
+    spec's fault map) → assemble → cycle-level simulation (with golden
+    check for bundled kernels) → energy model → {!Artifact.render}. *)
+
+type outcome =
+  | Artifact of { bytes : string; digest : string }
+      (** [digest] is MD5 of [bytes] ({!Artifact.digest}) *)
+  | Unmappable of { reason : string }
+      (** the flow (or register allocation) found no mapping — a valid,
+          memoised negative answer *)
+
+val run : Key.spec -> (outcome, string) result
+(** [Error] is a request problem (source does not compile, bad knob,
+    invalid fault map for the array) or a tool bug surfaced as a typed
+    message (golden-model mismatch, simulator error) — never an escaped
+    exception. *)

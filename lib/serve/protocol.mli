@@ -1,0 +1,46 @@
+(** Typed request/response messages of the [cgra_mapd] protocol, and
+    their s-expression encodings ({!Wire}).
+
+    One request sexp per frame, one response sexp per frame.  A [map]
+    request carries the full {!Key.spec} (minus resolved bundled sources
+    — the daemon is the authority on its own kernel set), so any
+    artifact the determinism contract covers is addressable over the
+    wire; simulate- and repair-shaped workloads are the same request with
+    the appropriate knobs and fault map, because an artifact embeds its
+    simulation results.  *)
+
+type request =
+  | Ping
+  | Map of Key.spec
+  | Stats
+  | Clear  (** evict the on-disk store and the in-process caches *)
+  | Shutdown  (** drain in-flight requests, then exit *)
+
+type stats = {
+  hits : int;            (** served from the content-addressed store *)
+  misses : int;          (** required a compute (deduped flights count once) *)
+  unmappable : int;      (** negative answers returned *)
+  errors : int;          (** request errors returned *)
+  inflight : int;        (** computes queued or running right now *)
+  stored_entries : int;
+  stored_bytes : int;
+  hit_us_total : float;  (** summed service latency of hits, microseconds *)
+  miss_us_total : float; (** same for misses *)
+  uptime_s : float;
+}
+
+type response =
+  | Pong
+  | Artifact_r of { digest : string; cached : bool; bytes : string }
+      (** [digest] = MD5 of [bytes]; [cached] = served from the store
+          without recomputation *)
+  | Unmappable_r of { reason : string }
+  | Stats_r of stats
+  | Cleared of { evicted : int }
+  | Shutting_down
+  | Error_r of { reason : string }
+
+val request_to_sexp : request -> Wire.sexp
+val request_of_sexp : Wire.sexp -> (request, string) result
+val response_to_sexp : response -> Wire.sexp
+val response_of_sexp : Wire.sexp -> (response, string) result

@@ -1,0 +1,30 @@
+module Runner = Cgra_exp.Runner
+module K = Cgra_kernels.Kernel_def
+
+let opt_of_runner = function
+  | Runner.Default -> Key.Default
+  | Runner.Raw -> Key.Raw
+  | Runner.Optimized -> Key.Optimized
+
+let backend store : Runner.artifact_backend =
+ fun opt k config flow (r : Runner.run) ->
+  let spec =
+    {
+      Key.kernel = Key.Bundled { slug = k.K.slug; source = k.K.source };
+      config;
+      knobs = Key.knobs_of_config (Runner.cell_flow_config ~opt k.K.slug config flow);
+      opt = opt_of_runner opt;
+      faults = [];
+    }
+  in
+  let key_digest = Key.digest spec in
+  match Store.find store key_digest with
+  | Store.Hit _ -> ()
+  | Store.Miss | Store.Evicted_corrupt _ ->
+    let prog = Cgra_asm.Assemble.assemble r.Runner.mapping in
+    let bytes =
+      Artifact.render ~key_digest ~spec prog r.Runner.sim r.Runner.energy
+    in
+    Store.put store key_digest bytes
+
+let install store = Runner.set_artifact_backend (Some (backend store))

@@ -1,0 +1,13 @@
+(** Bridge from the experiment harness to the daemon's artifact store.
+
+    {!install} plugs a [Cgra_exp.Runner.artifact_backend] that, for every
+    cell the harness computes, rebuilds the cell's exact request key
+    (kernel source, configuration, the cell-keyed flow knobs including
+    its split seed, opt mode) and writes the serialized artifact into the
+    given {!Store} — so a bench warm-up and a running daemon populate and
+    share one content-addressed cache. *)
+
+val backend : Store.t -> Cgra_exp.Runner.artifact_backend
+
+val install : Store.t -> unit
+(** [Cgra_exp.Runner.set_artifact_backend (Some (backend store))]. *)

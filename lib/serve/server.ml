@@ -1,0 +1,341 @@
+module Clock = Cgra_util.Clock
+module Pool = Cgra_util.Pool
+module Memo = Cgra_exp.Runner.Memo
+
+type config = {
+  socket_path : string;
+  tcp_port : int option;
+  store_root : string option;
+  jobs : int option;
+  verbose : bool;
+}
+
+(* A request error raised inside a single-flight compute; cached by the
+   memo and re-raised to every waiter of the key, like any harness
+   failure. *)
+exception Request_error of string
+
+type t = {
+  cfg : config;
+  store : Store.t;
+  pool : Pool.Persistent.t;
+  flights : (string, Compute.outcome) Memo.t;
+  (* counters; the float accumulators live under [stats_mutex] *)
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  unmappable : int Atomic.t;
+  errors : int Atomic.t;
+  stats_mutex : Mutex.t;
+  mutable hit_us_total : float;
+  mutable miss_us_total : float;
+  started_at : float;
+  stop : bool Atomic.t;
+  client_counter : int Atomic.t;
+  conns : int Atomic.t;
+  conn_fds : (int, Unix.file_descr) Hashtbl.t;  (* client id -> fd *)
+  conn_mutex : Mutex.t;
+  mutable listeners : Unix.file_descr list;
+  mutable accept_threads : Thread.t list;
+}
+
+let log t fmt =
+  if t.cfg.verbose then Printf.eprintf ("cgra_mapd: " ^^ fmt ^^ "\n%!")
+  else Printf.ifprintf stderr fmt
+
+let store t = t.store
+let stopping t = Atomic.get t.stop
+
+(* ---- compute scheduling ----------------------------------------------- *)
+
+(* Run [f] on the pool (FIFO per client lane, round-robin across lanes)
+   and block this connection thread until it finishes.  During shutdown
+   the pool rejects new work; a drained request then computes inline —
+   it was accepted before the drain began, so it still gets an answer. *)
+let run_on_pool t ~lane f =
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  let result = ref None in
+  let job () =
+    let r =
+      match f () with
+      | v -> Ok v
+      | exception e -> Error (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock m;
+    result := Some r;
+    Condition.signal c;
+    Mutex.unlock m
+  in
+  if Pool.Persistent.submit t.pool ~lane job then begin
+    Mutex.lock m;
+    while (match !result with None -> true | Some _ -> false) do
+      Condition.wait c m
+    done;
+    Mutex.unlock m;
+    match Option.get !result with
+    | Ok v -> v
+    | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+  end
+  else f ()
+
+(* ---- request handling ------------------------------------------------- *)
+
+let add_latency t ~hit us =
+  Mutex.lock t.stats_mutex;
+  if hit then t.hit_us_total <- t.hit_us_total +. us
+  else t.miss_us_total <- t.miss_us_total +. us;
+  Mutex.unlock t.stats_mutex
+
+let snapshot_stats t =
+  Mutex.lock t.stats_mutex;
+  let hit_us_total = t.hit_us_total and miss_us_total = t.miss_us_total in
+  Mutex.unlock t.stats_mutex;
+  {
+    Protocol.hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    unmappable = Atomic.get t.unmappable;
+    errors = Atomic.get t.errors;
+    inflight = Pool.Persistent.inflight t.pool;
+    stored_entries = Store.entries t.store;
+    stored_bytes = Store.total_bytes t.store;
+    hit_us_total;
+    miss_us_total;
+    uptime_s = Clock.now () -. t.started_at;
+  }
+
+let handle_map t ~client spec =
+  let t0 = Clock.now () in
+  let key_digest = Key.digest spec in
+  let elapsed_us () = Clock.elapsed_s t0 *. 1e6 in
+  match Store.find t.store key_digest with
+  | Store.Hit bytes ->
+    Atomic.incr t.hits;
+    add_latency t ~hit:true (elapsed_us ());
+    log t "client %d: hit %s (%d bytes)" client key_digest
+      (String.length bytes);
+    Protocol.Artifact_r { digest = Artifact.digest bytes; cached = true; bytes }
+  | miss -> (
+    (match miss with
+    | Store.Evicted_corrupt reason ->
+      log t "client %d: evicted corrupt entry %s (%s)" client key_digest
+        reason
+    | _ -> ());
+    Atomic.incr t.misses;
+    match
+      Memo.get t.flights key_digest (fun () ->
+          run_on_pool t ~lane:client (fun () ->
+              match Compute.run spec with
+              | Ok outcome -> outcome
+              | Error e -> raise (Request_error e)))
+    with
+    | Compute.Artifact { bytes; digest } ->
+      Store.put t.store key_digest bytes;
+      add_latency t ~hit:false (elapsed_us ());
+      log t "client %d: computed %s (%d bytes, %.1f ms)" client key_digest
+        (String.length bytes)
+        (Clock.elapsed_s t0 *. 1e3);
+      Protocol.Artifact_r { digest; cached = false; bytes }
+    | Compute.Unmappable { reason } ->
+      Atomic.incr t.unmappable;
+      add_latency t ~hit:false (elapsed_us ());
+      log t "client %d: unmappable %s (%s)" client key_digest reason;
+      Protocol.Unmappable_r { reason }
+    | exception Request_error reason ->
+      Atomic.incr t.errors;
+      log t "client %d: request error %s (%s)" client key_digest reason;
+      Protocol.Error_r { reason }
+    | exception e ->
+      Atomic.incr t.errors;
+      let reason = Printexc.to_string e in
+      log t "client %d: internal error %s (%s)" client key_digest reason;
+      Protocol.Error_r { reason })
+
+(* Returns the response and whether the connection should keep reading. *)
+let handle_request t ~client = function
+  | Protocol.Ping -> (Protocol.Pong, true)
+  | Protocol.Stats -> (Protocol.Stats_r (snapshot_stats t), true)
+  | Protocol.Clear ->
+    (* the same code path the in-process harness uses: both the run
+       cache and the cross-request flights are generation-reset *)
+    Cgra_exp.Runner.clear_caches ();
+    Memo.reset t.flights;
+    let evicted = Store.clear t.store in
+    log t "client %d: cleared %d stored artifacts" client evicted;
+    (Protocol.Cleared { evicted }, true)
+  | Protocol.Shutdown ->
+    log t "client %d: shutdown requested" client;
+    (Protocol.Shutting_down, false)
+  | Protocol.Map spec -> (handle_map t ~client spec, true)
+
+(* ---- connections ------------------------------------------------------ *)
+
+let request_stop t = Atomic.set t.stop true
+
+let send_response fd resp =
+  match Wire.write_frame fd (Wire.to_string (Protocol.response_to_sexp resp)) with
+  | () -> true
+  | exception (Unix.Unix_error _ | Sys_error _) -> false
+
+let register_conn t client fd =
+  Mutex.lock t.conn_mutex;
+  Hashtbl.replace t.conn_fds client fd;
+  Mutex.unlock t.conn_mutex;
+  Atomic.incr t.conns
+
+let unregister_conn t client fd =
+  Mutex.lock t.conn_mutex;
+  Hashtbl.remove t.conn_fds client;
+  Mutex.unlock t.conn_mutex;
+  Atomic.decr t.conns;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let handle_conn t client fd =
+  register_conn t client fd;
+  Fun.protect
+    ~finally:(fun () -> unregister_conn t client fd)
+    (fun () ->
+      let rec loop () =
+        match Wire.read_frame fd with
+        | Error Wire.Eof -> ()
+        | Error (Wire.Truncated _) -> ()
+        | Error (Wire.Oversized _ as e) ->
+          (* stream position is undefined past an oversized prefix:
+             answer once, then drop the connection *)
+          ignore
+            (send_response fd
+               (Protocol.Error_r { reason = Wire.read_error_to_string e }))
+        | Ok payload -> (
+          let resp, continue =
+            match Wire.parse payload with
+            | Error e ->
+              (Protocol.Error_r { reason = "parse error: " ^ e }, true)
+            | Ok sexp -> (
+              match Protocol.request_of_sexp sexp with
+              | Error e -> (Protocol.Error_r { reason = e }, true)
+              | Ok req -> handle_request t ~client req)
+          in
+          let sent = send_response fd resp in
+          match resp with
+          | Protocol.Shutting_down -> request_stop t
+          | _ -> if sent && continue && not (Atomic.get t.stop) then loop ())
+      in
+      loop ())
+
+(* ---- listeners -------------------------------------------------------- *)
+
+let accept_loop t fd =
+  while not (Atomic.get t.stop) do
+    match Unix.select [ fd ] [] [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ -> (
+      match Unix.accept fd with
+      | cfd, _ ->
+        let client = Atomic.fetch_and_add t.client_counter 1 in
+        log t "client %d: connected" client;
+        ignore
+          (Thread.create
+             (fun () ->
+               try handle_conn t client cfd
+               with e ->
+                 Printf.eprintf "cgra_mapd: connection %d died: %s\n%!" client
+                   (Printexc.to_string e))
+             ())
+      | exception
+          Unix.Unix_error
+            ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
+        ->
+        ())
+  done;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let listen_unix path =
+  if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let listen_tcp port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 64;
+  fd
+
+let start cfg =
+  let store = Store.open_ ?root:cfg.store_root () in
+  Runner_backend.install store;
+  let t =
+    {
+      cfg;
+      store;
+      pool = Pool.Persistent.create ?jobs:cfg.jobs ();
+      flights = Memo.create 64;
+      hits = Atomic.make 0;
+      misses = Atomic.make 0;
+      unmappable = Atomic.make 0;
+      errors = Atomic.make 0;
+      stats_mutex = Mutex.create ();
+      hit_us_total = 0.0;
+      miss_us_total = 0.0;
+      started_at = Clock.now ();
+      stop = Atomic.make false;
+      client_counter = Atomic.make 0;
+      conns = Atomic.make 0;
+      conn_fds = Hashtbl.create 16;
+      conn_mutex = Mutex.create ();
+      listeners = [];
+      accept_threads = [];
+    }
+  in
+  let unix_fd = listen_unix cfg.socket_path in
+  let listeners =
+    unix_fd :: (match cfg.tcp_port with None -> [] | Some p -> [ listen_tcp p ])
+  in
+  t.listeners <- listeners;
+  t.accept_threads <-
+    List.map (fun fd -> Thread.create (fun () -> accept_loop t fd) ()) listeners;
+  log t "listening on %s%s (store %s, %d stored artifacts)" cfg.socket_path
+    (match cfg.tcp_port with
+    | None -> ""
+    | Some p -> Printf.sprintf " and 127.0.0.1:%d" p)
+    (Store.root store) (Store.entries store);
+  t
+
+let drain_grace_s = 10.0
+
+let wait t =
+  List.iter Thread.join t.accept_threads;
+  (* accept loops exited => [stop] is set; give open connections a
+     bounded grace to finish their in-flight request, then force-close
+     the stragglers so a parked idle client cannot wedge shutdown *)
+  let t0 = Clock.now () in
+  while Atomic.get t.conns > 0 && Clock.elapsed_s t0 < drain_grace_s do
+    Thread.delay 0.02
+  done;
+  Mutex.lock t.conn_mutex;
+  Hashtbl.iter
+    (fun _ fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    t.conn_fds;
+  Mutex.unlock t.conn_mutex;
+  let t0 = Clock.now () in
+  while Atomic.get t.conns > 0 && Clock.elapsed_s t0 < 2.0 do
+    Thread.delay 0.02
+  done;
+  Pool.Persistent.shutdown t.pool;
+  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
+  log t "shut down (hits %d, misses %d)" (Atomic.get t.hits)
+    (Atomic.get t.misses)
+
+let serve cfg =
+  let t = start cfg in
+  let stop_signal _ = request_stop t in
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_signal)
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal)
+   with Invalid_argument _ | Sys_error _ -> ());
+  (* a client vanishing mid-write must not kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  wait t

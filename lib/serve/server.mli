@@ -1,0 +1,52 @@
+(** The [cgra_mapd] daemon: a long-running mapping service.
+
+    Architecture (DESIGN.md §5f): one listener per endpoint (always a
+    Unix-domain socket, optionally loopback TCP) accepts connections on a
+    stop-aware select loop; each connection gets a lightweight handler
+    thread that decodes length-prefixed {!Wire} frames and serves
+    {!Protocol} requests.  A [map] request is keyed ({!Key.digest}),
+    looked up in the content-addressed {!Store} (hits return in
+    microseconds), and on a miss deduplicated across {e all} connections
+    through the same single-flight [Runner.Memo] discipline the
+    in-process harness uses, then computed on a persistent
+    [Cgra_util.Pool] domain pool with fair per-client FIFO queueing.
+    Artifacts are written back to the store, which verifies the recorded
+    digest on every read.
+
+    Shutdown — via the [shutdown] request or SIGTERM/SIGINT under
+    {!serve} — stops accepting, drains in-flight requests and queued
+    jobs, joins the workers and removes the socket file. *)
+
+type config = {
+  socket_path : string;        (** Unix-domain socket to listen on *)
+  tcp_port : int option;       (** also listen on 127.0.0.1:port *)
+  store_root : string option;  (** artifact store root (default
+                                   {!Store.default_root}) *)
+  jobs : int option;           (** compute worker domains (default
+                                   [Pool.default_jobs]) *)
+  verbose : bool;              (** log requests to stderr *)
+}
+
+type t
+
+val start : config -> t
+(** Bind the listeners, spawn the worker pool and accept threads, install
+    the {!Runner_backend} so harness-computed cells feed the same store.
+    Raises [Unix_error] if a listener cannot bind. *)
+
+val store : t -> Store.t
+
+val request_stop : t -> unit
+(** Begin graceful shutdown; idempotent, safe from a signal handler
+    context (sets a flag the accept loops poll). *)
+
+val stopping : t -> bool
+
+val wait : t -> unit
+(** Block until shutdown completes: accept threads joined, connections
+    drained (bounded grace, then force-closed), pool drained and joined,
+    socket unlinked. *)
+
+val serve : config -> unit
+(** [start], install SIGTERM/SIGINT handlers that {!request_stop}, then
+    {!wait} — the [cgra_mapd] main loop. *)

@@ -1,0 +1,131 @@
+type t = { root : string }
+
+let default_root () =
+  match Sys.getenv_opt "CGRA_MAPD_CACHE" with
+  | Some d when d <> "" -> d
+  | _ -> (
+    let join a b = Filename.concat a b in
+    match Sys.getenv_opt "XDG_CACHE_HOME" with
+    | Some d when d <> "" -> join d "cgra_mapd"
+    | _ ->
+      let home =
+        match Sys.getenv_opt "HOME" with Some h when h <> "" -> h | _ -> "."
+      in
+      join (join home ".cache") "cgra_mapd")
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_ ?root () =
+  let root = match root with Some r -> r | None -> default_root () in
+  mkdir_p root;
+  { root }
+
+let root t = t.root
+
+let valid_digest d =
+  String.length d = 32
+  && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) d
+
+let path_of t key_digest =
+  if not (valid_digest key_digest) then
+    invalid_arg ("Store: not an MD5 hex digest: " ^ key_digest);
+  Filename.concat
+    (Filename.concat t.root (String.sub key_digest 0 2))
+    (String.sub key_digest 2 30 ^ ".art")
+
+type found = Hit of string | Miss | Evicted_corrupt of string
+
+let header payload =
+  Printf.sprintf "cgra-store v1 %s %d\n"
+    (Digest.to_hex (Digest.string payload))
+    (String.length payload)
+
+(* Parse "cgra-store v1 <md5> <len>\n<payload>"; any mismatch is corrupt. *)
+let verify raw =
+  match String.index_opt raw '\n' with
+  | None -> Error "no header line"
+  | Some nl -> (
+    let hdr = String.sub raw 0 nl in
+    let payload = String.sub raw (nl + 1) (String.length raw - nl - 1) in
+    match String.split_on_char ' ' hdr with
+    | [ "cgra-store"; "v1"; md5; len ] ->
+      if int_of_string_opt len <> Some (String.length payload) then
+        Error
+          (Printf.sprintf "length mismatch: header %s, payload %d" len
+             (String.length payload))
+      else if not (valid_digest md5) then Error "malformed digest in header"
+      else if Digest.to_hex (Digest.string payload) <> md5 then
+        Error "payload digest mismatch"
+      else Ok payload
+    | _ -> Error "malformed header")
+
+let find t key_digest =
+  let path = path_of t key_digest in
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error _ -> Miss
+  | raw -> (
+    match verify raw with
+    | Ok payload -> Hit payload
+    | Error reason ->
+      (try Sys.remove path with Sys_error _ -> ());
+      Evicted_corrupt reason)
+
+(* Unique-enough temp names without randomness: pid + domain + counter. *)
+let tmp_counter = Atomic.make 0
+
+let put t key_digest bytes =
+  match find t key_digest with
+  | Hit _ -> ()
+  | Miss | Evicted_corrupt _ ->
+    let path = path_of t key_digest in
+    mkdir_p (Filename.dirname path);
+    let tmp =
+      Filename.concat t.root
+        (Printf.sprintf "tmp.%d.%d.%d" (Unix.getpid ())
+           (Domain.self () :> int)
+           (Atomic.fetch_and_add tmp_counter 1))
+    in
+    Out_channel.with_open_bin tmp (fun oc ->
+        Out_channel.output_string oc (header bytes);
+        Out_channel.output_string oc bytes);
+    Sys.rename tmp path
+
+let iter_entries t f =
+  if Sys.file_exists t.root then
+    Array.iter
+      (fun sub ->
+        let dir = Filename.concat t.root sub in
+        if String.length sub = 2 && Sys.is_directory dir then
+          Array.iter
+            (fun file ->
+              if Filename.check_suffix file ".art" then
+                f (Filename.concat dir file))
+            (Sys.readdir dir))
+      (Sys.readdir t.root)
+
+let entries t =
+  let n = ref 0 in
+  iter_entries t (fun _ -> incr n);
+  !n
+
+let total_bytes t =
+  let n = ref 0 in
+  iter_entries t (fun path ->
+      match Unix.stat path with
+      | { Unix.st_size; _ } -> n := !n + st_size
+      | exception Unix.Unix_error _ -> ());
+  !n
+
+let clear t =
+  let n = ref 0 in
+  iter_entries t (fun path ->
+      try
+        Sys.remove path;
+        incr n
+      with Sys_error _ -> ());
+  !n

@@ -1,0 +1,51 @@
+(** On-disk content-addressed artifact store under [~/.cache/cgra_mapd].
+
+    Layout: one file per key at [<root>/<d0d1>/<d2..>.art], where the
+    digits are the request-key MD5 ({!Key.digest}).  Each entry starts
+    with a one-line header recording the payload's own MD5 and length;
+    {!find} re-verifies both on every read and {e evicts} (unlinks) any
+    entry that fails — a corrupt cache can cost a recompute, never a
+    wrong artifact.
+
+    Writes are atomic (unique temp file + [rename] within the store
+    directory), so concurrent writers of the same key — N daemon workers,
+    or a daemon racing a bench run — leave exactly one valid entry and
+    readers never observe a partial file. *)
+
+type t
+
+val default_root : unit -> string
+(** [$CGRA_MAPD_CACHE] when set, else [$XDG_CACHE_HOME/cgra_mapd], else
+    [~/.cache/cgra_mapd]. *)
+
+val open_ : ?root:string -> unit -> t
+(** Open (creating directories as needed).  Raises [Sys_error]/[Unix_error]
+    if the root cannot be created. *)
+
+val root : t -> string
+
+type found =
+  | Hit of string            (** verified payload bytes *)
+  | Miss
+  | Evicted_corrupt of string
+      (** entry failed header/length/digest verification and was
+          removed; the reason is human-readable *)
+
+val find : t -> string -> found
+(** [find t key_digest].  Never raises on a malformed entry — corruption
+    is data, not control flow. *)
+
+val put : t -> string -> string -> unit
+(** [put t key_digest bytes] stores atomically; an existing valid entry
+    is left untouched (first writer wins — later writers of the same key
+    are producing identical bytes by the determinism contract). *)
+
+val entries : t -> int
+(** Stored artifact count (walks the tree). *)
+
+val total_bytes : t -> int
+(** Sum of stored file sizes. *)
+
+val clear : t -> int
+(** Remove every entry; returns how many were evicted.  The daemon's
+    [clear] admin request path. *)

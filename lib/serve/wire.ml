@@ -1,0 +1,207 @@
+type sexp = Atom of string | List of sexp list
+
+(* ---- rendering -------------------------------------------------------- *)
+
+let safe_atom_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+  | '-' | '_' | '+' | '.' | '/' | ':' | '@' | '=' | '*' | '%' | '#' | ','
+  | '<' | '>' | '!' | '?' | '~' | '^' | '&' | '$' | '[' | ']' | '{' | '}'
+  | '|' | '\'' ->
+    true
+  | _ -> false
+
+let needs_quoting s = s = "" || String.exists (fun c -> not (safe_atom_char c)) s
+
+let quote buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 32 || Char.code c >= 127 ->
+        Buffer.add_string buf (Printf.sprintf "\\x%02x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let to_string sexp =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Atom s -> if needs_quoting s then quote buf s else Buffer.add_string buf s
+    | List items ->
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ' ';
+          go item)
+        items;
+      Buffer.add_char buf ')'
+  in
+  go sexp;
+  Buffer.contents buf
+
+(* ---- parsing ---------------------------------------------------------- *)
+
+exception Parse_error of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "at byte %d: %s" !pos msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t' || s.[!pos] = '\n'
+                       || s.[!pos] = '\r') do
+      incr pos
+    done
+  in
+  let hex_digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail "bad hex digit in \\x escape"
+  in
+  let parse_quoted () =
+    incr pos (* opening quote *);
+    let buf = Buffer.create 32 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' ->
+          incr pos;
+          Buffer.contents buf
+        | '\\' ->
+          incr pos;
+          if !pos >= n then fail "unterminated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char buf '"'; incr pos
+          | '\\' -> Buffer.add_char buf '\\'; incr pos
+          | 'n' -> Buffer.add_char buf '\n'; incr pos
+          | 't' -> Buffer.add_char buf '\t'; incr pos
+          | 'r' -> Buffer.add_char buf '\r'; incr pos
+          | 'x' ->
+            if !pos + 2 >= n then fail "unterminated \\x escape";
+            let hi = hex_digit s.[!pos + 1] and lo = hex_digit s.[!pos + 2] in
+            Buffer.add_char buf (Char.chr ((hi * 16) + lo));
+            pos := !pos + 3
+          | c -> fail (Printf.sprintf "unknown escape \\%c" c));
+          go ()
+        | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+    in
+    go ()
+  in
+  let parse_bare () =
+    let start = !pos in
+    while !pos < n && safe_atom_char s.[!pos] do
+      incr pos
+    done;
+    String.sub s start (!pos - start)
+  in
+  let rec parse_sexp () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "expected a sexp, got end of input"
+    | Some '(' ->
+      incr pos;
+      let rec items acc =
+        skip_ws ();
+        match peek () with
+        | None -> fail "unterminated list"
+        | Some ')' ->
+          incr pos;
+          List (List.rev acc)
+        | Some _ -> items (parse_sexp () :: acc)
+      in
+      items []
+    | Some ')' -> fail "unexpected ')'"
+    | Some '"' -> Atom (parse_quoted ())
+    | Some c when safe_atom_char c -> Atom (parse_bare ())
+    | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  match
+    let v = parse_sexp () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage after sexp";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ---- framing ---------------------------------------------------------- *)
+
+let max_frame = 8 * 1024 * 1024
+
+type read_error =
+  | Eof
+  | Truncated of { wanted : int; got : int }
+  | Oversized of { length : int; limit : int }
+
+let read_error_to_string = function
+  | Eof -> "end of stream"
+  | Truncated { wanted; got } ->
+    Printf.sprintf "truncated frame: wanted %d bytes, got %d" wanted got
+  | Oversized { length; limit } ->
+    Printf.sprintf "oversized frame: %d bytes exceeds the %d-byte limit"
+      length limit
+
+(* [Unix.read] may return short; EINTR restarts. *)
+let really_read fd buf off len =
+  let got = ref 0 in
+  (try
+     while !got < len do
+       let r =
+         try Unix.read fd buf (off + !got) (len - !got)
+         with Unix.Unix_error (Unix.EINTR, _, _) -> -1
+       in
+       if r = 0 then raise Exit else if r > 0 then got := !got + r
+     done
+   with Exit -> ());
+  !got
+
+let read_frame fd =
+  let prefix = Bytes.create 4 in
+  match really_read fd prefix 0 4 with
+  | 0 -> Error Eof
+  | g when g < 4 -> Error (Truncated { wanted = 4; got = g })
+  | _ ->
+    let length = Int32.to_int (Bytes.get_int32_be prefix 0) in
+    if length < 0 || length > max_frame then
+      Error (Oversized { length; limit = max_frame })
+    else begin
+      let payload = Bytes.create length in
+      let got = really_read fd payload 0 length in
+      if got < length then Error (Truncated { wanted = length; got })
+      else Ok (Bytes.unsafe_to_string payload)
+    end
+
+let frame_bytes payload =
+  let len = String.length payload in
+  if len > max_frame then
+    invalid_arg
+      (Printf.sprintf "Wire.frame_bytes: payload of %d bytes exceeds max_frame"
+         len);
+  let b = Bytes.create (4 + len) in
+  Bytes.set_int32_be b 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 b 4 len;
+  Bytes.unsafe_to_string b
+
+let write_frame fd payload =
+  let data = frame_bytes payload in
+  let len = String.length data in
+  let sent = ref 0 in
+  while !sent < len do
+    let w =
+      try Unix.write_substring fd data !sent (len - !sent)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    sent := !sent + w
+  done

@@ -1,0 +1,54 @@
+(** Wire format of the [cgra_mapd] protocol: s-expressions in
+    length-prefixed frames.
+
+    A frame is a 4-byte big-endian payload length followed by the payload
+    bytes; the payload of every protocol message is the rendering of one
+    {!sexp}.  Frames larger than {!max_frame} are rejected with a typed
+    error on both ends — a malformed or hostile peer cannot make the
+    daemon allocate unbounded buffers.
+
+    The codec is total over arbitrary byte strings: any atom — including
+    artifact bytes with newlines, parens or control characters — prints
+    to a quoted, escaped form that parses back to the identical string
+    ({!parse} ∘ {!to_string} = identity, enforced by a qcheck property in
+    the test suite). *)
+
+type sexp = Atom of string | List of sexp list
+
+val to_string : sexp -> string
+(** Canonical single-line rendering.  Atoms are printed bare when they
+    consist only of safe graphic characters, quoted-and-escaped
+    otherwise; the rendering of a given sexp is unique, so digests over
+    renderings are stable. *)
+
+val parse : string -> (sexp, string) result
+(** Parse exactly one sexp (surrounding whitespace allowed); trailing
+    garbage, unterminated lists/strings and bad escapes are errors. *)
+
+(** {1 Framing} *)
+
+val max_frame : int
+(** Upper bound on payload bytes per frame (8 MiB). *)
+
+type read_error =
+  | Eof  (** clean end-of-stream before any prefix byte *)
+  | Truncated of { wanted : int; got : int }
+      (** stream ended mid-prefix or mid-payload *)
+  | Oversized of { length : int; limit : int }
+      (** prefix announced more than {!max_frame} bytes *)
+
+val read_error_to_string : read_error -> string
+
+val read_frame : Unix.file_descr -> (string, read_error) result
+(** Blocking read of one frame's payload.  After [Oversized] the stream
+    position is undefined — close the connection. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one frame (prefix + payload), handling short writes.  Raises
+    [Invalid_argument] if the payload exceeds {!max_frame}, [Unix_error]
+    on a dead peer. *)
+
+val frame_bytes : string -> string
+(** [frame_bytes payload] is the exact byte sequence {!write_frame}
+    sends — the length prefix followed by the payload.  Exposed so tests
+    can craft boundary-case streams by hand. *)

@@ -41,3 +41,116 @@ let map ?jobs f xs =
   end
 
 let iter ?jobs f xs = ignore (map ?jobs f xs)
+
+(* ---- persistent pool with fair per-lane FIFO queueing ----------------- *)
+
+module Persistent = struct
+  (* Jobs are opaque thunks; completion signalling is the submitter's
+     business (the serve scheduler wraps jobs with a condition variable).
+     Fairness: each lane (one per client) owns a FIFO queue, and lanes
+     with pending work rotate through [rr]; a worker takes ONE job from
+     the front lane, then sends the lane to the back of the rotation, so
+     a client that enqueues a burst cannot starve the others. *)
+  type t = {
+    mutex : Mutex.t;
+    work : Condition.t;        (* signalled when a job or stop arrives *)
+    idle : Condition.t;        (* signalled when a job finishes *)
+    lanes : (int, (unit -> unit) Queue.t) Hashtbl.t;
+    rr : int Queue.t;          (* lanes with pending jobs, rotation order *)
+    mutable queued : int;
+    mutable running : int;
+    mutable stop : bool;
+    mutable workers : unit Domain.t array;
+  }
+
+  let next_job p =
+    match Queue.take_opt p.rr with
+    | None -> None
+    | Some lane ->
+      let q = Hashtbl.find p.lanes lane in
+      let job = Queue.take q in
+      if Queue.is_empty q then Hashtbl.remove p.lanes lane
+      else Queue.add lane p.rr;
+      p.queued <- p.queued - 1;
+      Some job
+
+  let worker p () =
+    Mutex.lock p.mutex;
+    let rec take () =
+      match next_job p with
+      | Some job ->
+        p.running <- p.running + 1;
+        Mutex.unlock p.mutex;
+        (try job () with _ -> ());
+        Mutex.lock p.mutex;
+        p.running <- p.running - 1;
+        Condition.broadcast p.idle;
+        take ()
+      | None ->
+        if p.stop then Mutex.unlock p.mutex
+        else begin
+          Condition.wait p.work p.mutex;
+          take ()
+        end
+    in
+    take ()
+
+  let create ?jobs () =
+    let jobs =
+      match jobs with Some j -> max 1 j | None -> default_jobs ()
+    in
+    let p =
+      {
+        mutex = Mutex.create ();
+        work = Condition.create ();
+        idle = Condition.create ();
+        lanes = Hashtbl.create 8;
+        rr = Queue.create ();
+        queued = 0;
+        running = 0;
+        stop = false;
+        workers = [||];
+      }
+    in
+    p.workers <- Array.init jobs (fun _ -> Domain.spawn (worker p));
+    p
+
+  let submit p ~lane job =
+    Mutex.lock p.mutex;
+    if p.stop then begin
+      Mutex.unlock p.mutex;
+      false
+    end
+    else begin
+      (match Hashtbl.find_opt p.lanes lane with
+      | Some q -> Queue.add job q
+      | None ->
+        let q = Queue.create () in
+        Queue.add job q;
+        Hashtbl.replace p.lanes lane q;
+        Queue.add lane p.rr);
+      p.queued <- p.queued + 1;
+      Condition.signal p.work;
+      Mutex.unlock p.mutex;
+      true
+    end
+
+  let inflight p =
+    Mutex.lock p.mutex;
+    let n = p.queued + p.running in
+    Mutex.unlock p.mutex;
+    n
+
+  let shutdown p =
+    Mutex.lock p.mutex;
+    p.stop <- true;
+    (* Drain: workers keep taking queued jobs after [stop]; they only
+       exit once the rotation is empty. *)
+    while p.queued + p.running > 0 do
+      Condition.broadcast p.work;
+      Condition.wait p.idle p.mutex
+    done;
+    Condition.broadcast p.work;
+    Mutex.unlock p.mutex;
+    Array.iter Domain.join p.workers
+end

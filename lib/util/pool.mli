@@ -30,3 +30,31 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 
 val iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit
 (** [iter ~jobs f xs] is [map ~jobs f xs] with unit results. *)
+
+(** Long-lived worker pool with fair FIFO queueing per lane — the compute
+    scheduler under the [cgra_mapd] daemon.  Unlike {!map}, which exists
+    for one batch and joins, a persistent pool accepts jobs for its whole
+    lifetime; each lane (one per connected client) is a FIFO queue, and
+    lanes with pending work are served round-robin, one job at a time, so
+    a client that submits a burst cannot starve the others. *)
+module Persistent : sig
+  type t
+
+  val create : ?jobs:int -> unit -> t
+  (** Spawn [jobs] worker domains (default {!default_jobs}, clamped to
+      >= 1). *)
+
+  val submit : t -> lane:int -> (unit -> unit) -> bool
+  (** Enqueue a job on [lane]'s FIFO; returns [false] (job not accepted)
+      after {!shutdown} began.  Jobs must handle their own errors —
+      an exception escaping a job is swallowed, not rethrown (the serve
+      scheduler converts them to responses before they get here). *)
+
+  val inflight : t -> int
+  (** Queued plus currently-running jobs. *)
+
+  val shutdown : t -> unit
+  (** Reject new submissions, drain every queued and running job, join
+      the workers.  Blocks until the pool is empty — the daemon's
+      graceful SIGTERM path. *)
+end

@@ -102,6 +102,113 @@ let test_cache_failure_not_poisoning () =
   Alcotest.(check int) "storm claimed exactly once" 1
     (Runner.Memo.computed storm)
 
+(* A reset must not let a compute that was claimed *before* the reset
+   publish its (now stale) result *after* it: the cleared cache would
+   silently revive a value — or worse, a poisoned [Failed] slot — that
+   the caller of [clear_caches] asked to forget. *)
+let test_reset_discards_stale_publish () =
+  let memo : (int, int) Runner.Memo.t = Runner.Memo.create 4 in
+  let started = Atomic.make false and release = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Runner.Memo.get memo 1 (fun () ->
+            Atomic.set started true;
+            while not (Atomic.get release) do
+              Domain.cpu_relax ()
+            done;
+            111))
+  in
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  Runner.Memo.reset memo;
+  Alcotest.(check int) "post-reset compute wins" 222
+    (Runner.Memo.get memo 1 (fun () -> 222));
+  Atomic.set release true;
+  Alcotest.(check int) "pre-reset caller still gets its own value" 111
+    (Domain.join d);
+  Alcotest.(check int) "stale publish was discarded" 222
+    (Runner.Memo.get memo 1 (fun () -> 333));
+  (* same discipline for a stale *failure*: it must not poison the
+     post-reset slot *)
+  let memo2 : (int, int) Runner.Memo.t = Runner.Memo.create 4 in
+  let started2 = Atomic.make false and release2 = Atomic.make false in
+  let d2 =
+    Domain.spawn (fun () ->
+        match
+          Runner.Memo.get memo2 1 (fun () ->
+              Atomic.set started2 true;
+              while not (Atomic.get release2) do
+                Domain.cpu_relax ()
+              done;
+              failwith "stale failure")
+        with
+        | (_ : int) -> "returned"
+        | exception Failure m -> m)
+  in
+  while not (Atomic.get started2) do
+    Domain.cpu_relax ()
+  done;
+  Runner.Memo.reset memo2;
+  Atomic.set release2 true;
+  Alcotest.(check string) "pre-reset caller sees its own failure"
+    "stale failure" (Domain.join d2);
+  Alcotest.(check int) "stale failure does not poison the fresh cache" 42
+    (Runner.Memo.get memo2 1 (fun () -> 42))
+
+(* ---- persistent pool -------------------------------------------------- *)
+
+(* One worker, two client lanes: jobs enqueued all-of-A-then-all-of-B
+   must still execute A1 B1 A2 B2 ... — fair round-robin, not FIFO of
+   arrival. *)
+let test_persistent_pool_fairness () =
+  let p = Pool.Persistent.create ~jobs:1 () in
+  let gate = Atomic.make false and blocker_started = Atomic.make false in
+  let order = ref [] in
+  let order_m = Mutex.create () in
+  let record tag () =
+    Mutex.lock order_m;
+    order := tag :: !order;
+    Mutex.unlock order_m
+  in
+  (* occupy the single worker so the lane queues build up *)
+  Alcotest.(check bool) "blocker accepted" true
+    (Pool.Persistent.submit p ~lane:99 (fun () ->
+         Atomic.set blocker_started true;
+         while not (Atomic.get gate) do
+           Domain.cpu_relax ()
+         done));
+  while not (Atomic.get blocker_started) do
+    Domain.cpu_relax ()
+  done;
+  for i = 1 to 3 do
+    ignore (Pool.Persistent.submit p ~lane:1 (record (Printf.sprintf "A%d" i)))
+  done;
+  for i = 1 to 3 do
+    ignore (Pool.Persistent.submit p ~lane:2 (record (Printf.sprintf "B%d" i)))
+  done;
+  Alcotest.(check int) "six jobs queued behind the blocker" 7
+    (Pool.Persistent.inflight p);
+  Atomic.set gate true;
+  Pool.Persistent.shutdown p;
+  Alcotest.(check (list string)) "round-robin across lanes"
+    [ "A1"; "B1"; "A2"; "B2"; "A3"; "B3" ]
+    (List.rev !order);
+  Alcotest.(check bool) "submit after shutdown is refused" false
+    (Pool.Persistent.submit p ~lane:0 (fun () -> ()))
+
+let test_persistent_pool_drains () =
+  let p = Pool.Persistent.create ~jobs:4 () in
+  let hits = Atomic.make 0 in
+  for _ = 1 to 100 do
+    ignore (Pool.Persistent.submit p ~lane:(Atomic.get hits mod 5) (fun () ->
+        Atomic.incr hits))
+  done;
+  Pool.Persistent.shutdown p;
+  Alcotest.(check int) "every accepted job ran before shutdown returned" 100
+    (Atomic.get hits);
+  Alcotest.(check int) "nothing left inflight" 0 (Pool.Persistent.inflight p)
+
 (* ---- jobs invariance -------------------------------------------------- *)
 
 (* The full-artifact check lives in the bench driver (bench/main.exe all
@@ -228,6 +335,12 @@ let suite =
           test_cache_failure_not_poisoning;
         Alcotest.test_case "clear_caches resets compute count" `Quick
           test_clear_resets_compute_count;
+        Alcotest.test_case "reset discards stale publishes" `Quick
+          test_reset_discards_stale_publish;
+        Alcotest.test_case "persistent pool is lane-fair" `Quick
+          test_persistent_pool_fairness;
+        Alcotest.test_case "persistent pool drains on shutdown" `Quick
+          test_persistent_pool_drains;
         Alcotest.test_case "cell reproducible in isolation" `Quick
           test_cell_reproducible_in_isolation;
         Alcotest.test_case "expand_jobs invariant" `Slow
