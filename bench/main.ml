@@ -25,6 +25,11 @@
    --faults N sets how many random permanent faults each repair_report
    trial injects (default 2); must be positive.
 
+   --quick shrinks the optimality_report grid (two kernels, HOM64 and
+   HOM32) so CI can smoke the exact SAT backend without paying for the
+   full kernel x configuration sweep.  Quick and full tables are each
+   deterministic, but differ from each other.
+
    --mode full|incremental selects the repair_report remap strategy:
    full re-searches the whole kernel on every repair (default);
    incremental reuses every block the diagnosed faults do not touch and
@@ -458,39 +463,40 @@ let parse_flags args =
       Printf.eprintf "invalid %s value %S (expected full|incremental)\n" flag n;
       exit 1
   in
-  let rec go jobs opt trials faults mode acc = function
-    | [] -> (jobs, opt, trials, faults, mode, List.rev acc)
+  let rec go jobs opt trials faults mode quick acc = function
+    | [] -> (jobs, opt, trials, faults, mode, quick, List.rev acc)
     | ("--jobs" | "-j") :: n :: rest ->
-      go (Some (parse "--jobs" n)) opt trials faults mode acc rest
+      go (Some (parse "--jobs" n)) opt trials faults mode quick acc rest
     | [ ("--jobs" | "-j") ] -> bad "--jobs" "<missing>"
     | arg :: rest when starts_with "--jobs=" arg ->
       let n = String.sub arg 7 (String.length arg - 7) in
-      go (Some (parse "--jobs" n)) opt trials faults mode acc rest
+      go (Some (parse "--jobs" n)) opt trials faults mode quick acc rest
     | "--trials" :: n :: rest ->
-      go jobs opt (Some (positive "--trials" n)) faults mode acc rest
+      go jobs opt (Some (positive "--trials" n)) faults mode quick acc rest
     | [ "--trials" ] -> bad "--trials" "<missing>"
     | arg :: rest when starts_with "--trials=" arg ->
       let n = String.sub arg 9 (String.length arg - 9) in
-      go jobs opt (Some (positive "--trials" n)) faults mode acc rest
+      go jobs opt (Some (positive "--trials" n)) faults mode quick acc rest
     | "--faults" :: n :: rest ->
-      go jobs opt trials (Some (positive "--faults" n)) mode acc rest
+      go jobs opt trials (Some (positive "--faults" n)) mode quick acc rest
     | [ "--faults" ] -> bad "--faults" "<missing>"
     | arg :: rest when starts_with "--faults=" arg ->
       let n = String.sub arg 9 (String.length arg - 9) in
-      go jobs opt trials (Some (positive "--faults" n)) mode acc rest
+      go jobs opt trials (Some (positive "--faults" n)) mode quick acc rest
     | "--mode" :: n :: rest ->
-      go jobs opt trials faults (Some (repair_mode "--mode" n)) acc rest
+      go jobs opt trials faults (Some (repair_mode "--mode" n)) quick acc rest
     | [ "--mode" ] -> bad "--mode" "<missing>"
     | arg :: rest when starts_with "--mode=" arg ->
       let n = String.sub arg 7 (String.length arg - 7) in
-      go jobs opt trials faults (Some (repair_mode "--mode" n)) acc rest
-    | "--opt" :: rest -> go jobs true trials faults mode acc rest
-    | arg :: rest -> go jobs opt trials faults mode (arg :: acc) rest
+      go jobs opt trials faults (Some (repair_mode "--mode" n)) quick acc rest
+    | "--opt" :: rest -> go jobs true trials faults mode quick acc rest
+    | "--quick" :: rest -> go jobs opt trials faults mode true acc rest
+    | arg :: rest -> go jobs opt trials faults mode quick (arg :: acc) rest
   in
-  go None false None None None [] args
+  go None false None None None false [] args
 
 let () =
-  let jobs, opt, trials, faults, mode, rest =
+  let jobs, opt, trials, faults, mode, quick, rest =
     parse_flags (List.tl (Array.to_list Sys.argv))
   in
   if opt then Cgra_exp.Runner.set_opt_mode Cgra_exp.Runner.Optimized;
@@ -498,6 +504,7 @@ let () =
   Option.iter Cgra_exp.Figures.set_repair_trials trials;
   Option.iter Cgra_exp.Figures.set_repair_faults faults;
   Option.iter Cgra_exp.Figures.set_repair_mode mode;
+  if quick then Cgra_exp.Figures.set_optimality_quick true;
   let warm () = Cgra_exp.Runner.warm ?jobs () in
   match rest with
   | [] ->

@@ -152,6 +152,23 @@ let map_cmd =
                    key."
              ~docv:"FILE")
   in
+  let backend =
+    let backend_conv =
+      Arg.enum
+        [ ("beam", Cgra_core.Flow_config.Beam);
+          ("exact", Cgra_core.Flow_config.Exact);
+          ("portfolio", Cgra_core.Flow_config.Portfolio) ]
+    in
+    Arg.(value & opt backend_conv Cgra_core.Flow_config.Beam
+         & info [ "backend" ]
+             ~doc:"Mapping backend: $(b,beam) (the stochastic beam search), \
+                   $(b,exact) (the CDCL SAT backend — provably minimal \
+                   schedule length per block, or a proof the block is \
+                   unmappable under the encoding), or $(b,portfolio) (race \
+                   both and keep the better-by-cost result; ties favour the \
+                   beam)."
+             ~docv:"NAME")
+  in
   let dump_asm = Arg.(value & flag & info [ "asm" ] ~doc:"Print the per-tile assembly.") in
   let schedule = Arg.(value & flag & info [ "schedule" ] ~doc:"Print per-block schedule grids.") in
   let simulate = Arg.(value & flag & info [ "simulate" ] ~doc:"Run the cycle-level simulator and verify.") in
@@ -211,7 +228,7 @@ let map_cmd =
     write_file_or_die ~what:"--trace" file (Buffer.contents buf)
   in
   let run slug config flow opt jobs validate degrade max_attempts faults_file
-      trace dump_dfg emit dump_asm schedule simulate =
+      trace dump_dfg emit dump_asm schedule simulate backend =
     match Cgra_kernels.Kernels.by_slug slug with
     | None ->
       Printf.eprintf "unknown kernel %s (try: cgra_map list)\n" slug;
@@ -235,7 +252,8 @@ let map_cmd =
       let flow =
         { flow with
           Cgra_core.Flow_config.optimize = opt; expand_jobs = max 1 jobs;
-          validate; degrade; max_attempts = max 1 max_attempts; faults }
+          validate; degrade; max_attempts = max 1 max_attempts; faults;
+          backend }
       in
       let opt_verify =
         if opt then
@@ -336,7 +354,7 @@ let map_cmd =
   Cmd.v (Cmd.info "map" ~doc)
     Term.(const run $ kernel $ config $ flow $ opt $ jobs $ validate $ degrade
           $ max_attempts $ faults_file $ trace $ dump_dfg $ emit $ dump_asm
-          $ schedule $ simulate)
+          $ schedule $ simulate $ backend)
 
 let fault_cmd =
   let doc =

@@ -53,6 +53,12 @@ let run socket tcp_port store_root jobs verbose =
       { Serve.Server.socket_path; tcp_port; store_root; jobs; verbose }
   with
   | () -> ()
+  | exception Serve.Server.Address_in_use { path } ->
+    Printf.eprintf
+      "cgra_mapd: %s: address in use (a live daemon answered on this \
+       socket; stop it or pick another --socket)\n"
+      path;
+    exit 1
   | exception Unix.Unix_error (err, fn, arg) ->
     Printf.eprintf "cgra_mapd: %s %s: %s\n" fn arg (Unix.error_message err);
     exit 1

@@ -48,8 +48,12 @@ let to_string = function
                   [11:5] neighbour tile (up to 128 tiles), [4:0] slot *)
 
 let opcode_index op =
+  (* Total: an opcode missing from [Opcode.all] encodes as the
+     reserved index 63, which [decode] rejects as a bad opcode — a
+     typed error instead of an [Assert_failure] inside a fault
+     campaign. *)
   let rec find i = function
-    | [] -> assert false
+    | [] -> 0x3F
     | o :: tl -> if o = op then i else find (i + 1) tl
   in
   find 0 Cgra_ir.Opcode.all
@@ -119,7 +123,9 @@ let decode w =
       (Icopy
          { src = src_of_bits (field w 48 14); dst = field w 40 8;
            set_cond = field w 39 1 = 1 })
-  | 3 ->
+  | _ ->
+    (* kind = 3 — the two-bit field admits nothing else, so this arm
+       is the total catch-all rather than an [assert false] a stray
+       bit pattern could ever reach. *)
     let n = field w 0 32 in
     if n < 1 then Error "Isa.decode: pnop length < 1" else Ok (Ipnop n)
-  | _ -> assert false

@@ -166,12 +166,73 @@ let run_once ~t0 ~work ~retries_used ~config ~opt_report ~routes ?base cgra
       let recomputes = ref 0 in
       let peak = ref 1 in
       let block_stats = ref [] in
-      let rec map_blocks acc = function
+      (* Spread-retry budgets (exact backend, second pass only): cap the
+         block's own context words per tile at its proportional share of
+         the remaining free capacity, so early blocks leave headroom
+         instead of clustering on the solver's favourite tiles.  The
+         share is a heuristic — when a block genuinely needs more than
+         its share the budgeted solve fails and the block retries
+         unbudgeted (greedy), exactly like the first pass. *)
+      let spread_budget bi rest =
+        let weight b =
+          Array.length cdfg.Cdfg.blocks.(b).Cdfg.nodes + 1
+        in
+        let w = weight bi in
+        let rest_w = List.fold_left (fun a b -> a + weight b) 0 rest in
+        if rest_w = 0 then None
+        else
+          Some
+            (Array.init nt (fun t ->
+                 let free =
+                   cgra.Cgra.tiles.(t).Cgra.cm_words - committed.(t)
+                 in
+                 if free <= 0 then 0
+                 else ((free * w) + w + rest_w - 1) / (w + rest_w)))
+      in
+      (* Future-write counts for the spread pass: how many of the
+         still-unmapped blocks write each symbol — the exact backend
+         reserves that many context words on the symbol's home tile. *)
+      let future_writes rest =
+        let fw = Array.make (Array.length homes) 0 in
+        List.iter
+          (fun b ->
+            List.iter
+              (fun (s, _) -> fw.(s) <- fw.(s) + 1)
+              cdfg.Cdfg.blocks.(b).Cdfg.live_out)
+          rest;
+        fw
+      in
+      let rec map_blocks ~spread acc = function
         | [] -> Ok (List.rev acc)
         | bi :: rest -> (
           match
-            Search.map_block ~routes ~config ~cgra ~committed ~homes ~rng
-              ~work cdfg bi
+            match config.Flow_config.backend with
+            | Flow_config.Exact -> (
+              if not spread then
+                Exact.map_block ~config ~cgra ~committed ~homes ~work cdfg bi
+              else
+                let future = future_writes rest in
+                match spread_budget bi rest with
+                | None ->
+                  Exact.map_block ~future ~config ~cgra ~committed ~homes
+                    ~work cdfg bi
+                | Some budget -> (
+                  match
+                    Exact.map_block ~budget ~future ~config ~cgra ~committed
+                      ~homes ~work cdfg bi
+                  with
+                  | Ok _ as ok -> ok
+                  | Error _ ->
+                    (* The share was too tight for this block: fall back
+                       to its full remaining capacity (reserves kept)
+                       and keep going. *)
+                    Exact.map_block ~future ~config ~cgra ~committed ~homes
+                      ~work cdfg bi))
+            | Flow_config.Beam | Flow_config.Portfolio ->
+              (* [Portfolio] is resolved in [drive]; a portfolio config
+                 reaching a single run maps with the beam. *)
+              Search.map_block ~routes ~config ~cgra ~committed ~homes ~rng
+                ~work cdfg bi
           with
           | exception Cgra_graph.Digraph.Cycle ids ->
             (* A cyclic per-block DFG that slipped past validation (e.g. a
@@ -202,9 +263,35 @@ let run_once ~t0 ~work ~retries_used ~config ~opt_report ~routes ?base cgra
               block_stats := bs :: !block_stats;
               recomputes := !recomputes + bs.Search.recomputes;
               peak := max !peak bs.Search.population_peak;
-              map_blocks (outcome.Search.bb_mapping :: acc) rest))
+              map_blocks ~spread (outcome.Search.bb_mapping :: acc) rest))
       in
-      match map_blocks [] order with
+      let committed0 = Array.copy committed in
+      let homes0 = Array.copy homes in
+      let has_sub s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      let mapped =
+        match map_blocks ~spread:false [] order with
+        | Ok _ as ok -> ok
+        | Error f
+          when config.Flow_config.backend = Flow_config.Exact
+               && not (has_sub f.reason "proved UNSAT") -> (
+          (* Greedy pass dead-ended on the committed context (not a
+             kernel-level UNSAT proof, which no retry can beat): one
+             deterministic second pass with spread budgets. *)
+          Array.blit committed0 0 committed 0 (Array.length committed);
+          Array.blit homes0 0 homes 0 (Array.length homes);
+          block_stats := [];
+          recomputes := 0;
+          peak := 1;
+          match map_blocks ~spread:true [] order with
+          | Ok _ as ok -> ok
+          | Error _ -> Error f (* the first failure stays canonical *))
+        | Error _ as e -> e
+      in
+      match mapped with
       | Error f -> Error f
       | Ok bbs_in_order ->
         let bbs =
@@ -315,7 +402,7 @@ let validated ~config ~work = function
 (* Shared retry / graceful-degradation driver over [run_once].  The route
    table depends only on the (already degraded) array, so it is interned
    here once and reused by every attempt and every block. *)
-let drive ~t0 ~work ~config ~opt_report ?base cgra cdfg =
+let drive_single ~t0 ~work ~config ~opt_report ?base cgra cdfg =
   let routes = Search.build_routes cgra in
   let result =
     if not config.Flow_config.degrade then
@@ -377,6 +464,70 @@ let drive ~t0 ~work ~config ~opt_report ?base cgra cdfg =
     end
   in
   validated ~config ~work result
+
+(* The portfolio race: run the beam flow (ladder and all) and the
+   exact flow over the same inputs on the domain pool and keep the
+   better-by-cost feasible result.  Both sides always run to
+   completion — cancelling the loser early would make the winner (and
+   the deterministic [work] total) depend on relative machine speed,
+   breaking byte-identical artifacts — and the cost comparison uses
+   the beam's own objective (schedule length weighted at 256 per
+   block, plus [move_weight] per routing move), with ties to the
+   beam, so a portfolio artifact is never worse than the beam's. *)
+let drive ~t0 ~work ~config ~opt_report ?base cgra cdfg =
+  match config.Flow_config.backend with
+  | Flow_config.Beam | Flow_config.Exact ->
+    drive_single ~t0 ~work ~config ~opt_report ?base cgra cdfg
+  | Flow_config.Portfolio -> (
+    let beam_cfg = { config with Flow_config.backend = Flow_config.Beam } in
+    (* The exact side is deterministic: reseeded retries and the
+       escalation ladder cannot change its outcome, so it runs once. *)
+    let exact_cfg =
+      {
+        config with
+        Flow_config.backend = Flow_config.Exact;
+        retries = 0;
+        degrade = false;
+      }
+    in
+    let results =
+      Cgra_util.Pool.map ~jobs:2
+        (fun cfg ->
+          let w = ref 0 in
+          let r = drive_single ~t0 ~work:w ~config:cfg ~opt_report ?base cgra cdfg in
+          (r, !w))
+        [ beam_cfg; exact_cfg ]
+    in
+    match results with
+    | [ (beam_r, beam_w); (exact_r, exact_w) ] -> (
+      work := !work + beam_w + exact_w;
+      let cost (m, _stats) =
+        Array.fold_left
+          (fun acc bm -> acc + (256 * bm.Mapping.length))
+          0 m.Mapping.bbs
+        + (config.Flow_config.move_weight * Mapping.total_moves m)
+      in
+      let finish (m, s) =
+        (* Relabel with the portfolio's own step label and fold both
+           branches' effort into the telemetry. *)
+        Ok
+          ( { m with Mapping.flow_label = Flow_config.steps_of config },
+            { s with work = !work } )
+      in
+      match (beam_r, exact_r) with
+      | Ok b, Ok e -> if cost e < cost b then finish e else finish b
+      | Ok b, Error _ -> finish b
+      | Error _, Ok e -> finish e
+      | Error bf, Error ef ->
+        Error
+          {
+            bf with
+            reason =
+              Printf.sprintf "portfolio: both backends failed — beam: %s | exact: %s"
+                bf.reason ef.reason;
+            work = !work;
+          })
+    | _ -> assert false)
 
 let run ?(config = Flow_config.default) ?opt_verify cgra cdfg =
   let t0 = Cgra_util.Clock.now () in

@@ -1,4 +1,5 @@
 type traversal = Forward | Weighted
+type backend = Beam | Exact | Portfolio
 
 type t = {
   traversal : traversal;
@@ -21,6 +22,7 @@ type t = {
   degrade : bool;
   max_attempts : int;
   faults : Cgra_arch.Cgra.fault list;
+  backend : backend;
 }
 
 let default =
@@ -45,6 +47,7 @@ let default =
     degrade = false;
     max_attempts = 6;
     faults = [];
+    backend = Beam;
   }
 
 let basic = default
@@ -79,3 +82,16 @@ let steps_of t =
   let add cond label acc = if cond then acc ^ "+" ^ label else acc in
   base |> add t.acmap "ACMAP" |> add t.ecmap "ECMAP" |> add t.cab "CAB"
   |> add t.optimize "OPT"
+  |> add (t.backend = Exact) "SAT"
+  |> add (t.backend = Portfolio) "PORT"
+
+let backend_to_string = function
+  | Beam -> "beam"
+  | Exact -> "exact"
+  | Portfolio -> "portfolio"
+
+let backend_of_string = function
+  | "beam" -> Some Beam
+  | "exact" -> Some Exact
+  | "portfolio" -> Some Portfolio
+  | _ -> None

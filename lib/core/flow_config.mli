@@ -11,6 +11,18 @@
 
 type traversal = Forward | Weighted
 
+type backend =
+  | Beam  (** the stochastic beam search of Section III (the default) *)
+  | Exact
+      (** the CDCL SAT backend ([Cgra_core.Exact]): per-block CNF of
+          placement, neighbour routing, operand timing and CM capacity,
+          solved to a provably minimal schedule length — or to a proof
+          that no mapping exists under the encoding *)
+  | Portfolio
+      (** race [Beam] and [Exact] on the domain pool and keep the
+          better-by-cost feasible result (ties favour [Beam], so the
+          portfolio never regresses the fast path) *)
+
 type t = {
   traversal : traversal;
   acmap : bool;
@@ -85,6 +97,10 @@ type t = {
           ladder — and by the partial searches of
           {!Flow.run_partial}, which reuses the whole configuration
           (this field included) for the dirty-block re-search. *)
+  backend : backend;
+      (** which mapper produces each block's placement (default
+          [Beam]).  Semantic: the choice changes the artifact bytes,
+          so it is part of the serve-store content address. *)
 }
 
 val default : t
@@ -97,4 +113,11 @@ val context_aware : t
 (** The full proposed flow: weighted traversal + ACMAP + ECMAP + CAB. *)
 
 val steps_of : t -> string
-(** Short label such as ["basic+ACMAP+ECMAP"] used in reports. *)
+(** Short label such as ["basic+ACMAP+ECMAP"] used in reports; the
+    non-default backends append ["+SAT"] / ["+PORT"]. *)
+
+val backend_to_string : backend -> string
+(** ["beam"] / ["exact"] / ["portfolio"] — the spelling used by the
+    [--backend] CLI flag and the serve-key knob. *)
+
+val backend_of_string : string -> backend option

@@ -101,6 +101,22 @@ val repair_report : unit -> string
     value; per-cell campaign wall-clock (host-dependent) is printed to
     stderr, never into the returned report. *)
 
+val set_optimality_quick : bool -> unit
+(** Shrink the {!optimality_report} grid to two kernels (FIR, FFT) on
+    HOM64/HOM32 — the bench [--quick] flag, sized for CI smoke runs.
+    Call before rendering. *)
+
+val optimality_report : unit -> string
+(** Not in the paper: the exact SAT backend ([Cgra_core.Exact]) re-maps
+    every (kernel, configuration) cell of the full context-aware flow
+    and the table lays its total context words, simulated cycles and
+    energy next to the beam search's.  Cells the exact backend proves
+    infeasible read "UNSAT under encoding" — a proof that no move-free
+    mapping exists at any schedule length (DESIGN.md §5g), which the
+    beam may still beat with move chains.  Every exact mapping is
+    re-checked by the validator and against the golden model before it
+    is tabulated.  Deterministic at any [--jobs] value. *)
+
 val run_all : unit -> string
 (** The paper set ({!artifacts}), concatenated in paper order. *)
 

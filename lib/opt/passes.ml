@@ -113,17 +113,22 @@ let const_fold =
           match nd.Cdfg.opcode, nd.Cdfg.operands with
           | Opcode.Select, [ Cdfg.Imm k; a; b ] ->
             Subst (if iv k <> 0 then a else b)
-          | op, operands
-            when List.for_all
-                   (function Cdfg.Imm _ -> true | _ -> false)
-                   operands ->
-            let vals =
-              List.map
-                (function Cdfg.Imm k -> iv k | _ -> assert false)
-                operands
+          | op, operands -> (
+            (* Fold only when every operand is an immediate; a single
+               extraction makes the arm total, so a non-[Imm] operand
+               slipped in by reassociation leaves the node unfolded
+               instead of tripping an assert. *)
+            let imms =
+              List.fold_right
+                (fun o acc ->
+                  match o, acc with
+                  | Cdfg.Imm k, Some vs -> Some (iv k :: vs)
+                  | _ -> None)
+                operands (Some [])
             in
-            Subst (Cdfg.Imm (Opcode.eval op vals))
-          | _ -> Keep nd)
+            match imms with
+            | Some vals -> Subst (Cdfg.Imm (Opcode.eval op vals))
+            | None -> Keep nd))
       c
   in
   { name = "fold"; descr = "constant folding"; transform }

@@ -1,0 +1,19 @@
+(** Cardinality-constraint helpers over {!Solver} literals.
+
+    Literals use the solver's DIMACS convention: [v] positive,
+    [-v] negated.  All encodings allocate auxiliary variables
+    deterministically (in list order), so identical inputs produce
+    identical CNF. *)
+
+val exactly_one : Solver.t -> int list -> unit
+(** At least one and at most one of the literals is true.  The empty
+    list makes the instance unsatisfiable (an empty OR). *)
+
+val at_most_one : Solver.t -> int list -> unit
+(** Sequential (ladder) at-most-one encoding: linear clauses and
+    auxiliary variables, no quadratic blowup on wide lists. *)
+
+val at_most_k : Solver.t -> int list -> int -> unit
+(** Sinz sequential-counter encoding of [sum lits <= k].
+    [k >= length lits] adds nothing; [k = 0] forces every literal
+    false; [k < 0] makes the instance unsatisfiable. *)

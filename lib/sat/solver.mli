@@ -1,0 +1,53 @@
+(** A small self-contained CDCL SAT solver.
+
+    Features: two-watched-literal propagation, first-UIP clause
+    learning, Luby-sequence restarts, VSIDS variable activity with
+    phase saving.  The solver is fully deterministic: decisions break
+    activity ties by lowest variable index, activities evolve by a
+    fixed arithmetic schedule, and nothing consults the wall clock or
+    [Random].  Given the same sequence of [new_var]/[add_clause]
+    calls, [solve] always returns the same outcome and (when [Sat])
+    the same model — the property the exact mapping backend needs to
+    keep artifacts byte-identical at any [--jobs] value.
+
+    Variables are positive integers allocated by {!new_var}.  A
+    literal is a non-zero integer: [v] for the positive literal,
+    [-v] for the negation — the familiar DIMACS convention. *)
+
+type t
+
+type outcome =
+  | Sat  (** a satisfying assignment was found; query it with {!value} *)
+  | Unsat  (** the clause set is unsatisfiable *)
+  | Unknown  (** the conflict budget ran out before a verdict *)
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable; returns its (positive) index.
+    Variables are numbered consecutively from 1. *)
+
+val nvars : t -> int
+
+val add_clause : t -> int list -> unit
+(** Add a clause given as a list of literals.  Duplicate literals are
+    removed and tautologies ([v] and [-v] together) are dropped.  The
+    empty clause marks the instance unsatisfiable.  All clauses must
+    be added before calling {!solve}; the solver is not incremental. *)
+
+val solve : ?conflict_budget:int -> t -> outcome
+(** Run CDCL search.  [conflict_budget] bounds the total number of
+    conflicts before giving up with [Unknown] (default: unlimited). *)
+
+val value : t -> int -> bool
+(** [value s v] is the assignment of variable [v] in the model found
+    by the last [solve] that returned [Sat].  Raises [Invalid_argument]
+    if no model is available. *)
+
+val stats_conflicts : t -> int
+(** Total conflicts encountered across [solve] (deterministic; the
+    exact backend reports this as its work measure). *)
+
+val stats_clauses : t -> int
+(** Clauses currently attached, problem and learnt together (deleted
+    learnt clauses keep their index slot and still count). *)

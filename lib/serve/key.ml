@@ -28,7 +28,7 @@ type spec = {
 (* Bump on any change that can alter artifact bytes for an unchanged
    request: search algorithm, assembler encoding, simulator timing,
    energy constants, artifact layout. *)
-let code_version = "cgra_mapd-1"
+let code_version = "cgra_mapd-2"
 
 (* ---- flow knobs ------------------------------------------------------- *)
 
@@ -57,6 +57,7 @@ let knobs_of_config (fc : FC.t) =
     ("seed", string_of_int fc.seed);
     ("degrade", bool_knob fc.degrade);
     ("max_attempts", string_of_int fc.max_attempts);
+    ("backend", FC.backend_to_string fc.backend);
   ]
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
@@ -113,6 +114,13 @@ let config_of_knobs knobs =
           | "degrade" -> parse_bool name v (fun b -> { fc with degrade = b })
           | "max_attempts" ->
             parse_int name v (fun i -> { fc with max_attempts = i })
+          | "backend" -> (
+            match FC.backend_of_string v with
+            | Some b -> Ok { fc with backend = b }
+            | None ->
+              Error
+                (Printf.sprintf
+                   "knob backend: %S (expected beam|exact|portfolio)" v))
           | _ -> Error (Printf.sprintf "unknown flow knob %S" name)))
     (Ok FC.default) knobs
 

@@ -249,8 +249,44 @@ let accept_loop t fd =
   done;
   try Unix.close fd with Unix.Unix_error _ -> ()
 
+exception Address_in_use of { path : string }
+
+(* Probe an existing socket path before binding over it.  A connect
+   that succeeds means some process is listening there — we confirm
+   with a bounded [ping], but even a peer that fails the ping holds
+   the socket, so unlinking it would strand that daemon's clients
+   either way.  Only a connection-refused (or vanished) socket is
+   provably stale and safe to remove. *)
+let probe_unix path =
+  if not (Sys.file_exists path) then `Absent
+  else begin
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let close () = try Unix.close fd with Unix.Unix_error _ -> () in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () ->
+      (try
+         Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0;
+         Wire.write_frame fd
+           (Wire.to_string (Protocol.request_to_sexp Protocol.Ping));
+         ignore (Wire.read_frame fd)
+       with Unix.Unix_error _ | Sys_error _ -> ());
+      close ();
+      `Live
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+      close ();
+      `Stale
+    | exception Unix.Unix_error _ ->
+      (* Cannot prove it stale (permissions, not-a-socket, ...):
+         refuse rather than destroy. *)
+      close ();
+      `Live
+  end
+
 let listen_unix path =
-  if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error _ -> ());
+  (match probe_unix path with
+  | `Absent -> ()
+  | `Stale -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+  | `Live -> raise (Address_in_use { path }));
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind fd (Unix.ADDR_UNIX path);
   Unix.listen fd 64;

@@ -29,10 +29,19 @@ type config = {
 
 type t
 
+exception Address_in_use of { path : string }
+(** Raised by {!start} when the configured Unix socket path is already
+    held by a live daemon: the path is probed with a connect (and a
+    bounded [ping]) before binding, and only a connection-refused
+    socket file — a provably stale leftover — is removed and rebound.
+    Binding over a live socket would silently strand the first
+    daemon's clients. *)
+
 val start : config -> t
 (** Bind the listeners, spawn the worker pool and accept threads, install
     the {!Runner_backend} so harness-computed cells feed the same store.
-    Raises [Unix_error] if a listener cannot bind. *)
+    Raises [Unix_error] if a listener cannot bind and {!Address_in_use}
+    if another live daemon already owns the Unix socket path. *)
 
 val store : t -> Store.t
 

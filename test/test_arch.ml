@@ -94,6 +94,26 @@ let prop_encode_decode =
   QCheck.Test.make ~name:"ISA encode/decode roundtrip" ~count:500 arb_instr
     (fun instr -> Isa.decode (Isa.encode instr) = Ok instr)
 
+(* Decoding is total: any 64-bit pattern — valid encoding, fault-
+   flipped word or pure noise — yields [Ok] or a typed [Error], never
+   an exception.  This is what lets the fault campaigns classify
+   corrupt context words as crashes instead of dying on them. *)
+let prop_decode_never_raises =
+  let arb_word =
+    QCheck.make
+      ~print:(fun w -> Printf.sprintf "0x%Lx" w)
+      QCheck.Gen.(
+        map
+          (fun (hi, lo) ->
+            Int64.logor
+              (Int64.shift_left (Int64.of_int hi) 32)
+              (Int64.of_int lo))
+          (pair (int_bound 0xFFFFFFFF) (int_bound 0xFFFFFFFF)))
+  in
+  QCheck.Test.make ~name:"ISA decode never raises" ~count:2000 arb_word
+    (fun w ->
+      match Isa.decode w with Ok _ | Error _ -> true)
+
 let test_isa_durations () =
   Alcotest.(check int) "pnop duration" 9 (Isa.duration (Isa.Ipnop 9));
   Alcotest.(check int) "mov duration" 1
@@ -288,6 +308,7 @@ let suite =
         QCheck_alcotest.to_alcotest prop_route_matches_distance;
         QCheck_alcotest.to_alcotest prop_route_adjacent_hops;
         QCheck_alcotest.to_alcotest prop_encode_decode;
+        QCheck_alcotest.to_alcotest prop_decode_never_raises;
         Alcotest.test_case "ISA durations" `Quick test_isa_durations;
         Alcotest.test_case "ISA rendering" `Quick test_isa_strings;
         Alcotest.test_case "decode rejects bad pnop" `Quick test_decode_bad_pnop;

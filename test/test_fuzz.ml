@@ -257,10 +257,45 @@ let prop_opt_pipeline_differential =
       ignore (Cgra_ir.Interp.run c' ~mem:m2);
       m1 = m2)
 
+(* ---- fixed regression corpus ----------------------------------------- *)
+
+(* Deterministic replay of specs that once exposed bugs — no QCheck
+   sampling, so these exact programs run on every [dune runtest].  The
+   generated sources mix literals with loads and variables in the same
+   expression, which drives the const_fold mixed-operand path that used
+   to die on an [assert false] instead of keeping the node unfolded. *)
+let corpus_specs =
+  [ { seed = 4242; n_ops = 8; n_stores = 2; iters = 3 };
+    { seed = 1789; n_ops = 12; n_stores = 3; iters = 2 };
+    { seed = 77; n_ops = 5; n_stores = 1; iters = 4 } ]
+
+let test_corpus_replay () =
+  List.iter
+    (fun spec ->
+      let src = straight_src spec in
+      let cdfg = Cgra_lang.Compile.compile_exn ~raw:true src in
+      let mem0 = straight_mem spec.seed in
+      let verify = Cgra_opt.Pipeline.verifier_of_mems [ Array.copy mem0 ] in
+      (* full pipeline, canonical pass order: const_fold included *)
+      let c', _report = Cgra_opt.Pipeline.run ~verify cdfg in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: optimized CDFG valid" spec.seed)
+        true
+        (Cdfg.validate c' = Ok ());
+      let m1 = Array.copy mem0 and m2 = Array.copy mem0 in
+      ignore (Cgra_ir.Interp.run cdfg ~mem:m1);
+      ignore (Cgra_ir.Interp.run c' ~mem:m2);
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: memory image preserved" spec.seed)
+        true (m1 = m2))
+    corpus_specs
+
 let suite =
   [ ( "fuzz",
       [ QCheck_alcotest.to_alcotest prop_interp_vs_cgra;
         QCheck_alcotest.to_alcotest prop_interp_vs_cgra_aware;
         QCheck_alcotest.to_alcotest prop_interp_vs_cpu;
         QCheck_alcotest.to_alcotest prop_opt_preserves;
-        QCheck_alcotest.to_alcotest prop_opt_pipeline_differential ] ) ]
+        QCheck_alcotest.to_alcotest prop_opt_pipeline_differential;
+        Alcotest.test_case "regression corpus replay" `Quick
+          test_corpus_replay ] ) ]

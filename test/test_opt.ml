@@ -37,6 +37,24 @@ let test_const_fold () =
     ()
   | _ -> Alcotest.fail "expected a single store of the folded constant 5"
 
+(* Regression: a mixed Imm/Sym operand list used to hit the pass's
+   [assert false] arm; it must keep the node unfolded instead. *)
+let test_const_fold_mixed_operands () =
+  let c =
+    single_block (fun b blk ->
+        let s = B.fresh_sym b "x" in
+        let v = B.add_node b blk Op.Add [ Cdfg.Imm 2; Cdfg.Sym s ] in
+        ignore (B.add_node b blk Op.Store [ Cdfg.Imm 0; v ]))
+  in
+  let c', d = Passes.const_fold.Passes.transform c in
+  Alcotest.(check int) "nothing removed" 0 d.Passes.removed;
+  Alcotest.(check int) "nothing rewritten" 0 d.Passes.rewritten;
+  match nodes c' with
+  | [| { Cdfg.opcode = Op.Add; operands = [ Cdfg.Imm 2; Cdfg.Sym 0 ]; _ }; _ |]
+    ->
+    ()
+  | _ -> Alcotest.fail "mixed-operand node must survive unfolded"
+
 let test_algebraic_strength_reduction () =
   let c =
     single_block (fun b blk ->
@@ -197,6 +215,8 @@ let test_kernels_shrink_and_stay_correct () =
 let suite =
   [ ( "opt",
       [ Alcotest.test_case "const_fold" `Quick test_const_fold;
+        Alcotest.test_case "const_fold keeps mixed operands" `Quick
+          test_const_fold_mixed_operands;
         Alcotest.test_case "algebraic: mul -> shl" `Quick
           test_algebraic_strength_reduction;
         Alcotest.test_case "algebraic: x+0" `Quick test_algebraic_identity;

@@ -1,0 +1,235 @@
+(* The CDCL solver, the CNF helpers, and the exact SAT mapping
+   backend: solver unit tests, beam/exact equivalence on the kernel
+   suite, and portfolio determinism. *)
+
+module S = Cgra_sat.Solver
+module Cnf = Cgra_sat.Cnf
+
+let fresh n =
+  let s = S.create () in
+  let vs = Array.init n (fun _ -> S.new_var s) in
+  (s, vs)
+
+(* -- solver units -------------------------------------------------- *)
+
+let test_trivial_sat () =
+  let s, v = fresh 2 in
+  S.add_clause s [ v.(0); v.(1) ];
+  S.add_clause s [ -v.(0); v.(1) ];
+  Alcotest.(check bool) "sat" true (S.solve s = S.Sat);
+  Alcotest.(check bool) "v1 true" true (S.value s v.(1))
+
+let test_trivial_unsat () =
+  let s, v = fresh 1 in
+  S.add_clause s [ v.(0) ];
+  S.add_clause s [ -v.(0) ];
+  Alcotest.(check bool) "unsat" true (S.solve s = S.Unsat)
+
+let test_empty_clause_unsat () =
+  let s, _ = fresh 3 in
+  S.add_clause s [];
+  Alcotest.(check bool) "unsat" true (S.solve s = S.Unsat)
+
+let test_no_clauses_sat () =
+  let s, _ = fresh 5 in
+  Alcotest.(check bool) "sat" true (S.solve s = S.Sat)
+
+(* Pigeonhole: n+1 pigeons into n holes is UNSAT and requires real
+   clause learning to prove at n = 5 within a sane budget. *)
+let pigeonhole n =
+  let s = S.create () in
+  let x = Array.init (n + 1) (fun _ -> Array.init n (fun _ -> S.new_var s)) in
+  for p = 0 to n do
+    Cnf.exactly_one s (Array.to_list x.(p) |> List.map (fun v -> v))
+  done;
+  for h = 0 to n - 1 do
+    Cnf.at_most_one s (Array.to_list (Array.map (fun row -> row.(h)) x))
+  done;
+  s
+
+let test_pigeonhole_unsat () =
+  let s = pigeonhole 5 in
+  Alcotest.(check bool) "php(6,5) unsat" true (S.solve s = S.Unsat)
+
+(* Graph colouring of C5 (odd cycle): 2 colours UNSAT, 3 colours SAT.
+   Exercises exactly_one plus binary clauses. *)
+let colour_cycle n_vertices n_colours =
+  let s = S.create () in
+  let c =
+    Array.init n_vertices (fun _ ->
+        Array.init n_colours (fun _ -> S.new_var s))
+  in
+  Array.iter (fun row -> Cnf.exactly_one s (Array.to_list row)) c;
+  for v = 0 to n_vertices - 1 do
+    let w = (v + 1) mod n_vertices in
+    for k = 0 to n_colours - 1 do
+      S.add_clause s [ -c.(v).(k); -c.(w).(k) ]
+    done
+  done;
+  s
+
+let test_colouring () =
+  Alcotest.(check bool) "C5/2 unsat" true (S.solve (colour_cycle 5 2) = S.Unsat);
+  Alcotest.(check bool) "C5/3 sat" true (S.solve (colour_cycle 5 3) = S.Sat)
+
+let test_at_most_k () =
+  (* sum of 6 literals <= 3, forced 4 true -> UNSAT *)
+  let s, v = fresh 6 in
+  Cnf.at_most_k s (Array.to_list v) 3;
+  for i = 0 to 3 do
+    S.add_clause s [ v.(i) ]
+  done;
+  Alcotest.(check bool) "4 > 3 unsat" true (S.solve s = S.Unsat);
+  (* and <= 3 with exactly 3 forced true is SAT, others can be false *)
+  let s, v = fresh 6 in
+  Cnf.at_most_k s (Array.to_list v) 3;
+  for i = 0 to 2 do
+    S.add_clause s [ v.(i) ]
+  done;
+  Alcotest.(check bool) "3 <= 3 sat" true (S.solve s = S.Sat)
+
+let test_budget_unknown () =
+  let s = pigeonhole 7 in
+  Alcotest.(check bool) "tiny budget gives Unknown" true
+    (S.solve ~conflict_budget:5 s = S.Unknown)
+
+let test_model_deterministic () =
+  (* Same construction twice -> identical models, bit for bit. *)
+  let build () =
+    let s = S.create () in
+    let v = Array.init 40 (fun _ -> S.new_var s) in
+    for i = 0 to 38 do
+      S.add_clause s [ v.(i); v.(i + 1) ];
+      if i mod 3 = 0 then S.add_clause s [ -v.(i); v.((i + 7) mod 40) ]
+    done;
+    Alcotest.(check bool) "sat" true (S.solve s = S.Sat);
+    Array.map (fun var -> S.value s var) v
+  in
+  let m1 = build () and m2 = build () in
+  Alcotest.(check bool) "identical models" true (m1 = m2)
+
+(* -- exact backend end-to-end -------------------------------------- *)
+
+module FC = Cgra_core.Flow_config
+module Flow = Cgra_core.Flow
+module M = Cgra_core.Mapping
+module Config = Cgra_arch.Config
+module K = Cgra_kernels.Kernel_def
+module R = Cgra_exp.Runner
+
+let kernel slug = Option.get (Cgra_kernels.Kernels.by_slug slug)
+
+(* The full context-aware flow for [slug]@[config] with the given
+   backend — the same per-cell configuration the experiment runner
+   uses, so these tests exercise exactly what the reports tabulate. *)
+let cell_config slug config backend =
+  { (R.cell_flow_config slug config R.Full) with FC.backend; retries = 0 }
+
+let run_cell slug config backend =
+  let k = kernel slug in
+  Flow.run
+    ~config:(cell_config slug config backend)
+    (Config.cgra config) (K.cdfg k)
+
+(* Every exact mapping must survive the independent validator and
+   compute the kernel's golden memory image — cheap cells only, the
+   full grid is the bench's optimality_report. *)
+let test_exact_equivalence () =
+  List.iter
+    (fun (slug, config) ->
+      let k = kernel slug in
+      match run_cell slug config FC.Exact with
+      | Error f ->
+        Alcotest.failf "%s@%s: exact backend failed: %s" slug
+          (Config.to_string config)
+          f.Flow.reason
+      | Ok (mapping, _) ->
+        let program = Cgra_asm.Assemble.assemble mapping in
+        (match Cgra_verify.Validator.check program with
+        | [] -> ()
+        | vs ->
+          Alcotest.failf "%s@%s: validator: %s" slug
+            (Config.to_string config)
+            (String.concat "; "
+               (List.map Cgra_verify.Validator.to_string vs)));
+        let mem = K.fresh_mem k in
+        ignore (Cgra_sim.Simulator.run program ~mem);
+        Alcotest.(check bool)
+          (Printf.sprintf "%s@%s: golden image" slug
+             (Config.to_string config))
+          true
+          (mem = K.run_golden k))
+    [ ("fir", Config.HOM64); ("fir", Config.HOM32);
+      ("convolution", Config.HOM32) ]
+
+(* The portfolio's contract: never worse than the beam under the
+   flow's own cost (schedule length dominating, then routing moves);
+   ties keep the beam result. *)
+let mapping_cost config m =
+  Array.fold_left (fun acc bm -> acc + (256 * bm.M.length)) 0 m.M.bbs
+  + (config.FC.move_weight * M.total_moves m)
+
+let test_portfolio_never_worse () =
+  List.iter
+    (fun slug ->
+      let config = Config.HOM32 in
+      let fc_beam = cell_config slug config FC.Beam in
+      match (run_cell slug config FC.Beam, run_cell slug config FC.Portfolio)
+      with
+      | Ok (bm, _), Ok (pm, _) ->
+        Alcotest.(check bool)
+          (slug ^ ": portfolio cost <= beam cost")
+          true
+          (mapping_cost fc_beam pm <= mapping_cost fc_beam bm)
+      | Error f, _ ->
+        Alcotest.failf "%s: beam failed: %s" slug f.Flow.reason
+      | _, Error f ->
+        Alcotest.failf "%s: portfolio failed: %s" slug f.Flow.reason)
+    [ "fir"; "convolution"; "sep_filter" ]
+
+(* Determinism invariant: the racing layer must not leak scheduling
+   noise into the artifact — the assembled program is byte-identical
+   at any degree of expansion parallelism. *)
+let test_portfolio_jobs_identical () =
+  let digest_at jobs =
+    let fc =
+      { (cell_config "fir" Config.HOM32 FC.Portfolio) with
+        FC.expand_jobs = jobs }
+    in
+    match Flow.run ~config:fc (Config.cgra Config.HOM32) (K.cdfg (kernel "fir")) with
+    | Error f -> Alcotest.failf "fir portfolio jobs=%d failed: %s" jobs f.Flow.reason
+    | Ok (mapping, _) ->
+      (* [compile_seconds] is honest wall-clock; everything else must
+         reproduce bit for bit, so zero it before hashing. *)
+      let mapping = { mapping with M.compile_seconds = 0.0 } in
+      Digest.string
+        (Marshal.to_string (Cgra_asm.Assemble.assemble mapping) [])
+  in
+  let d1 = digest_at 1 in
+  Alcotest.(check string) "jobs 1 = jobs 2" d1 (digest_at 2);
+  Alcotest.(check string) "jobs 1 = jobs 8" d1 (digest_at 8)
+
+let suite =
+  [
+    ( "sat.solver",
+      [
+        Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+        Alcotest.test_case "trivial unsat" `Quick test_trivial_unsat;
+        Alcotest.test_case "empty clause" `Quick test_empty_clause_unsat;
+        Alcotest.test_case "no clauses" `Quick test_no_clauses_sat;
+        Alcotest.test_case "pigeonhole unsat" `Quick test_pigeonhole_unsat;
+        Alcotest.test_case "odd-cycle colouring" `Quick test_colouring;
+        Alcotest.test_case "at_most_k" `Quick test_at_most_k;
+        Alcotest.test_case "budget -> Unknown" `Quick test_budget_unknown;
+        Alcotest.test_case "deterministic model" `Quick test_model_deterministic;
+      ] );
+    ( "sat.exact",
+      [
+        Alcotest.test_case "exact mappings validate + golden" `Slow
+          test_exact_equivalence;
+        Alcotest.test_case "portfolio never worse than beam" `Slow
+          test_portfolio_never_worse;
+        Alcotest.test_case "portfolio byte-identical across jobs" `Slow
+          test_portfolio_jobs_identical;
+      ] );
+  ]

@@ -456,6 +456,60 @@ let test_e2e_daemon () =
                Alcotest.(check int) "clear evicts the stored artifact" 1 evicted
              | _ -> Alcotest.fail "expected cleared")))
 
+(* ---- socket-path collision handling ----------------------------------- *)
+
+(* Two daemons on one socket path: the second must refuse with the
+   typed [Address_in_use] while the first keeps serving; a stale socket
+   file (no listener behind it) must be swept and reused. *)
+let test_socket_collision () =
+  let root = fresh_dir "cgra-mapd-collide" in
+  let socket_path = fresh_dir "cgra-mapd-collide" ^ ".sock" in
+  (* plant a stale socket file: bound once, listener long gone *)
+  let stale = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind stale (Unix.ADDR_UNIX socket_path);
+  Unix.close stale;
+  Alcotest.(check bool) "stale socket file exists" true
+    (Sys.file_exists socket_path);
+  let server =
+    Serve.Server.start
+      {
+        Serve.Server.socket_path;
+        tcp_port = None;
+        store_root = Some root;
+        jobs = Some 1;
+        verbose = false;
+      }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.request_stop server;
+      Serve.Server.wait server;
+      Cgra_exp.Runner.set_artifact_backend None;
+      ignore (Store.clear (Serve.Server.store server)))
+    (fun () ->
+      (* a second daemon on the same, now live, socket must fail typed *)
+      (match
+         Serve.Server.start
+           {
+             Serve.Server.socket_path;
+             tcp_port = None;
+             store_root = Some (fresh_dir "cgra-mapd-collide2");
+             jobs = Some 1;
+             verbose = false;
+           }
+       with
+      | exception Serve.Server.Address_in_use { path } ->
+        Alcotest.(check string) "typed collision names the socket"
+          socket_path path
+      | _server2 -> Alcotest.fail "second daemon must refuse a live socket");
+      (* ...and the first daemon still answers *)
+      let ep = Serve.Client.Unix_socket socket_path in
+      fail_on_error
+        (Serve.Client.with_conn ep (fun c ->
+             match fail_on_error (Serve.Client.request c Protocol.Ping) with
+             | Protocol.Pong -> ()
+             | _ -> Alcotest.fail "expected pong")))
+
 let suite =
   [ ( "serve",
       [ Alcotest.test_case "sexp codec round-trip" `Quick test_codec_roundtrip;
@@ -496,4 +550,6 @@ let suite =
         Alcotest.test_case "protocol response round-trips" `Quick
           test_protocol_responses;
         Alcotest.test_case "daemon end-to-end over a socket" `Quick
-          test_e2e_daemon ] ) ]
+          test_e2e_daemon;
+        Alcotest.test_case "socket collision: stale swept, live refused"
+          `Quick test_socket_collision ] ) ]
