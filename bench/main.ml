@@ -344,6 +344,9 @@ let run_serve_report () =
         store_root = Some (tmp "store");
         jobs = None;
         verbose = false;
+        deadline_ms = None;
+        queue_limit = None;
+        io_timeout_s = None;
       }
   in
   Fun.protect
@@ -358,8 +361,12 @@ let run_serve_report () =
         match Serve.Client.map ~fallback:false ep spec with
         | Ok (Serve.Client.Artifact { bytes; _ }) -> Some bytes
         | Ok (Serve.Client.Unmappable _) -> None
+        | Ok (Serve.Client.Timed_out { where }) ->
+          Printf.eprintf "serve_report: unexpected timeout (%s)\n" where;
+          exit 1
         | Error e ->
-          Printf.eprintf "serve_report: %s\n" e;
+          Printf.eprintf "serve_report: %s\n"
+            (Serve.Client.map_error_to_string e);
           exit 1
       in
       let time f =
@@ -432,6 +439,233 @@ let run_serve_report () =
         "\nthroughput: %d clients x %d warm requests in %.2f s = %.0f req/s\n"
         clients per_client wall
         (float_of_int (clients * per_client) /. wall))
+
+(* ---- resilience_report ------------------------------------------------- *)
+
+(* Behaviour of the supervision layer under induced failure (a command,
+   not an artifact: wall-clock numbers are machine-dependent).  Three
+   sections: a deadline sweep on a deliberately hard request (the SAT
+   backend on matm@HOM32 — tens of seconds uncancelled), typed
+   backpressure under an overloaded compute queue, and crash recovery —
+   store debris swept at restart, warm hits byte-identical across the
+   "crash".  [--quick] trims the sweep for CI smoke. *)
+let run_resilience_report ~quick () =
+  let module Serve = Cgra_serve in
+  let module FC = Cgra_core.Flow_config in
+  let tmp tag =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cgra-resilience-%d-%s" (Unix.getpid ()) tag)
+  in
+  let time f =
+    let t0 = Cgra_util.Clock.now () in
+    let r = f () in
+    (r, Cgra_util.Clock.elapsed_s t0)
+  in
+  let spec_exn ~slug ~config ~flow =
+    match
+      Serve.Key.spec_of_bundled ~slug ~config ~flow ~opt:Serve.Key.Default
+        ~faults:[]
+    with
+    | Ok s -> s
+    | Error e ->
+      Printf.eprintf "resilience_report: %s\n" e;
+      exit 1
+  in
+  let slow_spec ~seed =
+    spec_exn ~slug:"matm" ~config:Cgra_arch.Config.HOM32
+      ~flow:{ FC.context_aware with FC.backend = FC.Exact; seed }
+  in
+  let fast_spec = spec_exn ~slug:"fir" ~config:Cgra_arch.Config.HET2
+      ~flow:FC.context_aware
+  in
+  let with_server ?deadline_ms ?queue_limit ~tag ~jobs f =
+    let socket_path = tmp (tag ^ ".sock") in
+    let server =
+      Serve.Server.start
+        {
+          Serve.Server.socket_path;
+          tcp_port = None;
+          store_root = Some (tmp (tag ^ ".store"));
+          jobs = Some jobs;
+          verbose = false;
+          deadline_ms;
+          queue_limit;
+          io_timeout_s = Some 5.0;
+        }
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Serve.Server.request_stop server;
+        Serve.Server.wait server;
+        Cgra_exp.Runner.set_artifact_backend None)
+      (fun () -> f server (Serve.Client.Unix_socket socket_path))
+  in
+  let outcome_of = function
+    | Ok (Serve.Client.Artifact { bytes; _ }) ->
+      Printf.sprintf "artifact (%d B)" (String.length bytes)
+    | Ok (Serve.Client.Unmappable _) -> "unmappable"
+    | Ok (Serve.Client.Timed_out { where }) -> "timed out @ " ^ where
+    | Error e -> "error: " ^ Serve.Client.map_error_to_string e
+  in
+  (* 1. deadline sweep: the request must come back typed, promptly, and
+     never be cached — each probe recomputes *)
+  let sweep = if quick then [ 200 ] else [ 100; 300; 1000 ] in
+  let rows =
+    List.map
+      (fun deadline_ms ->
+        with_server ~tag:(Printf.sprintf "dl%d" deadline_ms) ~jobs:2
+          (fun _server ep ->
+            let r, s =
+              time (fun () ->
+                  Serve.Client.map ~fallback:false ~deadline_ms ep
+                    (slow_spec ~seed:0))
+            in
+            [
+              string_of_int deadline_ms;
+              Printf.sprintf "%.0f" (s *. 1e3);
+              outcome_of r;
+            ]))
+      sweep
+  in
+  print_string
+    (Cgra_util.Text_table.render_aligned
+       ~header:[ "deadline ms"; "response ms"; "outcome (matm@HOM32 exact)" ]
+       ~align:[ `R; `R; `L ] ~rows);
+  (* 2. overload: distinct slow cache-missing keys against one worker;
+     everything past the queue limit must shed, typed, immediately *)
+  let clients = if quick then 4 else 6 in
+  with_server ~tag:"shed" ~jobs:1 ~queue_limit:2 ~deadline_ms:1000
+    (fun _server ep ->
+      let results = Array.make clients (Error "unset") in
+      let (), wall =
+        time (fun () ->
+            let threads =
+              List.init clients (fun i ->
+                  Thread.create
+                    (fun () ->
+                      results.(i) <-
+                        (match
+                           Serve.Client.map ~fallback:false ep
+                             (slow_spec ~seed:(i + 1))
+                         with
+                        | Ok (Serve.Client.Timed_out _) -> Ok "timed out"
+                        | Ok _ -> Ok "served"
+                        | Error (Serve.Client.Rejected _) -> Ok "shed"
+                        | Error (Serve.Client.Unreachable _) ->
+                          Error "unreachable"))
+                    ())
+            in
+            List.iter Thread.join threads)
+      in
+      let count tag =
+        Array.to_list results
+        |> List.filter (( = ) (Ok tag))
+        |> List.length
+      in
+      print_string
+        (Cgra_util.Text_table.render_aligned
+           ~header:
+             [ "clients"; "queue limit"; "timed out"; "shed"; "wall s" ]
+           ~align:[ `R; `R; `R; `R; `R ]
+           ~rows:
+             [
+               [
+                 string_of_int clients;
+                 "2";
+                 string_of_int (count "timed out");
+                 string_of_int (count "shed");
+                 Printf.sprintf "%.2f" wall;
+               ];
+             ]));
+  (* 3. crash recovery: compute, plant the debris a SIGKILLed writer
+     leaves, restart on the same store, and check the sweep plus a
+     byte-identical warm hit *)
+  let root = tmp "crash.store" in
+  let socket_path = tmp "crash.sock" in
+  let config =
+    {
+      Serve.Server.socket_path;
+      tcp_port = None;
+      store_root = Some root;
+      jobs = Some 2;
+      verbose = false;
+      deadline_ms = None;
+      queue_limit = None;
+      io_timeout_s = None;
+    }
+  in
+  let first = Serve.Server.start config in
+  let md5_before, cold_ms =
+    Fun.protect
+      ~finally:(fun () ->
+        Serve.Server.request_stop first;
+        Serve.Server.wait first;
+        Cgra_exp.Runner.set_artifact_backend None)
+      (fun () ->
+        let r, s =
+          time (fun () ->
+              Serve.Client.map ~fallback:false
+                (Serve.Client.Unix_socket socket_path) fast_spec)
+        in
+        match r with
+        | Ok (Serve.Client.Artifact { bytes; _ }) ->
+          (Digest.to_hex (Digest.string bytes), s *. 1e3)
+        | other ->
+          Printf.eprintf "resilience_report: fir did not map (%s)\n"
+            (outcome_of other);
+          exit 1)
+  in
+  (* the debris a writer killed mid-store-write would leave *)
+  Out_channel.with_open_bin (Filename.concat root "tmp.1.0.0") (fun oc ->
+      Out_channel.output_string oc "torn");
+  let swept = Serve.Store.scan (Serve.Store.open_ ~root ()) in
+  let second = Serve.Server.start config in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.request_stop second;
+      Serve.Server.wait second;
+      Cgra_exp.Runner.set_artifact_backend None;
+      ignore (Serve.Store.clear (Serve.Server.store second)))
+    (fun () ->
+      let r, s =
+        time (fun () ->
+            Serve.Client.map ~fallback:false
+              (Serve.Client.Unix_socket socket_path) fast_spec)
+      in
+      let identical, cached =
+        match r with
+        | Ok
+            (Serve.Client.Artifact
+               { bytes; source = Serve.Client.Daemon { cached }; _ }) ->
+          (Digest.to_hex (Digest.string bytes) = md5_before, cached)
+        | _ -> (false, false)
+      in
+      print_string
+        (Cgra_util.Text_table.render_aligned
+           ~header:
+             [
+               "cold ms";
+               "orphans swept";
+               "warm ms";
+               "warm cached";
+               "bytes identical";
+             ]
+           ~align:[ `R; `R; `R; `R; `R ]
+           ~rows:
+             [
+               [
+                 Printf.sprintf "%.0f" cold_ms;
+                 string_of_int swept.Serve.Store.orphans;
+                 Printf.sprintf "%.1f" (s *. 1e3);
+                 string_of_bool cached;
+                 string_of_bool identical;
+               ];
+             ]);
+      if not identical then begin
+        Printf.eprintf
+          "resilience_report: artifact changed across the restart\n";
+        exit 1
+      end)
 
 (* --jobs N / -j N / --jobs=N and --opt anywhere on the command line. *)
 let parse_flags args =
@@ -519,6 +753,7 @@ let () =
   | [ "ablation" ] -> run_ablations ()
   | [ "alloc_check" ] -> run_alloc_check ()
   | [ "serve_report" ] -> run_serve_report ()
+  | [ "resilience_report" ] -> run_resilience_report ~quick ()
   | [ "list" ] -> list_artifacts ()
   | [ name ] ->
     (* a single artifact only needs its own cells; fan out only when the
@@ -529,6 +764,6 @@ let () =
     prerr_endline
       "usage: main.exe [--jobs N] [--opt] [--trials N] [--faults N] \
        [--mode full|incremental] \
-       [<artifact>|all|micro|ablation|alloc_check|serve_report|list]   \
+       [<artifact>|all|micro|ablation|alloc_check|serve_report|resilience_report|list]   \
        (artifact names: main.exe list)";
     exit 1

@@ -546,11 +546,43 @@ let remote_cmd =
   let no_fallback =
     Arg.(value & flag
          & info [ "no-fallback" ]
-             ~doc:"Fail instead of computing locally when the daemon is \
-                   unreachable.")
+             ~doc:"Fail (exit 4) instead of computing locally when the \
+                   daemon is unreachable.")
+  in
+  let backend =
+    let backend_conv =
+      Arg.enum
+        [ ("beam", Cgra_core.Flow_config.Beam);
+          ("exact", Cgra_core.Flow_config.Exact);
+          ("portfolio", Cgra_core.Flow_config.Portfolio) ]
+    in
+    Arg.(value & opt backend_conv Cgra_core.Flow_config.Beam
+         & info [ "backend" ]
+             ~doc:"Mapping backend: $(b,beam), $(b,exact) or \
+                   $(b,portfolio) — the same semantic knob the $(b,map) \
+                   command takes; part of the request key, so each \
+                   backend has its own store entry."
+             ~docv:"NAME")
+  in
+  let deadline =
+    Arg.(value & opt (some int) None
+         & info [ "deadline" ]
+             ~doc:"Give up on the mapping after $(docv) milliseconds \
+                   (exit 5).  Applies to daemon compute and local \
+                   fallback alike; a cached artifact is returned \
+                   regardless."
+             ~docv:"MS")
+  in
+  let retries =
+    Arg.(value & opt int 0
+         & info [ "retries" ]
+             ~doc:"Retry an unreachable or overloaded daemon up to \
+                   $(docv) extra times with capped exponential backoff \
+                   before giving up (or falling back locally)."
+             ~docv:"N")
   in
   let run kernel config flow opt faults_file socket tcp emit stats clear
-      shutdown ping no_fallback =
+      shutdown ping no_fallback deadline_ms retries backend =
     let endpoint =
       match tcp with
       | Some port -> Serve.Client.Tcp ("127.0.0.1", port)
@@ -586,13 +618,14 @@ let remote_cmd =
           let avg total n = if n = 0 then 0.0 else total /. float_of_int n in
           Some
             (Printf.sprintf
-               "(hits %d) (misses %d) (unmappable %d) (errors %d) (inflight \
-                %d)\n\
+               "(hits %d) (misses %d) (unmappable %d) (errors %d) (timeouts \
+                %d) (shed %d) (inflight %d)\n\
                 store: %d entries, %d bytes\n\
                 latency: hit avg %.1f us, miss avg %.1f ms\n\
                 uptime: %.1f s"
                s.Serve.Protocol.hits s.Serve.Protocol.misses
                s.Serve.Protocol.unmappable s.Serve.Protocol.errors
+               s.Serve.Protocol.timeouts s.Serve.Protocol.shed
                s.Serve.Protocol.inflight s.Serve.Protocol.stored_entries
                s.Serve.Protocol.stored_bytes
                (avg s.Serve.Protocol.hit_us_total s.Serve.Protocol.hits)
@@ -629,7 +662,9 @@ let remote_cmd =
             Printf.eprintf "--faults %s: %s\n" file e;
             exit 1)
       in
-      let flow = { flow with Cgra_core.Flow_config.optimize = opt; faults } in
+      let flow =
+        { flow with Cgra_core.Flow_config.optimize = opt; faults; backend }
+      in
       let spec =
         match
           Serve.Key.spec_of_bundled ~slug ~config ~flow
@@ -641,10 +676,21 @@ let remote_cmd =
           Printf.eprintf "%s (try: cgra_map list)\n" e;
           exit 1
       in
-      match Serve.Client.map ~fallback:(not no_fallback) endpoint spec with
-      | Error e ->
+      match
+        Serve.Client.map ~fallback:(not no_fallback) ?deadline_ms ~retries
+          endpoint spec
+      with
+      | Error (Serve.Client.Unreachable { reason; _ }) ->
+        (* typed one-liner, own exit code: scripts can tell "no daemon"
+           from "daemon said no" *)
+        Printf.eprintf "remote: daemon unreachable: %s\n" reason;
+        exit 4
+      | Error (Serve.Client.Rejected e) ->
         Printf.eprintf "%s\n" e;
         exit 1
+      | Ok (Serve.Client.Timed_out { where }) ->
+        Printf.eprintf "remote: timed out (%s)\n" where;
+        exit 5
       | Ok (Serve.Client.Unmappable { reason }) ->
         Printf.printf "no mapping: %s\n" reason;
         exit 2
@@ -673,7 +719,8 @@ let remote_cmd =
   in
   Cmd.v (Cmd.info "remote" ~doc)
     Term.(const run $ kernel $ config $ flow $ opt $ faults_file $ socket $ tcp
-          $ emit $ stats $ clear $ shutdown $ ping $ no_fallback)
+          $ emit $ stats $ clear $ shutdown $ ping $ no_fallback $ deadline
+          $ retries $ backend)
 
 let artifacts_cmd =
   let doc = "Regenerate the paper's tables and figures." in

@@ -44,13 +44,56 @@ let verbose =
   Arg.(value & flag
        & info [ "v"; "verbose" ] ~doc:"Log each request to stderr.")
 
-let run socket tcp_port store_root jobs verbose =
+let deadline =
+  Arg.(value & opt (some int) None
+       & info [ "deadline" ]
+           ~doc:"Default compute deadline per map request, in \
+                 milliseconds.  A request's own deadline can only \
+                 tighten it.  Unlimited when absent."
+           ~docv:"MS")
+
+let queue_limit =
+  Arg.(value & opt (some int) None
+       & info [ "queue-limit" ]
+           ~doc:"Shed cache-miss map requests (typed overloaded \
+                 response) once the compute queue reaches $(docv) \
+                 entries; portfolio requests degrade to beam at half \
+                 that depth.  Cache hits are always served.  Never \
+                 sheds when absent."
+           ~docv:"N")
+
+let io_timeout =
+  Arg.(value & opt (some float) None
+       & info [ "io-timeout" ]
+           ~doc:"Drop a client connection whose read or write stalls \
+                 for $(docv) seconds, freeing its handler thread.  \
+                 Blocks forever when absent."
+           ~docv:"SECONDS")
+
+let run socket tcp_port store_root jobs verbose deadline_ms queue_limit
+    io_timeout_s =
   let socket_path =
     match socket with Some p -> p | None -> default_socket ()
   in
+  (match deadline_ms with
+   | Some ms when ms <= 0 ->
+     Printf.eprintf "cgra_mapd: --deadline must be positive (got %d)\n" ms;
+     exit 1
+   | _ -> ());
+  (match queue_limit with
+   | Some n when n <= 0 ->
+     Printf.eprintf "cgra_mapd: --queue-limit must be positive (got %d)\n" n;
+     exit 1
+   | _ -> ());
+  (match io_timeout_s with
+   | Some s when s <= 0.0 ->
+     Printf.eprintf "cgra_mapd: --io-timeout must be positive (got %g)\n" s;
+     exit 1
+   | _ -> ());
   match
     Serve.Server.serve
-      { Serve.Server.socket_path; tcp_port; store_root; jobs; verbose }
+      { Serve.Server.socket_path; tcp_port; store_root; jobs; verbose;
+        deadline_ms; queue_limit; io_timeout_s }
   with
   | () -> ()
   | exception Serve.Server.Address_in_use { path } ->
@@ -71,4 +114,7 @@ let () =
   let info = Cmd.info "cgra_mapd" ~doc in
   exit
     (Cmd.eval
-       (Cmd.v info Term.(const run $ socket $ tcp $ cache $ jobs $ verbose)))
+       (Cmd.v info
+          Term.(
+            const run $ socket $ tcp $ cache $ jobs $ verbose $ deadline
+            $ queue_limit $ io_timeout)))

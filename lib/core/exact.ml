@@ -33,6 +33,7 @@
 module Cdfg = Cgra_ir.Cdfg
 module Cgra = Cgra_arch.Cgra
 module Clock = Cgra_util.Clock
+module Deadline = Cgra_util.Deadline
 module S = Cgra_sat.Solver
 module Cnf = Cgra_sat.Cnf
 
@@ -93,6 +94,7 @@ type group = {
 }
 
 type block_ctx = {
+  bi : int;
   blk : Cdfg.block;
   n_nodes : int;
   items : item array;
@@ -269,6 +271,7 @@ let build_ctx cdfg bi =
   let h_lb = !h_lb in
   let h_cap = max h_lb n_items in
   {
+    bi;
     blk;
     n_nodes;
     items;
@@ -287,7 +290,7 @@ let build_ctx cdfg bi =
    is enumerated in a fixed order (items ascending, tiles ascending,
    cycles ascending), so variable numbering — and with it the solver
    trace and the model — is deterministic. *)
-let attempt ~cgra ~committed ~budget ~future ~homes ~ctx h =
+let attempt ~cgra ~committed ~budget ~future ~homes ~ctx ~deadline h =
   let solver = S.create () in
   let nt = Cgra.tile_count cgra in
   (* Future-write reserves (spread-retry pass only; [future] is all
@@ -692,7 +695,7 @@ let attempt ~cgra ~committed ~budget ~future ~homes ~ctx h =
   if debug then
     Printf.eprintf "exact: block %s h=%d items=%d vars=%d clauses=%d...\n%!"
       blk.Cdfg.name h n_items (S.nvars solver) (S.stats_clauses solver);
-  let verdict = S.solve ~conflict_budget solver in
+  let verdict = S.solve ~conflict_budget ~deadline solver in
   if debug then
     Printf.eprintf "exact: block %s h=%d -> %s (%d conflicts)\n%!"
       blk.Cdfg.name h
@@ -703,6 +706,14 @@ let attempt ~cgra ~committed ~budget ~future ~homes ~ctx h =
       (S.stats_conflicts solver);
   match verdict with
   | S.Unsat -> (`Unsat, S.stats_conflicts solver)
+  | S.Unknown when Deadline.expired deadline ->
+    (* A deadline-induced [Unknown] must not masquerade as budget
+       exhaustion: the grow/refine loop would keep probing other
+       schedule lengths and "bounded-time abort" would become
+       "one more 20k-conflict probe per length". *)
+    raise
+      (Search.Timed_out
+         { at_block = ctx.bi; where = "exact solve " ^ ctx.blk.Cdfg.name })
   | S.Unknown -> (`Unknown, S.stats_conflicts solver)
   | S.Sat ->
     let place =
@@ -739,12 +750,19 @@ let attempt ~cgra ~committed ~budget ~future ~homes ~ctx h =
    taints any terminal UNSAT — a proof needs every length refuted for
    real.  During refinement [Unknown] conservatively keeps the best
    known model. *)
-let solve_block ~cgra ~committed ~budget ~future ~homes ~ctx =
+let solve_block ~cgra ~committed ~budget ~future ~homes ~ctx ~deadline =
   let conflicts = ref 0 in
   let solves = ref 0 in
   let attempt h =
+    (* Probe boundary: checked before building the next CNF instance,
+       so an expired deadline costs at most one solver tail (≤ 256
+       conflicts) plus one encoding, never a full extra probe. *)
+    if Deadline.expired deadline then
+      raise
+        (Search.Timed_out
+           { at_block = ctx.bi; where = "exact probe " ^ ctx.blk.Cdfg.name });
     incr solves;
-    let r, c = attempt ~cgra ~committed ~budget ~future ~homes ~ctx h in
+    let r, c = attempt ~cgra ~committed ~budget ~future ~homes ~ctx ~deadline h in
     conflicts := !conflicts + c;
     r
   in
@@ -835,7 +853,8 @@ let decode ~ctx ~homes (model : model) =
   in
   (slots, length)
 
-let map_block ?budget ?future ~config:_ ~cgra ~committed ~homes ~work cdfg bi =
+let map_block ?budget ?future ?(deadline = Deadline.never) ~config:_ ~cgra
+    ~committed ~homes ~work cdfg bi =
   let t0 = Clock.now () in
   let ctx = build_ctx cdfg bi in
   let stats ~rounds ~attempts =
@@ -870,7 +889,7 @@ let map_block ?budget ?future ~config:_ ~cgra ~committed ~homes ~work cdfg bi =
       | None -> Array.make (Array.length homes) 0
     in
     let result, conflicts, solves =
-      solve_block ~cgra ~committed ~budget ~future ~homes ~ctx
+      solve_block ~cgra ~committed ~budget ~future ~homes ~ctx ~deadline
     in
     work := !work + conflicts;
     match result with
@@ -902,7 +921,7 @@ let map_block ?budget ?future ~config:_ ~cgra ~committed ~homes ~work cdfg bi =
       let iso, iso_conflicts, iso_solves =
         solve_block ~cgra ~committed:zero ~budget:None
           ~future:(Array.make (Array.length homes) 0)
-          ~homes:free ~ctx
+          ~homes:free ~ctx ~deadline
       in
       work := !work + iso_conflicts;
       ignore iso_solves;

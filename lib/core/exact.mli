@@ -23,6 +23,7 @@ val conflict_budget : int
 val map_block :
   ?budget:int array ->
   ?future:int array ->
+  ?deadline:Cgra_util.Deadline.t ->
   config:Flow_config.t ->
   cgra:Cgra_arch.Cgra.t ->
   committed:int array ->
@@ -49,4 +50,10 @@ val map_block :
     distinguishes a proof that the block is unmappable under the
     encoding even in isolation (zero committed words, all homes free)
     from a dead-end caused by the committed context, from a conflict-
-    budget exhaustion. *)
+    budget exhaustion.
+
+    [deadline] is polled before every schedule-length probe and inside
+    the solver (restart boundaries, every 256 conflicts); expiry
+    raises {!Search.Timed_out} naming the probe it interrupted.  An
+    armed deadline that never fires leaves the result byte-identical
+    to a run without one. *)

@@ -18,7 +18,13 @@ type failure = {
   at_block : int option;
   work : int;
   gave_up : escalation list;
+  timed_out : string option;
 }
+
+(* Most failures are ordinary dead-ends; only the deadline paths fill
+   [timed_out], so the plain constructor keeps the sites readable. *)
+let fail ?at_block ?(gave_up = []) ~work reason =
+  { reason; at_block; work; gave_up; timed_out = None }
 
 type stats = {
   recomputes : int;
@@ -64,16 +70,11 @@ let commit_homes ~homes ~at_block ~work new_homes =
     | (s, h) :: rest ->
       if homes.(s) >= 0 && homes.(s) <> h then
         Error
-          {
-            reason =
-              Printf.sprintf
+          (fail ~at_block ~work
+             (Printf.sprintf
                 "block %d: home conflict for symbol s%d: pinned to tile %d \
                  by an earlier block, this block's mapping wants tile %d"
-                at_block s homes.(s) h;
-            at_block = Some at_block;
-            work;
-            gave_up = [];
-          }
+                at_block s homes.(s) h))
       else begin
         homes.(s) <- h;
         go rest
@@ -118,23 +119,17 @@ let block_words cgra (bm : Mapping.bb_mapping) =
    verbatim — their exact context words are pre-committed and their home
    pins pre-applied — and only dirty blocks are searched, in the usual
    traversal order.  [None] is the ordinary full flow. *)
-let run_once ~t0 ~work ~retries_used ~config ~opt_report ~routes ?base cgra
-    cdfg =
+let run_once ~t0 ~work ~retries_used ~config ~opt_report ~routes ~deadline
+    ?base cgra cdfg =
   match Cdfg.validate cdfg with
-  | Error msg ->
-    Error { reason = "invalid CDFG: " ^ msg; at_block = None; work = !work; gave_up = [] }
+  | Error msg -> Error (fail ~work:!work ("invalid CDFG: " ^ msg))
   | Ok () ->
     if cdfg.Cdfg.sym_count > cgra.Cgra.rf_words then
       Error
-        {
-          reason =
-            Printf.sprintf
+        (fail ~work:!work
+           (Printf.sprintf
               "kernel needs %d symbol-variable RF slots, tile RF has %d"
-              cdfg.Cdfg.sym_count cgra.Cgra.rf_words;
-          at_block = None;
-          work = !work;
-          gave_up = [];
-        }
+              cdfg.Cdfg.sym_count cgra.Cgra.rf_words))
     else begin
       let order = traversal_order config.Flow_config.traversal cdfg in
       let order =
@@ -205,34 +200,42 @@ let run_once ~t0 ~work ~retries_used ~config ~opt_report ~routes ?base cgra
       let rec map_blocks ~spread acc = function
         | [] -> Ok (List.rev acc)
         | bi :: rest -> (
+          (* Per-block boundary of the drive loop: committed words and
+             home pins are consistent here, so aborting between blocks
+             never leaves a torn intermediate state behind. *)
+          if Cgra_util.Deadline.expired deadline then
+            raise
+              (Search.Timed_out
+                 { at_block = bi; where = "flow block loop" });
           match
             match config.Flow_config.backend with
             | Flow_config.Exact -> (
               if not spread then
-                Exact.map_block ~config ~cgra ~committed ~homes ~work cdfg bi
+                Exact.map_block ~deadline ~config ~cgra ~committed ~homes
+                  ~work cdfg bi
               else
                 let future = future_writes rest in
                 match spread_budget bi rest with
                 | None ->
-                  Exact.map_block ~future ~config ~cgra ~committed ~homes
-                    ~work cdfg bi
+                  Exact.map_block ~future ~deadline ~config ~cgra ~committed
+                    ~homes ~work cdfg bi
                 | Some budget -> (
                   match
-                    Exact.map_block ~budget ~future ~config ~cgra ~committed
-                      ~homes ~work cdfg bi
+                    Exact.map_block ~budget ~future ~deadline ~config ~cgra
+                      ~committed ~homes ~work cdfg bi
                   with
                   | Ok _ as ok -> ok
                   | Error _ ->
                     (* The share was too tight for this block: fall back
                        to its full remaining capacity (reserves kept)
                        and keep going. *)
-                    Exact.map_block ~future ~config ~cgra ~committed ~homes
-                      ~work cdfg bi))
+                    Exact.map_block ~future ~deadline ~config ~cgra
+                      ~committed ~homes ~work cdfg bi))
             | Flow_config.Beam | Flow_config.Portfolio ->
               (* [Portfolio] is resolved in [drive]; a portfolio config
                  reaching a single run maps with the beam. *)
-              Search.map_block ~routes ~config ~cgra ~committed ~homes ~rng
-                ~work cdfg bi
+              Search.map_block ~routes ~deadline ~config ~cgra ~committed
+                ~homes ~rng ~work cdfg bi
           with
           | exception Cgra_graph.Digraph.Cycle ids ->
             (* A cyclic per-block DFG that slipped past validation (e.g. a
@@ -240,16 +243,10 @@ let run_once ~t0 ~work ~retries_used ~config ~opt_report ~routes ?base cgra
                crash the harness: surface it as an ordinary mapping
                failure. *)
             Error
-              {
-                reason =
-                  Printf.sprintf "block %d: cyclic DFG through nodes %s" bi
-                    (String.concat ", " (List.map string_of_int ids));
-                at_block = Some bi;
-                work = !work;
-                gave_up = [];
-              }
-          | Error reason ->
-            Error { reason; at_block = Some bi; work = !work; gave_up = [] }
+              (fail ~at_block:bi ~work:!work
+                 (Printf.sprintf "block %d: cyclic DFG through nodes %s" bi
+                    (String.concat ", " (List.map string_of_int ids))))
+          | Error reason -> Error (fail ~at_block:bi ~work:!work reason)
           | Ok outcome -> (
             match
               commit_homes ~homes ~at_block:bi ~work:!work
@@ -345,13 +342,7 @@ let run_once ~t0 ~work ~retries_used ~config ~opt_report ~routes ?base cgra
                    Printf.sprintf "T%02d %d/%d" t used cap)
             |> String.concat ", "
           in
-          Error
-            {
-              reason = "context memory overflow: " ^ culprits;
-              at_block = None;
-              work = !work;
-              gave_up = [];
-            }
+          Error (fail ~work:!work ("context memory overflow: " ^ culprits))
     end
 
 let escalation_of ~attempt (c : Flow_config.t) (f : failure) =
@@ -377,34 +368,29 @@ let validated ~config ~work = function
       match !validator with
       | None ->
         Error
-          {
-            reason =
-              "validate requested but no validator is installed \
-               (call Cgra_verify.Validator.install ())";
-            at_block = None;
-            work = !work;
-            gave_up = [];
-          }
+          (fail ~work:!work
+             "validate requested but no validator is installed \
+              (call Cgra_verify.Validator.install ())")
       | Some check -> (
         match check mapping with
         | [] -> ok
         | violations ->
           Error
-            {
-              reason =
-                Printf.sprintf "validation failed: %s"
-                  (String.concat "; " violations);
-              at_block = None;
-              work = !work;
-              gave_up = [];
-            }))
+            (fail ~work:!work
+               (Printf.sprintf "validation failed: %s"
+                  (String.concat "; " violations)))))
 
 (* Shared retry / graceful-degradation driver over [run_once].  The route
    table depends only on the (already degraded) array, so it is interned
    here once and reused by every attempt and every block. *)
-let drive_single ~t0 ~work ~config ~opt_report ?base cgra cdfg =
+let drive_single ~t0 ~work ~config ~opt_report ~deadline ?base cgra cdfg =
   let routes = Search.build_routes cgra in
   let result =
+    (* A fired deadline unwinds as [Search.Timed_out] from whatever
+       boundary observed it; converting it here — outside the retry and
+       escalation ladders — guarantees a timed-out attempt is never
+       retried: the ladders only ever see ordinary [Error] values. *)
+    match
     if not config.Flow_config.degrade then
       (* The stochastic pruning can dead-end; the context-aware flows
          re-seed and retry a couple of times before declaring the
@@ -416,7 +402,7 @@ let drive_single ~t0 ~work ~config ~opt_report ?base cgra cdfg =
         in
         match
           run_once ~t0 ~work ~retries_used:k ~config:seeded ~opt_report
-            ~routes ?base cgra cdfg
+            ~routes ~deadline ?base cgra cdfg
         with
         | Ok _ as ok -> ok
         | Error _ as e ->
@@ -452,7 +438,7 @@ let drive_single ~t0 ~work ~config ~opt_report ?base cgra cdfg =
         let cfg_k = escalate k in
         match
           run_once ~t0 ~work ~retries_used:k ~config:cfg_k ~opt_report ~routes
-            ?base cgra cdfg
+            ~deadline ?base cgra cdfg
         with
         | Ok (m, s) -> Ok (m, { s with escalations = List.rev trace })
         | Error f ->
@@ -462,6 +448,17 @@ let drive_single ~t0 ~work ~config ~opt_report ?base cgra cdfg =
       in
       attempt 0 []
     end
+    with
+    | exception Search.Timed_out { at_block; where } ->
+      Error
+        {
+          reason = Printf.sprintf "timed out (%s)" where;
+          at_block = Some at_block;
+          work = !work;
+          gave_up = [];
+          timed_out = Some where;
+        }
+    | r -> r
   in
   validated ~config ~work result
 
@@ -474,10 +471,10 @@ let drive_single ~t0 ~work ~config ~opt_report ?base cgra cdfg =
    the beam's own objective (schedule length weighted at 256 per
    block, plus [move_weight] per routing move), with ties to the
    beam, so a portfolio artifact is never worse than the beam's. *)
-let drive ~t0 ~work ~config ~opt_report ?base cgra cdfg =
+let drive ~t0 ~work ~config ~opt_report ~deadline ?base cgra cdfg =
   match config.Flow_config.backend with
   | Flow_config.Beam | Flow_config.Exact ->
-    drive_single ~t0 ~work ~config ~opt_report ?base cgra cdfg
+    drive_single ~t0 ~work ~config ~opt_report ~deadline ?base cgra cdfg
   | Flow_config.Portfolio -> (
     let beam_cfg = { config with Flow_config.backend = Flow_config.Beam } in
     (* The exact side is deterministic: reseeded retries and the
@@ -494,7 +491,10 @@ let drive ~t0 ~work ~config ~opt_report ?base cgra cdfg =
       Cgra_util.Pool.map ~jobs:2
         (fun cfg ->
           let w = ref 0 in
-          let r = drive_single ~t0 ~work:w ~config:cfg ~opt_report ?base cgra cdfg in
+          let r =
+            drive_single ~t0 ~work:w ~config:cfg ~opt_report ~deadline ?base
+              cgra cdfg
+          in
           (r, !w))
         [ beam_cfg; exact_cfg ]
     in
@@ -514,6 +514,18 @@ let drive ~t0 ~work ~config ~opt_report ?base cgra cdfg =
           ( { m with Mapping.flow_label = Flow_config.steps_of config },
             { s with work = !work } )
       in
+      let timeout_of = function
+        | Error f when f.timed_out <> None -> Some f
+        | Ok _ | Error _ -> None
+      in
+      match (timeout_of beam_r, timeout_of exact_r) with
+      | Some f, _ | None, Some f ->
+        (* If either side was cut short the race is void: picking the
+           survivor would make the artifact depend on which side the
+           deadline happened to hit first — a byte-level race.  The
+           whole portfolio result is a timeout (and is never cached). *)
+        Error { f with reason = "portfolio: " ^ f.reason; work = !work }
+      | None, None -> (
       match (beam_r, exact_r) with
       | Ok b, Ok e -> if cost e < cost b then finish e else finish b
       | Ok b, Error _ -> finish b
@@ -526,10 +538,11 @@ let drive ~t0 ~work ~config ~opt_report ?base cgra cdfg =
               Printf.sprintf "portfolio: both backends failed — beam: %s | exact: %s"
                 bf.reason ef.reason;
             work = !work;
-          })
+          }))
     | _ -> assert false)
 
-let run ?(config = Flow_config.default) ?opt_verify cgra cdfg =
+let run ?(config = Flow_config.default)
+    ?(deadline = Cgra_util.Deadline.never) ?opt_verify cgra cdfg =
   let t0 = Cgra_util.Clock.now () in
   let work = ref 0 in
   (* Map onto the degraded fabric when a permanent-fault map is given.
@@ -551,14 +564,15 @@ let run ?(config = Flow_config.default) ?opt_verify cgra cdfg =
     end
     else (cdfg, None)
   in
-  drive ~t0 ~work ~config ~opt_report cgra cdfg
+  drive ~t0 ~work ~config ~opt_report ~deadline cgra cdfg
 
-let run_partial ?(config = Flow_config.default) ~base ~dirty ~homes cgra =
+let run_partial ?(config = Flow_config.default)
+    ?(deadline = Cgra_util.Deadline.never) ~base ~dirty ~homes cgra =
   let t0 = Cgra_util.Clock.now () in
   let work = ref 0 in
   let cgra = Cgra.degrade cgra config.Flow_config.faults in
   (* [base.cdfg] is the CDFG that was actually mapped (post-optimization
      when the original flow optimized), so the pipeline must not run
      again: the surviving placements reference its node ids. *)
-  drive ~t0 ~work ~config ~opt_report:None ~base:(base, dirty, homes) cgra
-    base.Mapping.cdfg
+  drive ~t0 ~work ~config ~opt_report:None ~deadline
+    ~base:(base, dirty, homes) cgra base.Mapping.cdfg

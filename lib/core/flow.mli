@@ -32,6 +32,14 @@ type failure = {
   gave_up : escalation list;
       (** with [Flow_config.degrade]: the full escalation trace, one entry
           per exhausted attempt ([Gave_up] diagnostics); [[]] otherwise *)
+  timed_out : string option;
+      (** [Some where] iff the run was cut short by an expired
+          {!Cgra_util.Deadline.t}: [where] names the boundary that
+          observed expiry (search round, exact probe, flow block loop).
+          A timed-out failure is {e not} a verdict about the kernel —
+          callers must never cache or report it as "unmappable", and the
+          retry/escalation ladders never retry one.  [None] for every
+          ordinary dead-end. *)
 }
 
 type stats = {
@@ -90,11 +98,24 @@ val set_validator : (Mapping.t -> string list) -> unit
 
 val run :
   ?config:Flow_config.t ->
+  ?deadline:Cgra_util.Deadline.t ->
   ?opt_verify:Cgra_opt.Pipeline.verifier ->
   Cgra_arch.Cgra.t ->
   Cgra_ir.Cdfg.t ->
   result
 (** Maps the kernel.  Deterministic for a fixed [config.seed].
+
+    [deadline] arms cooperative cancellation: the flow polls it at every
+    block boundary, the beam search at every round and expansion
+    boundary, the exact backend before every probe and inside the
+    solver.  Expiry aborts the in-flight attempt in bounded time and
+    returns a {!failure} with [timed_out = Some where]; retries and the
+    escalation ladder never resume after one, and a portfolio race with
+    either side cut short is reported as timed out as a whole (keeping
+    the winner would make the bytes depend on where the deadline
+    landed).  An armed deadline that never fires leaves the result
+    byte-identical to an un-deadlined run — the token is an observer,
+    never an input.
 
     With [config.degrade] set, a failed attempt escalates through a
     bounded retry ladder (reseeded pruning, wider beam, relaxed
@@ -112,6 +133,7 @@ val run :
 
 val run_partial :
   ?config:Flow_config.t ->
+  ?deadline:Cgra_util.Deadline.t ->
   base:Mapping.t ->
   dirty:bool array ->
   homes:int array ->

@@ -69,11 +69,14 @@ type pstate = {
          computed value stays valid for the state's lifetime. *)
 }
 
+exception Timed_out of { at_block : int; where : string }
+
 type ctx = {
   config : Flow_config.t;
   cgra : Cgra.t;
   cdfg : Cdfg.t;
   bi : int;
+  deadline : Cgra_util.Deadline.t;
   block : Cdfg.block;
   nnodes : int;
   committed : int array;
@@ -474,6 +477,11 @@ let expand_state ctx p node_id =
    returns the exact sequential result; the per-task tallies are merged on
    the main domain afterwards. *)
 let expand_population ctx pop node_id =
+  (* Expansion boundary: the last poll before the all-OCaml hot path. *)
+  if Cgra_util.Deadline.expired ctx.deadline then
+    raise
+      (Timed_out
+         { at_block = ctx.bi; where = "search expansion " ^ ctx.block.Cdfg.name });
   let jobs = ctx.config.Flow_config.expand_jobs in
   let small = match pop with [] | [ _ ] -> true | _ :: _ :: _ -> false in
   if jobs <= 1 || small then
@@ -800,7 +808,8 @@ let finalize ctx p =
 
 (* ---- driver ---------------------------------------------------------- *)
 
-let map_block ?routes ~config ~cgra ~committed ~homes ~rng ~work cdfg bi =
+let map_block ?routes ?(deadline = Cgra_util.Deadline.never) ~config ~cgra
+    ~committed ~homes ~rng ~work cdfg bi =
   let t_start = Cgra_util.Clock.now () in
   let alloc_start = Gc.allocated_bytes () in
   let block = cdfg.Cdfg.blocks.(bi) in
@@ -841,6 +850,7 @@ let map_block ?routes ~config ~cgra ~committed ~homes ~rng ~work cdfg bi =
       cgra;
       cdfg;
       bi;
+      deadline;
       block;
       nnodes = Array.length block.Cdfg.nodes;
       committed;
@@ -893,6 +903,11 @@ let map_block ?routes ~config ~cgra ~committed ~homes ~rng ~work cdfg bi =
   let rec rounds pop = function
     | [] -> Ok pop
     | node_id :: rest ->
+      (* Round boundary: filters and pruning behind us, state consistent. *)
+      if Cgra_util.Deadline.expired ctx.deadline then
+        raise
+          (Timed_out
+             { at_block = bi; where = "search round " ^ block.Cdfg.name });
       incr rounds_done;
       let children = expand_population ctx pop node_id in
       children_total := !children_total + List.length children;

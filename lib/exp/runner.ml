@@ -158,6 +158,19 @@ module Memo = struct
     Condition.broadcast m.cond;
     Mutex.unlock m.mutex
 
+  (* Forget one key — the seam the daemon needs for timed-out computes:
+     a [Timed_out] outcome is a fact about the deadline, not the spec,
+     so leaving it [Ready] would serve stale give-ups to patient future
+     requests.  A [Computing] slot is left alone: removing it would
+     orphan the in-flight producer's publish and strand its waiters. *)
+  let forget m key =
+    Mutex.lock m.mutex;
+    (match Hashtbl.find_opt m.table key with
+    | Some Computing | None -> ()
+    | Some (Ready _ | Failed _) -> Hashtbl.remove m.table key);
+    Condition.broadcast m.cond;
+    Mutex.unlock m.mutex
+
   let get m key compute =
     Mutex.lock m.mutex;
     let rec claim () =

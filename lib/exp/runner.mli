@@ -50,6 +50,13 @@ module Memo : sig
   (** Computations claimed (not served from cache) since creation or the
       last {!reset} — failed computes included. *)
 
+  val forget : ('k, 'v) t -> 'k -> unit
+  (** Drop the cached value (or cached failure) for one key, so the next
+      {!get} recomputes it.  An in-flight [Computing] slot is left
+      untouched — removing it would strand the producer's publish and
+      its waiters.  The seam the daemon uses to keep deadline-shaped
+      outcomes ([Timed_out]) out of the permanent single-flight cache. *)
+
   val reset : ('k, 'v) t -> unit
   (** Drop all entries and zero {!computed}.  Safe to call while computes
       are in flight: the reset bumps an internal generation counter, so a

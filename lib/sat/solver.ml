@@ -450,7 +450,8 @@ let save_model s =
   s.model <- m;
   s.has_model <- true
 
-let solve ?(conflict_budget = max_int) s =
+let solve ?(conflict_budget = max_int) ?(deadline = Cgra_util.Deadline.never) s
+    =
   if not s.ok then Unsat
   else begin
     s.has_model <- false;
@@ -482,8 +483,9 @@ let solve ?(conflict_budget = max_int) s =
       s.max_learnt <- max 20_000.0 (float_of_int s.n_clauses /. 3.0);
       while !result = None do
         (* Restart boundary: decision level 0, safe to shrink the
-           learnt-clause database. *)
-        if float_of_int s.n_learnt > s.max_learnt then begin
+           learnt-clause database — and to give up cooperatively. *)
+        if Cgra_util.Deadline.expired deadline then result := Some Unknown
+        else if float_of_int s.n_learnt > s.max_learnt then begin
           reduce_db s;
           s.max_learnt <- s.max_learnt *. 1.1
         end;
@@ -505,7 +507,10 @@ let solve ?(conflict_budget = max_int) s =
               let learnt_n, bt_level = analyze s confl learnt in
               record_learnt s learnt learnt_n bt_level;
               var_decay s;
-              if !spent >= conflict_budget then begin
+              if
+                !spent >= conflict_budget
+                || (!spent land 255 = 0 && Cgra_util.Deadline.expired deadline)
+              then begin
                 backtrack s 0;
                 result := Some Unknown
               end

@@ -35,9 +35,19 @@ val add_clause : t -> int list -> unit
     empty clause marks the instance unsatisfiable.  All clauses must
     be added before calling {!solve}; the solver is not incremental. *)
 
-val solve : ?conflict_budget:int -> t -> outcome
+val solve :
+  ?conflict_budget:int -> ?deadline:Cgra_util.Deadline.t -> t -> outcome
 (** Run CDCL search.  [conflict_budget] bounds the total number of
-    conflicts before giving up with [Unknown] (default: unlimited). *)
+    conflicts before giving up with [Unknown] (default: unlimited).
+    [deadline] is polled at every restart boundary and every 256
+    conflicts; expiry behaves exactly like budget exhaustion — the
+    trail is backtracked to level 0 and [Unknown] is returned, leaving
+    the solver state reusable: a later [solve] call on the same solver
+    continues from the learnt clauses accumulated so far.  Callers
+    that need to distinguish a timeout from a spent budget check
+    {!Cgra_util.Deadline.expired} themselves.  A deadline that never
+    fires changes nothing: the search trace, outcome and model are
+    byte-identical to a run without one. *)
 
 val value : t -> int -> bool
 (** [value s v] is the assignment of variable [v] in the model found

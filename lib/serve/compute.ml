@@ -4,6 +4,7 @@ module FC = Cgra_core.Flow_config
 type outcome =
   | Artifact of { bytes : string; digest : string }
   | Unmappable of { reason : string }
+  | Timed_out of { where : string }
 
 let ( let* ) = Result.bind
 
@@ -40,7 +41,7 @@ let fresh_mem (spec : Key.spec) =
     | None -> assert false (* cdfg_of already resolved the slug *))
   | Key.Inline { mem_words; _ } -> Array.make mem_words 0
 
-let run (spec : Key.spec) =
+let run ?(deadline = Cgra_util.Deadline.never) (spec : Key.spec) =
   let* cdfg = cdfg_of spec in
   let* fc = Key.config_of_knobs spec.Key.knobs in
   let fc =
@@ -66,9 +67,12 @@ let run (spec : Key.spec) =
       Some (Cgra_opt.Pipeline.verifier_of_mems [ K.fresh_mem k ])
     | _ -> None
   in
-  match Cgra_core.Flow.run ~config:fc ?opt_verify cgra cdfg with
+  match Cgra_core.Flow.run ~config:fc ~deadline ?opt_verify cgra cdfg with
   | exception Cgra_opt.Pipeline.Verification_failed _ ->
     Error "optimization pipeline failed differential verification"
+  | Error { Cgra_core.Flow.timed_out = Some where; _ } ->
+    (* Not a verdict about the kernel — the caller must not memoise it. *)
+    Ok (Timed_out { where })
   | Error f -> Ok (Unmappable { reason = f.Cgra_core.Flow.reason })
   | Ok (m, _stats) -> (
     match Cgra_asm.Assemble.assemble m with

@@ -14,9 +14,16 @@ type outcome =
   | Unmappable of { reason : string }
       (** the flow (or register allocation) found no mapping — a valid,
           memoised negative answer *)
+  | Timed_out of { where : string }
+      (** the deadline fired mid-map; [where] names the boundary that
+          observed it.  Unlike [Unmappable] this is {e not} a verdict
+          about the kernel and must never be memoised or stored — a
+          retry with more time may well map it. *)
 
-val run : Key.spec -> (outcome, string) result
+val run : ?deadline:Cgra_util.Deadline.t -> Key.spec -> (outcome, string) result
 (** [Error] is a request problem (source does not compile, bad knob,
     invalid fault map for the array) or a tool bug surfaced as a typed
     message (golden-model mismatch, simulator error) — never an escaped
-    exception. *)
+    exception.  [deadline] bounds the mapping flow (compile, assembly
+    and simulation are not under it — they are orders of magnitude
+    cheaper than a hard map); expiry yields [Ok (Timed_out _)]. *)

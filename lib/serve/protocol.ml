@@ -1,12 +1,19 @@
 open Wire
 
-type request = Ping | Map of Key.spec | Stats | Clear | Shutdown
+type request =
+  | Ping
+  | Map of { spec : Key.spec; deadline_ms : int option }
+  | Stats
+  | Clear
+  | Shutdown
 
 type stats = {
   hits : int;
   misses : int;
   unmappable : int;
   errors : int;
+  timeouts : int;
+  shed : int;
   inflight : int;
   stored_entries : int;
   stored_bytes : int;
@@ -19,6 +26,8 @@ type response =
   | Pong
   | Artifact_r of { digest : string; cached : bool; bytes : string }
   | Unmappable_r of { reason : string }
+  | Timed_out_r of { where : string }
+  | Overloaded_r of { queue_depth : int }
   | Stats_r of stats
   | Cleared of { evicted : int }
   | Shutting_down
@@ -108,7 +117,7 @@ let knobs_of_sexp = function
     |> Result.map List.rev
   | other -> Error ("malformed knobs field: " ^ Wire.to_string other)
 
-let map_to_sexp (spec : Key.spec) =
+let map_to_sexp (spec : Key.spec) deadline_ms =
   let kernel_fields =
     match spec.Key.kernel with
     | Key.Bundled { slug; source = _ } -> [ str_field "kernel" slug ]
@@ -120,6 +129,15 @@ let map_to_sexp (spec : Key.spec) =
     | [] -> []
     | fs -> [ str_field "faults" (Cgra_arch.Fault_map.to_string fs) ]
   in
+  (* The deadline is a wire-level request attribute, deliberately
+     outside [Key.spec]: it must never reach the key digest, or two
+     requests for the same artifact under different patience would miss
+     each other's cache entries. *)
+  let deadline_fields =
+    match deadline_ms with
+    | None -> []
+    | Some ms -> [ int_field "deadline_ms" ms ]
+  in
   List
     (Atom "map"
      :: kernel_fields
@@ -128,7 +146,7 @@ let map_to_sexp (spec : Key.spec) =
         str_field "opt" (Key.opt_to_string spec.Key.opt);
         knobs_to_sexp spec.Key.knobs;
       ]
-    @ faults_fields)
+    @ faults_fields @ deadline_fields)
 
 let map_of_sexp items =
   let* fields = assoc_fields items in
@@ -189,11 +207,18 @@ let map_of_sexp items =
       | Ok fs -> Ok fs
       | Error e -> Error ("faults: " ^ e))
   in
-  Ok (Map { Key.kernel; config; knobs; opt; faults })
+  let* deadline_ms =
+    let* d = find_int fields "deadline_ms" in
+    match d with
+    | Some ms when ms <= 0 ->
+      Error (Printf.sprintf "deadline_ms %d out of range (must be > 0)" ms)
+    | d -> Ok d
+  in
+  Ok (Map { spec = { Key.kernel; config; knobs; opt; faults }; deadline_ms })
 
 let request_to_sexp = function
   | Ping -> List [ Atom "ping" ]
-  | Map spec -> map_to_sexp spec
+  | Map { spec; deadline_ms } -> map_to_sexp spec deadline_ms
   | Stats -> List [ Atom "stats" ]
   | Clear -> List [ Atom "clear" ]
   | Shutdown -> List [ Atom "shutdown" ]
@@ -220,6 +245,9 @@ let response_to_sexp = function
       ]
   | Unmappable_r { reason } ->
     List [ Atom "unmappable"; str_field "reason" reason ]
+  | Timed_out_r { where } -> List [ Atom "timed_out"; str_field "where" where ]
+  | Overloaded_r { queue_depth } ->
+    List [ Atom "overloaded"; int_field "queue_depth" queue_depth ]
   | Stats_r s ->
     List
       [
@@ -228,6 +256,8 @@ let response_to_sexp = function
         int_field "misses" s.misses;
         int_field "unmappable" s.unmappable;
         int_field "errors" s.errors;
+        int_field "timeouts" s.timeouts;
+        int_field "shed" s.shed;
         int_field "inflight" s.inflight;
         int_field "stored_entries" s.stored_entries;
         int_field "stored_bytes" s.stored_bytes;
@@ -251,12 +281,22 @@ let response_of_sexp = function
     let* fields = assoc_fields items in
     let* reason = require_str fields "reason" in
     Ok (Unmappable_r { reason })
+  | List (Atom "timed_out" :: items) ->
+    let* fields = assoc_fields items in
+    let* where = require_str fields "where" in
+    Ok (Timed_out_r { where })
+  | List (Atom "overloaded" :: items) ->
+    let* fields = assoc_fields items in
+    let* queue_depth = require_int fields "queue_depth" in
+    Ok (Overloaded_r { queue_depth })
   | List (Atom "stats" :: items) ->
     let* fields = assoc_fields items in
     let* hits = require_int fields "hits" in
     let* misses = require_int fields "misses" in
     let* unmappable = require_int fields "unmappable" in
     let* errors = require_int fields "errors" in
+    let* timeouts = require_int fields "timeouts" in
+    let* shed = require_int fields "shed" in
     let* inflight = require_int fields "inflight" in
     let* stored_entries = require_int fields "stored_entries" in
     let* stored_bytes = require_int fields "stored_bytes" in
@@ -270,6 +310,8 @@ let response_of_sexp = function
            misses;
            unmappable;
            errors;
+           timeouts;
+           shed;
            inflight;
            stored_entries;
            stored_bytes;

@@ -11,7 +11,12 @@
 
 type request =
   | Ping
-  | Map of Key.spec
+  | Map of { spec : Key.spec; deadline_ms : int option }
+      (** [deadline_ms] bounds the server-side compute for this request.
+          It is a wire-level attribute, deliberately {e not} part of
+          {!Key.spec}: the key digest — and with it the artifact served —
+          is identical whatever patience the client declared.  The daemon
+          intersects it with its own [--deadline] default. *)
   | Stats
   | Clear  (** evict the on-disk store and the in-process caches *)
   | Shutdown  (** drain in-flight requests, then exit *)
@@ -21,6 +26,8 @@ type stats = {
   misses : int;          (** required a compute (deduped flights count once) *)
   unmappable : int;      (** negative answers returned *)
   errors : int;          (** request errors returned *)
+  timeouts : int;        (** computes cut short by a deadline *)
+  shed : int;            (** map requests refused with [Overloaded_r] *)
   inflight : int;        (** computes queued or running right now *)
   stored_entries : int;
   stored_bytes : int;
@@ -35,6 +42,16 @@ type response =
       (** [digest] = MD5 of [bytes]; [cached] = served from the store
           without recomputation *)
   | Unmappable_r of { reason : string }
+  | Timed_out_r of { where : string }
+      (** the compute hit its deadline at boundary [where]; not a verdict
+          about the kernel, never cached — retrying with more time (or no
+          deadline) may succeed.  Clients must not treat it as retryable
+          under the {e same} deadline: the same budget will time out
+          again. *)
+  | Overloaded_r of { queue_depth : int }
+      (** load shed: the compute queue was [queue_depth] deep and the
+          daemon refused to enqueue more.  Nothing was computed; this is
+          the retryable response ({!Client.map} backs off and retries). *)
   | Stats_r of stats
   | Cleared of { evicted : int }
   | Shutting_down

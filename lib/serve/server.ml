@@ -1,4 +1,5 @@
 module Clock = Cgra_util.Clock
+module Deadline = Cgra_util.Deadline
 module Pool = Cgra_util.Pool
 module Memo = Cgra_exp.Runner.Memo
 
@@ -8,6 +9,9 @@ type config = {
   store_root : string option;
   jobs : int option;
   verbose : bool;
+  deadline_ms : int option;
+  queue_limit : int option;
+  io_timeout_s : float option;
 }
 
 (* A request error raised inside a single-flight compute; cached by the
@@ -25,6 +29,8 @@ type t = {
   misses : int Atomic.t;
   unmappable : int Atomic.t;
   errors : int Atomic.t;
+  timeouts : int Atomic.t;
+  shed : int Atomic.t;
   stats_mutex : Mutex.t;
   mutable hit_us_total : float;
   mutable miss_us_total : float;
@@ -95,6 +101,8 @@ let snapshot_stats t =
     misses = Atomic.get t.misses;
     unmappable = Atomic.get t.unmappable;
     errors = Atomic.get t.errors;
+    timeouts = Atomic.get t.timeouts;
+    shed = Atomic.get t.shed;
     inflight = Pool.Persistent.inflight t.pool;
     stored_entries = Store.entries t.store;
     stored_bytes = Store.total_bytes t.store;
@@ -103,8 +111,48 @@ let snapshot_stats t =
     uptime_s = Clock.now () -. t.started_at;
   }
 
-let handle_map t ~client spec =
+(* The overload-degradation rung: with the compute queue past half the
+   shedding limit, a portfolio request is downgraded to its beam half —
+   one backend's worth of pool time instead of two.  The rewrite changes
+   the key, so the beam artifact is computed, cached and served under
+   its own honest digest (never under the portfolio key: the store must
+   stay content-addressed).  A later, calmer portfolio request still
+   computes the real race. *)
+let downgrade_spec (spec : Key.spec) =
+  let is_portfolio (name, v) = name = "backend" && v = "portfolio" in
+  if List.exists is_portfolio spec.Key.knobs then
+    Some
+      {
+        spec with
+        Key.knobs =
+          List.map
+            (fun (name, v) ->
+              if is_portfolio (name, v) then (name, "beam") else (name, v))
+            spec.Key.knobs;
+      }
+  else None
+
+let queue_depth t = Pool.Persistent.inflight t.pool
+
+let handle_map t ~client spec deadline_ms =
   let t0 = Clock.now () in
+  let deadline =
+    let of_ms = function
+      | None -> Deadline.never
+      | Some ms -> Deadline.after_ms ms
+    in
+    (* The daemon default caps every request; a client may only ask for
+       less patience than the daemon allows, never more. *)
+    Deadline.intersect (of_ms deadline_ms) (of_ms t.cfg.deadline_ms)
+  in
+  let spec, degraded =
+    match t.cfg.queue_limit with
+    | Some limit when 2 * queue_depth t >= limit -> (
+      match downgrade_spec spec with
+      | Some spec' -> (spec', true)
+      | None -> (spec, false))
+    | _ -> (spec, false)
+  in
   let key_digest = Key.digest spec in
   let elapsed_us () = Clock.elapsed_s t0 *. 1e6 in
   match Store.find t.store key_digest with
@@ -120,35 +168,61 @@ let handle_map t ~client spec =
       log t "client %d: evicted corrupt entry %s (%s)" client key_digest
         reason
     | _ -> ());
-    Atomic.incr t.misses;
-    match
-      Memo.get t.flights key_digest (fun () ->
-          run_on_pool t ~lane:client (fun () ->
-              match Compute.run spec with
-              | Ok outcome -> outcome
-              | Error e -> raise (Request_error e)))
-    with
-    | Compute.Artifact { bytes; digest } ->
-      Store.put t.store key_digest bytes;
-      add_latency t ~hit:false (elapsed_us ());
-      log t "client %d: computed %s (%d bytes, %.1f ms)" client key_digest
-        (String.length bytes)
-        (Clock.elapsed_s t0 *. 1e3);
-      Protocol.Artifact_r { digest; cached = false; bytes }
-    | Compute.Unmappable { reason } ->
-      Atomic.incr t.unmappable;
-      add_latency t ~hit:false (elapsed_us ());
-      log t "client %d: unmappable %s (%s)" client key_digest reason;
-      Protocol.Unmappable_r { reason }
-    | exception Request_error reason ->
-      Atomic.incr t.errors;
-      log t "client %d: request error %s (%s)" client key_digest reason;
-      Protocol.Error_r { reason }
-    | exception e ->
-      Atomic.incr t.errors;
-      let reason = Printexc.to_string e in
-      log t "client %d: internal error %s (%s)" client key_digest reason;
-      Protocol.Error_r { reason })
+    (* Load shedding gates the compute path only: a store hit above is
+       served even under full load — it costs microseconds, and
+       refusing it would shed exactly the traffic the cache exists to
+       absorb. *)
+    match t.cfg.queue_limit with
+    | Some limit when queue_depth t >= limit ->
+      let depth = queue_depth t in
+      Atomic.incr t.shed;
+      log t "client %d: shed %s (queue %d >= limit %d)" client key_digest
+        depth limit;
+      Protocol.Overloaded_r { queue_depth = depth }
+    | _ -> (
+      if degraded then
+        log t "client %d: overload degradation: portfolio -> beam (%s)"
+          client key_digest;
+      Atomic.incr t.misses;
+      match
+        Memo.get t.flights key_digest (fun () ->
+            run_on_pool t ~lane:client (fun () ->
+                match Compute.run ~deadline spec with
+                | Ok outcome -> outcome
+                | Error e -> raise (Request_error e)))
+      with
+      | Compute.Artifact { bytes; digest } ->
+        Store.put t.store key_digest bytes;
+        add_latency t ~hit:false (elapsed_us ());
+        log t "client %d: computed %s (%d bytes, %.1f ms)" client key_digest
+          (String.length bytes)
+          (Clock.elapsed_s t0 *. 1e3);
+        Protocol.Artifact_r { digest; cached = false; bytes }
+      | Compute.Unmappable { reason } ->
+        Atomic.incr t.unmappable;
+        add_latency t ~hit:false (elapsed_us ());
+        log t "client %d: unmappable %s (%s)" client key_digest reason;
+        Protocol.Unmappable_r { reason }
+      | Compute.Timed_out { where } ->
+        (* Deadline verdicts are about this request's patience, not the
+           spec: evict the flight so a future (possibly more patient)
+           request recomputes instead of being served a stale give-up.
+           Piggybacked waiters of this flight still see it — they
+           shared the compute, so they share its fate. *)
+        Memo.forget t.flights key_digest;
+        Atomic.incr t.timeouts;
+        add_latency t ~hit:false (elapsed_us ());
+        log t "client %d: timed out %s (%s)" client key_digest where;
+        Protocol.Timed_out_r { where }
+      | exception Request_error reason ->
+        Atomic.incr t.errors;
+        log t "client %d: request error %s (%s)" client key_digest reason;
+        Protocol.Error_r { reason }
+      | exception e ->
+        Atomic.incr t.errors;
+        let reason = Printexc.to_string e in
+        log t "client %d: internal error %s (%s)" client key_digest reason;
+        Protocol.Error_r { reason }))
 
 (* Returns the response and whether the connection should keep reading. *)
 let handle_request t ~client = function
@@ -165,7 +239,8 @@ let handle_request t ~client = function
   | Protocol.Shutdown ->
     log t "client %d: shutdown requested" client;
     (Protocol.Shutting_down, false)
-  | Protocol.Map spec -> (handle_map t ~client spec, true)
+  | Protocol.Map { spec; deadline_ms } ->
+    (handle_map t ~client spec deadline_ms, true)
 
 (* ---- connections ------------------------------------------------------ *)
 
@@ -198,9 +273,17 @@ let handle_conn t client fd =
         match Wire.read_frame fd with
         | Error Wire.Eof -> ()
         | Error (Wire.Truncated _) -> ()
-        | Error (Wire.Oversized _ as e) ->
-          (* stream position is undefined past an oversized prefix:
-             answer once, then drop the connection *)
+        | Error Wire.Idle_timeout ->
+          (* vanished or slow-loris peer: free the thread quietly *)
+          log t "client %d: receive timeout, dropping connection" client
+        | Error (Wire.Oversized { length; _ } as e) ->
+          (* Only the 4-byte prefix was consumed; the peer is typically
+             still blocked writing its oversized payload.  Drain it so
+             that write can complete — otherwise the client never gets
+             to read the typed answer, it just sees a reset — then
+             answer once and drop the connection (stream position is
+             undefined past an oversized frame). *)
+          Wire.drain fd length;
           ignore
             (send_response fd
                (Protocol.Error_r { reason = Wire.read_error_to_string e }))
@@ -231,6 +314,17 @@ let accept_loop t fd =
     | _ -> (
       match Unix.accept fd with
       | cfd, _ ->
+        (* Bound both directions: a stalled read (client vanished or
+           trickling) surfaces as [Idle_timeout]; a stalled write (peer
+           not reading its response) fails [send_response].  Either way
+           the connection thread is freed instead of pinned forever. *)
+        (match t.cfg.io_timeout_s with
+        | None -> ()
+        | Some s -> (
+          try
+            Unix.setsockopt_float cfd Unix.SO_RCVTIMEO s;
+            Unix.setsockopt_float cfd Unix.SO_SNDTIMEO s
+          with Unix.Unix_error _ -> ()));
         let client = Atomic.fetch_and_add t.client_counter 1 in
         log t "client %d: connected" client;
         ignore
@@ -301,6 +395,11 @@ let listen_tcp port =
 
 let start cfg =
   let store = Store.open_ ?root:cfg.store_root () in
+  (* Crash-recovery sweep before serving: a predecessor SIGKILLed
+     mid-write leaves orphaned tmp files and possibly torn entries;
+     evicting them here restores the store invariant (every entry
+     verifiable) before the first request can trip over the debris. *)
+  let swept = Store.scan store in
   Runner_backend.install store;
   let t =
     {
@@ -312,6 +411,8 @@ let start cfg =
       misses = Atomic.make 0;
       unmappable = Atomic.make 0;
       errors = Atomic.make 0;
+      timeouts = Atomic.make 0;
+      shed = Atomic.make 0;
       stats_mutex = Mutex.create ();
       hit_us_total = 0.0;
       miss_us_total = 0.0;
@@ -332,6 +433,10 @@ let start cfg =
   t.listeners <- listeners;
   t.accept_threads <-
     List.map (fun fd -> Thread.create (fun () -> accept_loop t fd) ()) listeners;
+  if swept.Store.orphans > 0 || swept.Store.truncated > 0 then
+    log t "store scan: removed %d orphaned tmp file(s), %d truncated entr%s"
+      swept.Store.orphans swept.Store.truncated
+      (if swept.Store.truncated = 1 then "y" else "ies");
   log t "listening on %s%s (store %s, %d stored artifacts)" cfg.socket_path
     (match cfg.tcp_port with
     | None -> ""

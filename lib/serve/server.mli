@@ -25,6 +25,23 @@ type config = {
   jobs : int option;           (** compute worker domains (default
                                    [Pool.default_jobs]) *)
   verbose : bool;              (** log requests to stderr *)
+  deadline_ms : int option;    (** default compute deadline per [map]
+                                   request; a request's own
+                                   [deadline_ms] can only tighten it
+                                   (the two are intersected).  [None] =
+                                   unlimited *)
+  queue_limit : int option;    (** shed [map] misses with
+                                   [Overloaded_r] once the compute
+                                   queue (queued + running) reaches
+                                   this depth; at half this depth
+                                   portfolio requests degrade to beam.
+                                   Store hits are always served.
+                                   [None] = never shed *)
+  io_timeout_s : float option; (** SO_RCVTIMEO/SO_SNDTIMEO on accepted
+                                   connections: a peer that stalls a
+                                   read or write for this long is
+                                   dropped, freeing its thread.  [None]
+                                   = block forever *)
 }
 
 type t

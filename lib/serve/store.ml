@@ -129,3 +129,61 @@ let clear t =
         incr n
       with Sys_error _ -> ());
   !n
+
+(* ---- crash recovery --------------------------------------------------- *)
+
+type scan_report = { orphans : int; truncated : int }
+
+(* A crash can leave exactly two kinds of debris, both bounded by the
+   write protocol (tmp file at the root, then rename):
+
+   - orphaned [tmp.*] files: the process died between opening the temp
+     file and the rename.  Never referenced by any digest path, so
+     removal is always safe.
+   - truncated entries: a torn write that still made it to a final
+     [.art] path (e.g. the filesystem lost the tail on power cut after
+     rename, or debris predating the header format).  The header
+     announces the payload length, so truncation is detectable from
+     file size alone — no digest work, one [input_line] + [stat] per
+     entry.
+
+   [find] would catch the latter lazily (full digest verify on read),
+   but only for keys that are asked for; the startup scan restores the
+   invariant for the whole store, so a daemon restarted after SIGKILL
+   never trips over its predecessor's debris. *)
+let scan t =
+  let orphans = ref 0 in
+  let truncated = ref 0 in
+  if Sys.file_exists t.root then
+    Array.iter
+      (fun name ->
+        if String.length name > 4 && String.sub name 0 4 = "tmp." then begin
+          (try Sys.remove (Filename.concat t.root name)
+           with Sys_error _ -> ());
+          incr orphans
+        end)
+      (Sys.readdir t.root);
+  iter_entries t (fun path ->
+      let intact =
+        try
+          In_channel.with_open_bin path (fun ic ->
+              match In_channel.input_line ic with
+              | None -> false
+              | Some hdr -> (
+                match String.split_on_char ' ' hdr with
+                | [ "cgra-store"; "v1"; md5; len ] -> (
+                  valid_digest md5
+                  &&
+                  match int_of_string_opt len with
+                  | Some l ->
+                    (Unix.stat path).Unix.st_size
+                    = String.length hdr + 1 + l
+                  | None -> false)
+                | _ -> false))
+        with Sys_error _ | Unix.Unix_error _ -> false
+      in
+      if not intact then begin
+        (try Sys.remove path with Sys_error _ -> ());
+        incr truncated
+      end);
+  { orphans = !orphans; truncated = !truncated }

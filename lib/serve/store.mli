@@ -49,3 +49,14 @@ val total_bytes : t -> int
 val clear : t -> int
 (** Remove every entry; returns how many were evicted.  The daemon's
     [clear] admin request path. *)
+
+type scan_report = { orphans : int; truncated : int }
+
+val scan : t -> scan_report
+(** Crash-recovery sweep, run by the daemon at startup: removes
+    orphaned [tmp.*] files (a writer died between temp-file creation
+    and the rename) and truncated entries (the header's recorded
+    length disagrees with the file size — a torn write).  Cheap: one
+    header line and one [stat] per entry, no digest verification
+    (that stays {!find}'s lazy job).  Idempotent; a second scan of an
+    untouched store reports zeros. *)

@@ -144,6 +144,7 @@ type read_error =
   | Eof
   | Truncated of { wanted : int; got : int }
   | Oversized of { length : int; limit : int }
+  | Idle_timeout
 
 let read_error_to_string = function
   | Eof -> "end of stream"
@@ -152,15 +153,24 @@ let read_error_to_string = function
   | Oversized { length; limit } ->
     Printf.sprintf "oversized frame: %d bytes exceeds the %d-byte limit"
       length limit
+  | Idle_timeout -> "receive timeout (SO_RCVTIMEO) expired"
 
-(* [Unix.read] may return short; EINTR restarts. *)
+exception Timed_out_io
+
+(* [Unix.read] may return short; EINTR restarts.  A socket armed with
+   SO_RCVTIMEO fails a stalled read with EAGAIN/EWOULDBLOCK — surfaced
+   as [Timed_out_io] so [read_frame] can turn it into a typed error
+   instead of leaking a raw [Unix_error] into the connection handler. *)
 let really_read fd buf off len =
   let got = ref 0 in
   (try
      while !got < len do
        let r =
          try Unix.read fd buf (off + !got) (len - !got)
-         with Unix.Unix_error (Unix.EINTR, _, _) -> -1
+         with
+         | Unix.Unix_error (Unix.EINTR, _, _) -> -1
+         | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+           raise Timed_out_io
        in
        if r = 0 then raise Exit else if r > 0 then got := !got + r
      done
@@ -168,20 +178,40 @@ let really_read fd buf off len =
   !got
 
 let read_frame fd =
-  let prefix = Bytes.create 4 in
-  match really_read fd prefix 0 4 with
-  | 0 -> Error Eof
-  | g when g < 4 -> Error (Truncated { wanted = 4; got = g })
-  | _ ->
-    let length = Int32.to_int (Bytes.get_int32_be prefix 0) in
-    if length < 0 || length > max_frame then
-      Error (Oversized { length; limit = max_frame })
-    else begin
-      let payload = Bytes.create length in
-      let got = really_read fd payload 0 length in
-      if got < length then Error (Truncated { wanted = length; got })
-      else Ok (Bytes.unsafe_to_string payload)
-    end
+  match
+    let prefix = Bytes.create 4 in
+    match really_read fd prefix 0 4 with
+    | 0 -> Error Eof
+    | g when g < 4 -> Error (Truncated { wanted = 4; got = g })
+    | _ ->
+      let length = Int32.to_int (Bytes.get_int32_be prefix 0) in
+      if length < 0 || length > max_frame then
+        Error (Oversized { length; limit = max_frame })
+      else begin
+        let payload = Bytes.create length in
+        let got = really_read fd payload 0 length in
+        if got < length then Error (Truncated { wanted = length; got })
+        else Ok (Bytes.unsafe_to_string payload)
+      end
+  with
+  | r -> r
+  | exception Timed_out_io -> Error Idle_timeout
+
+(* Read and discard [len] bytes — the unconsumed payload behind an
+   oversized prefix.  Without the drain, a client still blocked writing
+   its too-big frame would fill the socket buffers, never complete the
+   write, and so never read the typed [Oversized] answer the server
+   sends; it would just see the connection die.  Bounded: stops early
+   on EOF, any socket error, or an SO_RCVTIMEO expiry. *)
+let drain fd len =
+  let chunk = Bytes.create 65536 in
+  let left = ref len in
+  try
+    while !left > 0 do
+      let got = really_read fd chunk 0 (min !left (Bytes.length chunk)) in
+      if got = 0 then left := 0 else left := !left - got
+    done
+  with Timed_out_io | Unix.Unix_error _ -> ()
 
 let frame_bytes payload =
   let len = String.length payload in

@@ -36,12 +36,25 @@ type read_error =
       (** stream ended mid-prefix or mid-payload *)
   | Oversized of { length : int; limit : int }
       (** prefix announced more than {!max_frame} bytes *)
+  | Idle_timeout
+      (** the socket's SO_RCVTIMEO expired mid-read: the peer went
+          quiet (vanished, or a slow-loris holding the connection) —
+          close it and free the thread *)
 
 val read_error_to_string : read_error -> string
 
 val read_frame : Unix.file_descr -> (string, read_error) result
-(** Blocking read of one frame's payload.  After [Oversized] the stream
-    position is undefined — close the connection. *)
+(** Blocking read of one frame's payload.  After [Oversized] the
+    announced payload is still unconsumed (only the 4-byte prefix was
+    read) — {!drain} it if you intend to answer before closing, since
+    the stream position is undefined for further frames either way. *)
+
+val drain : Unix.file_descr -> int -> unit
+(** [drain fd n] reads and discards up to [n] bytes.  Used after an
+    [Oversized] prefix so the peer's blocked write can complete and it
+    can read the typed error response instead of a connection reset.
+    Stops early (silently) on EOF, a socket error or a receive
+    timeout. *)
 
 val write_frame : Unix.file_descr -> string -> unit
 (** Write one frame (prefix + payload), handling short writes.  Raises

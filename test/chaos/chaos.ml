@@ -1,0 +1,395 @@
+(* Chaos harness for the cgra_mapd supervision layer.
+
+   Each scenario forks a real daemon process (so SIGKILL is a real
+   SIGKILL, and orphaned tmp files belong to a genuinely dead writer),
+   injects one failure — kill -9 mid-compute, a torn store write, a
+   half-closed socket, a stalled (slow-loris) peer, an oversized frame,
+   an expiring deadline, an overloaded queue — and asserts the service
+   degrades the way DESIGN.md §5h promises: typed errors, no stuck
+   threads, and a restart that recovers byte-identical artifacts.
+
+   Run directly: dune exec test/chaos/chaos.exe [-- --quick]
+   Exit 0 = every scenario held; exit 1 = first broken invariant
+   (with a one-line diagnosis). *)
+
+module Serve = Cgra_serve
+module Client = Serve.Client
+module Store = Serve.Store
+module Wire = Serve.Wire
+module Protocol = Serve.Protocol
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+
+let failures = ref 0
+
+let check name cond =
+  if not cond then begin
+    incr failures;
+    Printf.printf "chaos: FAIL  %s\n%!" name
+  end
+
+let scenario name f =
+  Printf.printf "chaos: ---- %s\n%!" name;
+  let before = !failures in
+  (try f ()
+   with e ->
+     incr failures;
+     Printf.printf "chaos: FAIL  %s raised %s\n%!" name (Printexc.to_string e));
+  if !failures = before then Printf.printf "chaos: OK    %s\n%!" name
+
+(* ---- plumbing --------------------------------------------------------- *)
+
+let tmp_counter = ref 0
+
+let fresh_path prefix =
+  incr tmp_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) !tmp_counter)
+
+let rm_rf path =
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote path)))
+
+(* Fork a daemon child.  The parent has no domains and no extra threads
+   at every fork site, so the fork is safe; the child never returns. *)
+let fork_daemon ?deadline_ms ?queue_limit ?io_timeout_s ?(jobs = 2) ~root
+    ~socket () =
+  match Unix.fork () with
+  | 0 ->
+    (try
+       Serve.Server.serve
+         {
+           Serve.Server.socket_path = socket;
+           tcp_port = None;
+           store_root = Some root;
+           jobs = Some jobs;
+           verbose = false;
+           deadline_ms;
+           queue_limit;
+           io_timeout_s;
+         }
+     with _ -> ());
+    Stdlib.exit 0
+  | pid -> pid
+
+let wait_ready ep =
+  let deadline = Unix.gettimeofday () +. 15.0 in
+  let rec go () =
+    match Client.ping ep with
+    | Ok _ -> true
+    | Error _ ->
+      if Unix.gettimeofday () > deadline then false
+      else begin
+        Thread.delay 0.05;
+        go ()
+      end
+  in
+  go ()
+
+let sigkill pid =
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid)
+
+let sigterm pid =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] pid)
+
+let spec_exn ~slug ~config ~flow =
+  match
+    Serve.Key.spec_of_bundled ~slug ~config ~flow ~opt:Serve.Key.Default
+      ~faults:[]
+  with
+  | Ok s -> s
+  | Error e -> failwith e
+
+(* Fast to compute, the byte-identity witness. *)
+let fir_spec () =
+  spec_exn ~slug:"fir" ~config:Cgra_arch.Config.HET2
+    ~flow:Cgra_core.Flow_config.context_aware
+
+(* Slow to compute (tens of seconds): the SAT backend proving schedule
+   lengths for matrix multiply on the context-starved HOM32 array.
+   [seed] varies the key (it is a semantic knob), giving the overload
+   scenario distinct cache-missing requests. *)
+let slow_spec ?(seed = 0) () =
+  spec_exn ~slug:"matm" ~config:Cgra_arch.Config.HOM32
+    ~flow:
+      {
+        Cgra_core.Flow_config.context_aware with
+        Cgra_core.Flow_config.backend = Cgra_core.Flow_config.Exact;
+        seed;
+      }
+
+(* ---- scenario: torn store writes -------------------------------------- *)
+
+(* No daemon involved: exercise the startup sweep directly.  Plant the
+   two kinds of crash debris the write protocol can leave — an orphaned
+   root-level tmp file and a truncated entry — and check the scan
+   removes exactly them, idempotently, without harming intact data. *)
+let torn_store () =
+  let root = fresh_path "cgra-chaos-store" in
+  Fun.protect ~finally:(fun () -> rm_rf root) @@ fun () ->
+  let store = Store.open_ ~root () in
+  let key_a = String.make 32 'a' and key_b = String.make 32 'b' in
+  Store.put store key_a "payload-a";
+  Store.put store key_b "payload-b";
+  (* orphan: a writer died between temp-file creation and rename *)
+  Out_channel.with_open_bin (Filename.concat root "tmp.99999.0.0") (fun oc ->
+      Out_channel.output_string oc "half a frame");
+  (* torn write: entry b loses its tail *)
+  let entry_b = ref None in
+  Array.iter
+    (fun sub ->
+      let dir = Filename.concat root sub in
+      if String.length sub = 2 && Sys.is_directory dir then
+        Array.iter
+          (fun f ->
+            if Filename.check_suffix f ".art" && sub = "bb" then
+              entry_b := Some (Filename.concat dir f))
+          (Sys.readdir dir))
+    (Sys.readdir root);
+  (match !entry_b with
+  | None -> check "entry for key b exists on disk" false
+  | Some path ->
+    let full = In_channel.with_open_bin path In_channel.input_all in
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc
+          (String.sub full 0 (String.length full - 4))));
+  let swept = Store.scan store in
+  check "scan removes the orphaned tmp file" (swept.Store.orphans = 1);
+  check "scan removes the truncated entry" (swept.Store.truncated = 1);
+  let again = Store.scan store in
+  check "second scan finds nothing"
+    (again.Store.orphans = 0 && again.Store.truncated = 0);
+  (match Store.find store key_a with
+  | Store.Hit bytes -> check "intact entry survives" (bytes = "payload-a")
+  | Store.Miss | Store.Evicted_corrupt _ ->
+    check "intact entry survives" false);
+  match Store.find store key_b with
+  | Store.Miss -> ()
+  | Store.Hit _ | Store.Evicted_corrupt _ ->
+    check "truncated entry is gone (clean miss, no eviction noise)" false
+
+(* ---- scenario: SIGKILL mid-compute, restart recovers ------------------ *)
+
+let sigkill_recovery () =
+  let root = fresh_path "cgra-chaos-kill" in
+  let socket = fresh_path "cgra-chaos-kill" ^ ".sock" in
+  Fun.protect ~finally:(fun () -> rm_rf root) @@ fun () ->
+  let pid = fork_daemon ~root ~socket () in
+  let ep = Client.Unix_socket socket in
+  check "daemon came up" (wait_ready ep);
+  (* compute and store the witness artifact *)
+  let md5_before =
+    match Client.map ~fallback:false ep (fir_spec ()) with
+    | Ok (Client.Artifact { bytes; _ }) -> Digest.to_hex (Digest.string bytes)
+    | _ ->
+      check "fir mapped before the crash" false;
+      ""
+  in
+  (* park a slow request in the daemon, then kill -9 mid-compute *)
+  let slow_result = ref (Error "not started") in
+  let th =
+    Thread.create
+      (fun () ->
+        slow_result :=
+          match Client.map ~fallback:false ep (slow_spec ()) with
+          | Ok _ -> Error "slow request completed before the kill"
+          | Error e -> Ok (Client.map_error_to_string e))
+      ()
+  in
+  Thread.delay 1.0;
+  sigkill pid;
+  Thread.join th;
+  (match !slow_result with
+  | Ok reason ->
+    check "killed daemon yields a typed client error"
+      (String.length reason > 0)
+  | Error e -> check ("typed error from killed daemon: " ^ e) false);
+  (* simulate the debris a mid-write death leaves (the kill itself lands
+     in compute far more often than in the store's microsecond write
+     window, so plant it deterministically) *)
+  Out_channel.with_open_bin (Filename.concat root "tmp.1.0.0") (fun oc ->
+      Out_channel.output_string oc "torn");
+  (* restart on the same store *)
+  let pid2 = fork_daemon ~root ~socket () in
+  Fun.protect ~finally:(fun () -> sigterm pid2) @@ fun () ->
+  check "daemon restarted on the crashed store" (wait_ready ep);
+  check "startup scan swept the orphan"
+    (not (Sys.file_exists (Filename.concat root "tmp.1.0.0")));
+  match Client.map ~fallback:false ep (fir_spec ()) with
+  | Ok (Client.Artifact { bytes; source = Client.Daemon { cached }; _ }) ->
+    check "witness artifact survived the crash as a cache hit" cached;
+    check "bytes identical across the crash"
+      (Digest.to_hex (Digest.string bytes) = md5_before)
+  | _ -> check "witness artifact survived the crash" false
+
+(* ---- scenario: half-closed and stalled (slow-loris) sockets ----------- *)
+
+let starved_sockets () =
+  let root = fresh_path "cgra-chaos-sock" in
+  let socket = fresh_path "cgra-chaos-sock" ^ ".sock" in
+  Fun.protect ~finally:(fun () -> rm_rf root) @@ fun () ->
+  let pid = fork_daemon ~io_timeout_s:1.0 ~root ~socket () in
+  Fun.protect ~finally:(fun () -> sigterm pid) @@ fun () ->
+  let ep = Client.Unix_socket socket in
+  check "daemon came up" (wait_ready ep);
+  let raw_connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX socket);
+    fd
+  in
+  let eof_within s fd =
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+    match Unix.read fd (Bytes.create 64) 0 64 with
+    | 0 -> true
+    | _ -> false
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      false
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> true
+  in
+  (* half-closed: two bytes of length prefix, then FIN *)
+  let hc = raw_connect () in
+  ignore (Unix.write_substring hc "\x00\x00" 0 2);
+  Unix.shutdown hc Unix.SHUTDOWN_SEND;
+  check "half-closed connection is dropped (typed truncated-frame path)"
+    (eof_within 5.0 hc);
+  Unix.close hc;
+  (* slow-loris: two bytes of length prefix, then silence; SO_RCVTIMEO
+     must fire and free the handler thread *)
+  let loris = List.init 4 (fun _ -> raw_connect ()) in
+  List.iter (fun fd -> ignore (Unix.write_substring fd "\x00\x00" 0 2)) loris;
+  (* while the stalled peers hold their sockets, real traffic flows *)
+  (match Client.ping ep with
+  | Ok _ -> ()
+  | Error e -> check ("daemon responsive despite stalled peers: " ^ e) false);
+  check "stalled peers are dropped after the io timeout"
+    (List.for_all (eof_within 5.0) loris);
+  List.iter Unix.close loris
+
+(* ---- scenario: oversized frame gets a typed answer -------------------- *)
+
+let oversized_frame () =
+  let root = fresh_path "cgra-chaos-big" in
+  let socket = fresh_path "cgra-chaos-big" ^ ".sock" in
+  Fun.protect ~finally:(fun () -> rm_rf root) @@ fun () ->
+  let pid = fork_daemon ~root ~socket () in
+  Fun.protect ~finally:(fun () -> sigterm pid) @@ fun () ->
+  let ep = Client.Unix_socket socket in
+  check "daemon came up" (wait_ready ep);
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  let length = Wire.max_frame + 1 in
+  let prefix = Bytes.create 4 in
+  Bytes.set_int32_be prefix 0 (Int32.of_int length);
+  ignore (Unix.write fd prefix 0 4);
+  (* the daemon must drain all of this so we can finish writing and
+     read the typed error instead of catching a reset *)
+  let chunk = Bytes.make 65536 'x' in
+  let remaining = ref length in
+  (try
+     while !remaining > 0 do
+       let n = Unix.write fd chunk 0 (min !remaining (Bytes.length chunk)) in
+       remaining := !remaining - n
+     done
+   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+  check "oversized payload was fully drained by the daemon" (!remaining = 0);
+  (match Wire.read_frame fd with
+  | Ok payload -> (
+    match Wire.parse payload with
+    | Ok sexp -> (
+      match Protocol.response_of_sexp sexp with
+      | Ok (Protocol.Error_r { reason }) ->
+        let mentions_oversized =
+          String.length reason >= 9 && String.sub reason 0 9 = "oversized"
+        in
+        check "typed oversized error names the cause" mentions_oversized
+      | _ -> check "oversized frame answered with Error_r" false)
+    | Error _ -> check "oversized answer parses" false)
+  | Error _ -> check "typed answer before close on oversized frame" false);
+  (* stream position is undefined past the bad frame: connection closes *)
+  match Wire.read_frame fd with
+  | Error Wire.Eof -> ()
+  | _ -> check "connection closed after the oversized answer" false
+
+(* ---- scenario: server-side deadline ----------------------------------- *)
+
+let deadline_timeout () =
+  let root = fresh_path "cgra-chaos-dl" in
+  let socket = fresh_path "cgra-chaos-dl" ^ ".sock" in
+  Fun.protect ~finally:(fun () -> rm_rf root) @@ fun () ->
+  let pid = fork_daemon ~deadline_ms:300 ~root ~socket () in
+  Fun.protect ~finally:(fun () -> sigterm pid) @@ fun () ->
+  let ep = Client.Unix_socket socket in
+  check "daemon came up" (wait_ready ep);
+  let t0 = Unix.gettimeofday () in
+  (match Client.map ~fallback:false ep (slow_spec ()) with
+  | Ok (Client.Timed_out { where }) ->
+    check "timeout names where the search stopped" (String.length where > 0)
+  | _ -> check "slow request under a 300 ms daemon deadline times out" false);
+  check "timeout returned promptly, not after the full compute"
+    (Unix.gettimeofday () -. t0 < 10.0);
+  (* a timed-out outcome must not be cached: the next request computes
+     again (and times out again) rather than replaying a stale verdict
+     or deadlocking on a stranded flight *)
+  match Client.map ~fallback:false ep (slow_spec ()) with
+  | Ok (Client.Timed_out _) -> ()
+  | _ -> check "second request recomputes and times out again" false
+
+(* ---- scenario: overload shedding -------------------------------------- *)
+
+let overload_shed () =
+  let root = fresh_path "cgra-chaos-shed" in
+  let socket = fresh_path "cgra-chaos-shed" ^ ".sock" in
+  Fun.protect ~finally:(fun () -> rm_rf root) @@ fun () ->
+  let pid =
+    fork_daemon ~jobs:1 ~queue_limit:1 ~deadline_ms:2000 ~root ~socket ()
+  in
+  Fun.protect ~finally:(fun () -> sigterm pid) @@ fun () ->
+  let ep = Client.Unix_socket socket in
+  check "daemon came up" (wait_ready ep);
+  (* four distinct slow cache-missing keys against a single worker and a
+     queue limit of one: all but the first-arriving miss must be shed
+     with the typed overloaded response, not queued without bound *)
+  let results = Array.make 4 (Ok (Client.Unmappable { reason = "unset" })) in
+  let threads =
+    List.init 4 (fun i ->
+        Thread.create
+          (fun () ->
+            results.(i) <- Client.map ~fallback:false ep (slow_spec ~seed:i ()))
+          ())
+  in
+  List.iter Thread.join threads;
+  let shed =
+    Array.to_list results
+    |> List.filter (function
+         | Error (Client.Rejected reason) ->
+           String.length reason >= 16
+           && String.sub reason 0 16 = "daemon overloade"
+         | _ -> false)
+    |> List.length
+  in
+  check "concurrent misses past the queue limit are shed" (shed >= 1);
+  (* the daemon survives the storm *)
+  match Client.ping ep with
+  | Ok _ -> ()
+  | Error e -> check ("daemon alive after the storm: " ^ e) false
+
+(* ---- main ------------------------------------------------------------- *)
+
+let () =
+  (* a peer closing mid-write must surface as EPIPE, not kill the harness *)
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  scenario "torn store writes are swept" torn_store;
+  scenario "SIGKILL mid-compute; restart recovers byte-identical artifacts"
+    sigkill_recovery;
+  scenario "half-closed and slow-loris sockets are dropped" starved_sockets;
+  scenario "oversized frames get a typed answer" oversized_frame;
+  scenario "server-side deadline returns typed Timed_out" deadline_timeout;
+  if not quick then scenario "overload sheds with typed backpressure" overload_shed;
+  if !failures > 0 then begin
+    Printf.printf "chaos: %d invariant(s) broken\n%!" !failures;
+    Stdlib.exit 1
+  end;
+  Printf.printf "chaos: all scenarios held\n%!"

@@ -108,6 +108,101 @@ let test_model_deterministic () =
   let m1 = build () and m2 = build () in
   Alcotest.(check bool) "identical models" true (m1 = m2)
 
+(* -- cooperative cancellation -------------------------------------- *)
+
+module Deadline = Cgra_util.Deadline
+
+(* An expired deadline cancels mimicking budget exhaustion, so the
+   solver state stays consistent: the same instance must be solvable to
+   completion afterwards, with the same verdict and model a fresh
+   solver produces. *)
+let test_cancel_then_resume () =
+  let expired = Deadline.after_ms 0 in
+  (* UNSAT instance *)
+  let s = pigeonhole 5 in
+  Alcotest.(check bool) "expired deadline -> Unknown" true
+    (S.solve ~deadline:expired s = S.Unknown);
+  Alcotest.(check bool) "same solver finishes the proof afterwards" true
+    (S.solve s = S.Unsat);
+  (* SAT instance: the post-cancel model matches a fresh solver's *)
+  let build () =
+    let s = S.create () in
+    let v = Array.init 40 (fun _ -> S.new_var s) in
+    for i = 0 to 38 do
+      S.add_clause s [ v.(i); v.(i + 1) ];
+      if i mod 3 = 0 then S.add_clause s [ -v.(i); v.((i + 7) mod 40) ]
+    done;
+    (s, v)
+  in
+  let s1, v1 = build () in
+  Alcotest.(check bool) "cancelled" true
+    (S.solve ~deadline:expired s1 = S.Unknown);
+  Alcotest.(check bool) "resumed to sat" true (S.solve s1 = S.Sat);
+  let s2, v2 = build () in
+  Alcotest.(check bool) "fresh sat" true (S.solve s2 = S.Sat);
+  Alcotest.(check bool) "model identical to an uncancelled solver" true
+    (Array.map (S.value s1) v1 = Array.map (S.value s2) v2)
+
+(* qcheck: on random 3-CNF instances, an armed-but-never-fired deadline
+   is an observer — verdict and model are those of a plain solve — and
+   a cancelled solver re-solves to exactly the fresh solver's answer. *)
+let arb_cnf =
+  let open QCheck.Gen in
+  let gen =
+    int_range 3 12 >>= fun n_vars ->
+    int_range 1 40 >>= fun n_clauses ->
+    let lit = int_range 1 n_vars >>= fun v -> map (fun b -> if b then v else -v) bool in
+    list_size (return n_clauses) (list_size (int_range 1 3) lit)
+  in
+  QCheck.make
+    ~print:(fun cs ->
+      String.concat "; "
+        (List.map
+           (fun c -> String.concat " " (List.map string_of_int c))
+           cs))
+    gen
+
+let build_cnf clauses =
+  let s = S.create () in
+  let n = List.fold_left (List.fold_left (fun m l -> max m (abs l))) 0 clauses in
+  let vars = Array.init n (fun _ -> S.new_var s) in
+  List.iter
+    (fun c ->
+      S.add_clause s
+        (List.map (fun l -> if l > 0 then vars.(l - 1) else -vars.(-l - 1)) c))
+    clauses;
+  (s, vars)
+
+let model_of s vars verdict =
+  match verdict with
+  | S.Sat -> Some (Array.map (S.value s) vars)
+  | S.Unsat | S.Unknown -> None
+
+let prop_deadline_observer =
+  QCheck.Test.make ~name:"unfired deadline leaves verdict and model alone"
+    ~count:200 arb_cnf (fun clauses ->
+      let s_plain, v_plain = build_cnf clauses in
+      let plain = S.solve s_plain in
+      let s_armed, v_armed = build_cnf clauses in
+      let armed = S.solve ~deadline:(Deadline.after_ms 3_600_000) s_armed in
+      plain = armed
+      && model_of s_plain v_plain plain = model_of s_armed v_armed armed)
+
+let prop_cancel_reusable =
+  QCheck.Test.make ~name:"solver is reusable after a mid-solve cancel"
+    ~count:200 arb_cnf (fun clauses ->
+      let s_fresh, v_fresh = build_cnf clauses in
+      let fresh_verdict = S.solve s_fresh in
+      let s_cancel, v_cancel = build_cnf clauses in
+      let cancelled = S.solve ~deadline:(Deadline.after_ms 0) s_cancel in
+      let resumed = S.solve s_cancel in
+      (* a contradiction provable at decision level 0 beats the deadline
+         to the verdict — that is still deterministic, so allowed *)
+      (cancelled = S.Unknown || cancelled = fresh_verdict)
+      && resumed = fresh_verdict
+      && model_of s_fresh v_fresh fresh_verdict
+         = model_of s_cancel v_cancel resumed)
+
 (* -- exact backend end-to-end -------------------------------------- *)
 
 module FC = Cgra_core.Flow_config
@@ -209,6 +304,48 @@ let test_portfolio_jobs_identical () =
   Alcotest.(check string) "jobs 1 = jobs 2" d1 (digest_at 2);
   Alcotest.(check string) "jobs 1 = jobs 8" d1 (digest_at 8)
 
+(* The determinism contract of the deadline: armed but never fired, it
+   is an observer — the assembled program is byte-identical to a run
+   with no deadline at all, for every backend (beam search rounds,
+   exact probes, and the portfolio race's combine rule). *)
+let test_deadline_unfired_identical () =
+  let digest_of ?deadline backend =
+    let fc = cell_config "fir" Config.HOM32 backend in
+    match
+      Flow.run ~config:fc ?deadline (Config.cgra Config.HOM32)
+        (K.cdfg (kernel "fir"))
+    with
+    | Error f ->
+      Alcotest.failf "fir %s failed: %s" (FC.backend_to_string backend)
+        f.Flow.reason
+    | Ok (mapping, _) ->
+      let mapping = { mapping with M.compile_seconds = 0.0 } in
+      Digest.string (Marshal.to_string (Cgra_asm.Assemble.assemble mapping) [])
+  in
+  let armed = Cgra_util.Deadline.after_ms 3_600_000 in
+  List.iter
+    (fun backend ->
+      Alcotest.(check string)
+        (FC.backend_to_string backend ^ ": unfired deadline is bytes-neutral")
+        (digest_of backend)
+        (digest_of ~deadline:armed backend))
+    [ FC.Beam; FC.Exact; FC.Portfolio ]
+
+(* An expired deadline surfaces as the typed failure, never as an
+   exception, and records where the search observed it. *)
+let test_deadline_fired_typed () =
+  let fc = cell_config "fir" Config.HOM32 FC.Beam in
+  match
+    Flow.run ~config:fc ~deadline:(Cgra_util.Deadline.after_ms 0)
+      (Config.cgra Config.HOM32) (K.cdfg (kernel "fir"))
+  with
+  | Ok _ -> Alcotest.fail "expired deadline cannot produce a mapping"
+  | Error f -> (
+    match f.Flow.timed_out with
+    | Some where ->
+      Alcotest.(check bool) "where is recorded" true (String.length where > 0)
+    | None -> Alcotest.failf "failure not typed as timeout: %s" f.Flow.reason)
+
 let suite =
   [
     ( "sat.solver",
@@ -222,6 +359,9 @@ let suite =
         Alcotest.test_case "at_most_k" `Quick test_at_most_k;
         Alcotest.test_case "budget -> Unknown" `Quick test_budget_unknown;
         Alcotest.test_case "deterministic model" `Quick test_model_deterministic;
+        Alcotest.test_case "cancel then resume" `Quick test_cancel_then_resume;
+        QCheck_alcotest.to_alcotest prop_deadline_observer;
+        QCheck_alcotest.to_alcotest prop_cancel_reusable;
       ] );
     ( "sat.exact",
       [
@@ -231,5 +371,9 @@ let suite =
           test_portfolio_never_worse;
         Alcotest.test_case "portfolio byte-identical across jobs" `Slow
           test_portfolio_jobs_identical;
+        Alcotest.test_case "unfired deadline is bytes-neutral" `Slow
+          test_deadline_unfired_identical;
+        Alcotest.test_case "fired deadline is a typed failure" `Quick
+          test_deadline_fired_typed;
       ] );
   ]

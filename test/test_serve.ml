@@ -12,6 +12,10 @@ module Protocol = Serve.Protocol
 
 let fail_on_error = function Ok v -> v | Error e -> Alcotest.fail e
 
+let fail_on_map_error = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Cgra_serve.Client.map_error_to_string e)
+
 (* ---- wire codec ------------------------------------------------------- *)
 
 let rec sexp_equal a b =
@@ -272,6 +276,8 @@ let test_compute_deterministic () =
   | Ok (Compute.Unmappable { reason }), _ | _, Ok (Compute.Unmappable { reason })
     ->
     Alcotest.fail ("fir should map: " ^ reason)
+  | Ok (Compute.Timed_out { where }), _ | _, Ok (Compute.Timed_out { where }) ->
+    Alcotest.fail ("no deadline was armed, yet timed out at " ^ where)
   | Error e, _ | _, Error e -> Alcotest.fail e
 
 let test_compute_unmappable () =
@@ -283,6 +289,7 @@ let test_compute_unmappable () =
   match Compute.run spec with
   | Ok (Compute.Unmappable _) -> ()
   | Ok (Compute.Artifact _) -> Alcotest.fail "fft should overflow HOM32"
+  | Ok (Compute.Timed_out _) -> Alcotest.fail "no deadline was armed"
   | Error e -> Alcotest.fail e
 
 let test_compute_bad_request () =
@@ -317,11 +324,28 @@ let test_protocol_requests () =
     fir_spec ~flow:Cgra_core.Flow_config.context_aware
       ~faults:[ Cgra_arch.Cgra.Dead_tile { tile = 5 } ] ()
   in
-  match roundtrip_request (Protocol.Map spec) with
-  | Protocol.Map spec' ->
-    Alcotest.(check string) "map request preserves the key" (Key.digest spec)
-      (Key.digest spec')
-  | _ -> Alcotest.fail "map"
+  (match roundtrip_request (Protocol.Map { spec; deadline_ms = None }) with
+   | Protocol.Map { spec = spec'; deadline_ms } ->
+     Alcotest.(check string) "map request preserves the key" (Key.digest spec)
+       (Key.digest spec');
+     Alcotest.(check (option int)) "no deadline survives as none" None
+       deadline_ms
+   | _ -> Alcotest.fail "map");
+  (match roundtrip_request (Protocol.Map { spec; deadline_ms = Some 1500 }) with
+   | Protocol.Map { spec = spec'; deadline_ms } ->
+     Alcotest.(check string) "deadline does not perturb the key"
+       (Key.digest spec) (Key.digest spec');
+     Alcotest.(check (option int)) "deadline_ms round-trips" (Some 1500)
+       deadline_ms
+   | _ -> Alcotest.fail "map with deadline");
+  match
+    Wire.parse "(map (kernel fir) (config HET2) (deadline_ms 0))"
+  with
+  | Error e -> Alcotest.fail ("test sexp invalid: " ^ e)
+  | Ok sexp -> (
+    match Protocol.request_of_sexp sexp with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "non-positive deadline should be rejected")
 
 let test_protocol_map_validation () =
   let reject name text =
@@ -358,26 +382,39 @@ let test_protocol_responses () =
      Alcotest.(check bool) "cached" true cached;
      Alcotest.(check string) "binary artifact bytes survive" binary bytes
    | _ -> Alcotest.fail "artifact response");
-  match
-    roundtrip
-      (Protocol.Stats_r
-         {
-           Protocol.hits = 3;
-           misses = 1;
-           unmappable = 0;
-           errors = 2;
-           inflight = 1;
-           stored_entries = 4;
-           stored_bytes = 6400;
-           hit_us_total = 12.5;
-           miss_us_total = 9.75e6;
-           uptime_s = 3.25;
-         })
-  with
-  | Protocol.Stats_r s ->
-    Alcotest.(check int) "hits" 3 s.Protocol.hits;
-    Alcotest.(check (float 0.0)) "floats exact" 9.75e6 s.Protocol.miss_us_total
-  | _ -> Alcotest.fail "stats response"
+  (match
+     roundtrip
+       (Protocol.Stats_r
+          {
+            Protocol.hits = 3;
+            misses = 1;
+            unmappable = 0;
+            errors = 2;
+            timeouts = 5;
+            shed = 7;
+            inflight = 1;
+            stored_entries = 4;
+            stored_bytes = 6400;
+            hit_us_total = 12.5;
+            miss_us_total = 9.75e6;
+            uptime_s = 3.25;
+          })
+   with
+   | Protocol.Stats_r s ->
+     Alcotest.(check int) "hits" 3 s.Protocol.hits;
+     Alcotest.(check int) "timeouts" 5 s.Protocol.timeouts;
+     Alcotest.(check int) "shed" 7 s.Protocol.shed;
+     Alcotest.(check (float 0.0)) "floats exact" 9.75e6
+       s.Protocol.miss_us_total
+   | _ -> Alcotest.fail "stats response");
+  (match roundtrip (Protocol.Timed_out_r { where = "exact solve b0" }) with
+   | Protocol.Timed_out_r { where } ->
+     Alcotest.(check string) "timed-out carries where" "exact solve b0" where
+   | _ -> Alcotest.fail "timed-out response");
+  match roundtrip (Protocol.Overloaded_r { queue_depth = 12 }) with
+  | Protocol.Overloaded_r { queue_depth } ->
+    Alcotest.(check int) "overloaded carries depth" 12 queue_depth
+  | _ -> Alcotest.fail "overloaded response"
 
 (* ---- end-to-end over a live socket ------------------------------------ *)
 
@@ -392,6 +429,9 @@ let test_e2e_daemon () =
         store_root = Some root;
         jobs = Some 2;
         verbose = false;
+        deadline_ms = None;
+        queue_limit = None;
+        io_timeout_s = None;
       }
   in
   let ep = Serve.Client.Unix_socket socket_path in
@@ -406,13 +446,15 @@ let test_e2e_daemon () =
       (* two clients race the same cold key: single-flight must hand both
          the same bytes, computed once *)
       let ask () =
-        fail_on_error (Serve.Client.map ~fallback:false ep spec)
+        fail_on_map_error (Serve.Client.map ~fallback:false ep spec)
       in
       let d1 = Domain.spawn ask and d2 = Domain.spawn ask in
       let r1 = Domain.join d1 and r2 = Domain.join d2 in
       let bytes_of = function
         | Serve.Client.Artifact { bytes; _ } -> bytes
         | Serve.Client.Unmappable { reason } -> Alcotest.fail reason
+        | Serve.Client.Timed_out { where } ->
+          Alcotest.fail ("no deadline was armed, yet timed out at " ^ where)
       in
       let b1 = bytes_of r1 and b2 = bytes_of r2 in
       Alcotest.(check string) "concurrent clients get identical bytes" b1 b2;
@@ -420,7 +462,8 @@ let test_e2e_daemon () =
       (match Compute.run spec with
        | Ok (Compute.Artifact { bytes; _ }) ->
          Alcotest.(check string) "daemon bytes equal local bytes" bytes b1
-       | _ -> Alcotest.fail "local compute failed");
+       | Ok (Compute.Unmappable _ | Compute.Timed_out _) | Error _ ->
+         Alcotest.fail "local compute failed");
       (* a third request is a store hit *)
       (match ask () with
        | Serve.Client.Artifact { source = Serve.Client.Daemon { cached }; bytes; _ }
@@ -434,9 +477,10 @@ let test_e2e_daemon () =
           (Key.spec_of_bundled ~slug:"fft" ~config:Cgra_arch.Config.HOM32
              ~flow:Cgra_core.Flow_config.basic ~opt:Key.Default ~faults:[])
       in
-      (match fail_on_error (Serve.Client.map ~fallback:false ep fft) with
+      (match fail_on_map_error (Serve.Client.map ~fallback:false ep fft) with
        | Serve.Client.Unmappable _ -> ()
-       | Serve.Client.Artifact _ -> Alcotest.fail "fft@HOM32 should not map");
+       | Serve.Client.Artifact _ -> Alcotest.fail "fft@HOM32 should not map"
+       | Serve.Client.Timed_out _ -> Alcotest.fail "no deadline was armed");
       (* stats reflect the traffic on one persistent connection *)
       fail_on_error
         (Serve.Client.with_conn ep (fun c ->
@@ -478,6 +522,9 @@ let test_socket_collision () =
         store_root = Some root;
         jobs = Some 1;
         verbose = false;
+        deadline_ms = None;
+        queue_limit = None;
+        io_timeout_s = None;
       }
   in
   Fun.protect
@@ -496,6 +543,9 @@ let test_socket_collision () =
              store_root = Some (fresh_dir "cgra-mapd-collide2");
              jobs = Some 1;
              verbose = false;
+             deadline_ms = None;
+             queue_limit = None;
+             io_timeout_s = None;
            }
        with
       | exception Serve.Server.Address_in_use { path } ->
