@@ -25,6 +25,13 @@
    --faults N sets how many random permanent faults each repair_report
    trial injects (default 2); must be positive.
 
+   --protect none|parity|secded (or a per-size-class csv, e.g.
+   cm64=secded,cm32=parity,cm16=none) runs fault_report campaigns through
+   the context-memory ECC fetch path and adds detected/corrected columns.
+   The protection_report artifact always sweeps all three uniform levels
+   and ignores the flag.  With the default (none), every artifact is
+   byte-identical to the unprotected harness.
+
    --quick shrinks the optimality_report grid (two kernels, HOM64 and
    HOM32) so CI can smoke the exact SAT backend without paying for the
    full kernel x configuration sweep.  Quick and full tables are each
@@ -697,40 +704,65 @@ let parse_flags args =
       Printf.eprintf "invalid %s value %S (expected full|incremental)\n" flag n;
       exit 1
   in
-  let rec go jobs opt trials faults mode quick acc = function
-    | [] -> (jobs, opt, trials, faults, mode, quick, List.rev acc)
+  let protection flag n =
+    match Cgra_arch.Protection.profile_of_string n with
+    | Some p -> p
+    | None ->
+      Printf.eprintf "invalid %s value %S (expected %s)\n" flag n
+        Cgra_arch.Protection.valid_values;
+      exit 1
+  in
+  let rec go jobs opt trials faults mode quick protect acc = function
+    | [] -> (jobs, opt, trials, faults, mode, quick, protect, List.rev acc)
     | ("--jobs" | "-j") :: n :: rest ->
-      go (Some (parse "--jobs" n)) opt trials faults mode quick acc rest
+      go (Some (parse "--jobs" n)) opt trials faults mode quick protect acc rest
     | [ ("--jobs" | "-j") ] -> bad "--jobs" "<missing>"
     | arg :: rest when starts_with "--jobs=" arg ->
       let n = String.sub arg 7 (String.length arg - 7) in
-      go (Some (parse "--jobs" n)) opt trials faults mode quick acc rest
+      go (Some (parse "--jobs" n)) opt trials faults mode quick protect acc rest
     | "--trials" :: n :: rest ->
-      go jobs opt (Some (positive "--trials" n)) faults mode quick acc rest
+      go jobs opt (Some (positive "--trials" n)) faults mode quick protect acc
+        rest
     | [ "--trials" ] -> bad "--trials" "<missing>"
     | arg :: rest when starts_with "--trials=" arg ->
       let n = String.sub arg 9 (String.length arg - 9) in
-      go jobs opt (Some (positive "--trials" n)) faults mode quick acc rest
+      go jobs opt (Some (positive "--trials" n)) faults mode quick protect acc
+        rest
     | "--faults" :: n :: rest ->
-      go jobs opt trials (Some (positive "--faults" n)) mode quick acc rest
+      go jobs opt trials (Some (positive "--faults" n)) mode quick protect acc
+        rest
     | [ "--faults" ] -> bad "--faults" "<missing>"
     | arg :: rest when starts_with "--faults=" arg ->
       let n = String.sub arg 9 (String.length arg - 9) in
-      go jobs opt trials (Some (positive "--faults" n)) mode quick acc rest
+      go jobs opt trials (Some (positive "--faults" n)) mode quick protect acc
+        rest
     | "--mode" :: n :: rest ->
-      go jobs opt trials faults (Some (repair_mode "--mode" n)) quick acc rest
+      go jobs opt trials faults (Some (repair_mode "--mode" n)) quick protect
+        acc rest
     | [ "--mode" ] -> bad "--mode" "<missing>"
     | arg :: rest when starts_with "--mode=" arg ->
       let n = String.sub arg 7 (String.length arg - 7) in
-      go jobs opt trials faults (Some (repair_mode "--mode" n)) quick acc rest
-    | "--opt" :: rest -> go jobs true trials faults mode quick acc rest
-    | "--quick" :: rest -> go jobs opt trials faults mode true acc rest
-    | arg :: rest -> go jobs opt trials faults mode quick (arg :: acc) rest
+      go jobs opt trials faults (Some (repair_mode "--mode" n)) quick protect
+        acc rest
+    | "--protect" :: n :: rest ->
+      go jobs opt trials faults mode quick
+        (Some (protection "--protect" n))
+        acc rest
+    | [ "--protect" ] -> bad "--protect" "<missing>"
+    | arg :: rest when starts_with "--protect=" arg ->
+      let n = String.sub arg 10 (String.length arg - 10) in
+      go jobs opt trials faults mode quick
+        (Some (protection "--protect" n))
+        acc rest
+    | "--opt" :: rest -> go jobs true trials faults mode quick protect acc rest
+    | "--quick" :: rest -> go jobs opt trials faults mode true protect acc rest
+    | arg :: rest ->
+      go jobs opt trials faults mode quick protect (arg :: acc) rest
   in
-  go None false None None None false [] args
+  go None false None None None false None [] args
 
 let () =
-  let jobs, opt, trials, faults, mode, quick, rest =
+  let jobs, opt, trials, faults, mode, quick, protect, rest =
     parse_flags (List.tl (Array.to_list Sys.argv))
   in
   if opt then Cgra_exp.Runner.set_opt_mode Cgra_exp.Runner.Optimized;
@@ -738,6 +770,7 @@ let () =
   Option.iter Cgra_exp.Figures.set_repair_trials trials;
   Option.iter Cgra_exp.Figures.set_repair_faults faults;
   Option.iter Cgra_exp.Figures.set_repair_mode mode;
+  Option.iter Cgra_exp.Figures.set_protection protect;
   if quick then Cgra_exp.Figures.set_optimality_quick true;
   let warm () = Cgra_exp.Runner.warm ?jobs () in
   match rest with
@@ -763,7 +796,7 @@ let () =
   | _ ->
     prerr_endline
       "usage: main.exe [--jobs N] [--opt] [--trials N] [--faults N] \
-       [--mode full|incremental] \
+       [--mode full|incremental] [--protect none|parity|secded] \
        [<artifact>|all|micro|ablation|alloc_check|serve_report|resilience_report|list]   \
        (artifact names: main.exe list)";
     exit 1

@@ -4,8 +4,9 @@
    cgra_map map -k <kernel> [-c <config>] [-f <flow>] [--opt] [--jobs N]
                 [--trace FILE] [--dump-dfg before|after] [--asm] [--simulate]
                 [--validate] [--degrade] [--max-attempts N] [--faults FILE]
+                [--protect none|parity|secded]
    cgra_map fault -k <kernel> [-c <config>] [-f <flow>] [--seed N]
-                  [--trials K] [--show M]
+                  [--trials K] [--show M] [--protect none|parity|secded]
    cgra_map compile <file>        compile a kernel-language source file
    cgra_map artifacts <name|all>  regenerate paper tables/figures *)
 
@@ -62,6 +63,31 @@ let flow_conv =
     | None -> Error (`Msg ("unknown flow " ^ s ^ " (basic|acmap|ecmap|full)"))
   in
   Arg.conv (parse, fun fmt f -> Format.fprintf fmt "%s" (Cgra_core.Flow_config.steps_of f))
+
+(* Bad --protect values fail as one-line typed errors (exit 1) naming the
+   valid forms, matching the daemon's knob diagnostics. *)
+let protect_of_flag s =
+  match Cgra_arch.Protection.profile_of_string s with
+  | Some p -> p
+  | None ->
+    Printf.eprintf "--protect: unknown value %S (valid: %s)\n" s
+      Cgra_arch.Protection.valid_values;
+    exit 1
+
+let protect_arg ~doc =
+  Arg.(value & opt string "none" & info [ "protect" ] ~doc ~docv:"LEVEL")
+
+(* The simulator-facing form of a protection profile: [None] when the
+   profile is all-Unprotected so the unprotected code path runs. *)
+let sim_protect_of profile =
+  if Cgra_arch.Protection.is_none profile then None
+  else
+    Some
+      {
+        Cgra_sim.Simulator.profile;
+        upsets = [];
+        scrub_interval = Cgra_arch.Protection.default_scrub_interval;
+      }
 
 let list_cmd =
   let doc = "List the bundled kernels and CGRA configurations." in
@@ -227,8 +253,17 @@ let map_cmd =
       stats.Cgra_core.Flow.recomputes stats.Cgra_core.Flow.population_peak;
     write_file_or_die ~what:"--trace" file (Buffer.contents buf)
   in
+  let protect =
+    protect_arg
+      ~doc:
+        "Context-memory protection profile: $(b,none), $(b,parity), \
+         $(b,secded), or a per-size-class csv (cm64=secded,cm32=parity,\
+         cm16=none).  Part of the artifact key; --simulate and --emit run \
+         through the ECC fetch path and account its energy."
+  in
   let run slug config flow opt jobs validate degrade max_attempts faults_file
-      trace dump_dfg emit dump_asm schedule simulate backend =
+      trace dump_dfg emit dump_asm schedule simulate backend protect =
+    let protection = protect_of_flag protect in
     match Cgra_kernels.Kernels.by_slug slug with
     | None ->
       Printf.eprintf "unknown kernel %s (try: cgra_map list)\n" slug;
@@ -253,8 +288,9 @@ let map_cmd =
         { flow with
           Cgra_core.Flow_config.optimize = opt; expand_jobs = max 1 jobs;
           validate; degrade; max_attempts = max 1 max_attempts; faults;
-          backend }
+          backend; protection }
       in
+      let sim_protect = sim_protect_of protection in
       let opt_verify =
         if opt then
           Some
@@ -325,8 +361,14 @@ let map_cmd =
                exit 1
            in
            let mem = Cgra_kernels.Kernel_def.fresh_mem k in
-           let r = Cgra_sim.Simulator.run prog ~mem in
-           let e = Cgra_power.Energy.cgra m.Cgra_core.Mapping.cgra r in
+           let r = Cgra_sim.Simulator.run ?protect:sim_protect prog ~mem in
+           let e =
+             match sim_protect with
+             | None -> Cgra_power.Energy.cgra m.Cgra_core.Mapping.cgra r
+             | Some _ ->
+               Cgra_power.Energy.cgra ~protect:protection
+                 m.Cgra_core.Mapping.cgra r
+           in
            let bytes =
              Serve.Artifact.render ~key_digest:(Serve.Key.digest spec) ~spec
                prog r e
@@ -340,21 +382,37 @@ let map_cmd =
             prog.Cgra_asm.Assemble.tiles;
         if simulate then begin
           let mem = Cgra_kernels.Kernel_def.fresh_mem k in
-          let r = Cgra_sim.Simulator.run prog ~mem in
+          let r = Cgra_sim.Simulator.run ?protect:sim_protect prog ~mem in
           let ok = mem = Cgra_kernels.Kernel_def.run_golden k in
-          let e = Cgra_power.Energy.cgra m.Cgra_core.Mapping.cgra r in
+          let e =
+            match sim_protect with
+            | None -> Cgra_power.Energy.cgra m.Cgra_core.Mapping.cgra r
+            | Some _ ->
+              Cgra_power.Energy.cgra ~protect:protection
+                m.Cgra_core.Mapping.cgra r
+          in
           Format.printf
             "simulated: %d cycles (%d stalls), functional check %s, %.3f uJ@."
             r.Cgra_sim.Simulator.cycles r.Cgra_sim.Simulator.stall_cycles
             (if ok then "PASSED" else "FAILED")
             (Cgra_power.Energy.to_uj e.Cgra_power.Energy.total_pj);
+          (match (r.Cgra_sim.Simulator.ecc, sim_protect) with
+           | Some ecc, Some _ ->
+             Format.printf
+               "protection %s: %d detected, %d corrected, %d scrub cycles, \
+                %.1f pJ ECC@."
+               (Cgra_arch.Protection.profile_to_string protection)
+               ecc.Cgra_sim.Simulator.detected ecc.Cgra_sim.Simulator.corrected
+               ecc.Cgra_sim.Simulator.scrub_cycles
+               e.Cgra_power.Energy.protect_pj
+           | _ -> ());
           if not ok then exit 3
         end)
   in
   Cmd.v (Cmd.info "map" ~doc)
     Term.(const run $ kernel $ config $ flow $ opt $ jobs $ validate $ degrade
           $ max_attempts $ faults_file $ trace $ dump_dfg $ emit $ dump_asm
-          $ schedule $ simulate $ backend)
+          $ schedule $ simulate $ backend $ protect)
 
 let fault_cmd =
   let doc =
@@ -392,7 +450,16 @@ let fault_cmd =
              ~doc:"Print the first $(docv) non-masked trials in full."
              ~docv:"M")
   in
-  let run slug config flow seed trials jobs show =
+  let protect =
+    protect_arg
+      ~doc:
+        "Run the campaign through the context-memory ECC fetch path at this \
+         protection profile ($(b,none), $(b,parity), $(b,secded), or a \
+         per-size-class csv).  Injection sites are identical at every \
+         level; the summary gains detected/corrected counts."
+  in
+  let run slug config flow seed trials jobs show protect =
+    let protection = protect_of_flag protect in
     if trials <= 0 then begin
       Printf.eprintf "--trials must be positive (got %d)\n" trials;
       exit 1
@@ -417,7 +484,7 @@ let fault_cmd =
             (Cgra_core.Flow_config.steps_of flow)
         in
         let c =
-          F.run_campaign ?jobs ~seed ~trials ~key
+          F.run_campaign ?jobs ~protect:protection ~seed ~trials ~key
             ~fresh_mem:(fun () -> Cgra_kernels.Kernel_def.fresh_mem k)
             program
         in
@@ -428,6 +495,10 @@ let fault_cmd =
           key s.F.trials seed c.F.golden_cycles s.F.masked s.F.wrong_output
           s.F.crash s.F.hang
           (100.0 *. float_of_int s.F.masked /. float_of_int s.F.trials);
+        if not (Cgra_arch.Protection.is_none protection) then
+          Printf.printf "protection %s: detected %d, corrected %d\n"
+            (Cgra_arch.Protection.profile_to_string protection)
+            s.F.detected s.F.corrected;
         let interesting =
           List.filter (fun (t : F.trial) -> t.F.outcome <> F.Masked) c.F.runs
         in
@@ -440,7 +511,8 @@ let fault_cmd =
           interesting)
   in
   Cmd.v (Cmd.info "fault" ~doc)
-    Term.(const run $ kernel $ config $ flow $ seed $ trials $ jobs $ show)
+    Term.(const run $ kernel $ config $ flow $ seed $ trials $ jobs $ show
+          $ protect)
 
 let compile_cmd =
   let doc = "Compile a kernel-language source file and print its CDFG." in
@@ -581,8 +653,16 @@ let remote_cmd =
                    before giving up (or falling back locally)."
              ~docv:"N")
   in
+  let protect =
+    protect_arg
+      ~doc:
+        "Context-memory protection profile of the request ($(b,none), \
+         $(b,parity), $(b,secded), or a per-size-class csv).  A serve-key \
+         knob: each profile has its own content address and store entry."
+  in
   let run kernel config flow opt faults_file socket tcp emit stats clear
-      shutdown ping no_fallback deadline_ms retries backend =
+      shutdown ping no_fallback deadline_ms retries backend protect =
+    let protection = protect_of_flag protect in
     let endpoint =
       match tcp with
       | Some port -> Serve.Client.Tcp ("127.0.0.1", port)
@@ -663,7 +743,8 @@ let remote_cmd =
             exit 1)
       in
       let flow =
-        { flow with Cgra_core.Flow_config.optimize = opt; faults; backend }
+        { flow with
+          Cgra_core.Flow_config.optimize = opt; faults; backend; protection }
       in
       let spec =
         match
@@ -720,7 +801,7 @@ let remote_cmd =
   Cmd.v (Cmd.info "remote" ~doc)
     Term.(const run $ kernel $ config $ flow $ opt $ faults_file $ socket $ tcp
           $ emit $ stats $ clear $ shutdown $ ping $ no_fallback $ deadline
-          $ retries $ backend)
+          $ retries $ backend $ protect)
 
 let artifacts_cmd =
   let doc = "Regenerate the paper's tables and figures." in

@@ -1,0 +1,68 @@
+(* Context-memory protection profiles.  A profile assigns a protection
+   kind per CM size class (the Table-I bank sizes), so heterogeneous
+   configurations can pay for ECC only on the large banks where most
+   context bits live. *)
+
+type kind = Unprotected | Parity | Secded
+
+type profile = { cm64 : kind; cm32 : kind; cm16 : kind }
+
+let none = { cm64 = Unprotected; cm32 = Unprotected; cm16 = Unprotected }
+let uniform k = { cm64 = k; cm32 = k; cm16 = k }
+let parity = uniform Parity
+let secded = uniform Secded
+let is_none p = p = none
+
+let for_cm p ~cm_words =
+  if cm_words >= 64 then p.cm64 else if cm_words >= 32 then p.cm32 else p.cm16
+
+(* Check bits stored alongside each 64-bit context word: a single parity
+   bit, or Hamming(71,64) + overall parity for SECDED. *)
+let check_bits_of_kind = function Unprotected -> 0 | Parity -> 1 | Secded -> 8
+
+(* Background scrub cadence (global cycles between full passes over every
+   protected context memory).  See DESIGN.md section 5i. *)
+let default_scrub_interval = 1024
+
+let kind_to_string = function
+  | Unprotected -> "none"
+  | Parity -> "parity"
+  | Secded -> "secded"
+
+let kind_of_string = function
+  | "none" -> Some Unprotected
+  | "parity" -> Some Parity
+  | "secded" -> Some Secded
+  | _ -> None
+
+let profile_to_string p =
+  if p = uniform p.cm64 then kind_to_string p.cm64
+  else
+    Printf.sprintf "cm64=%s,cm32=%s,cm16=%s" (kind_to_string p.cm64)
+      (kind_to_string p.cm32) (kind_to_string p.cm16)
+
+(* Accepts a uniform kind name, or a comma-separated per-class assignment
+   such as "cm64=secded,cm32=parity,cm16=none" (every class named exactly
+   once, any order). *)
+let profile_of_string s =
+  match kind_of_string s with
+  | Some k -> Some (uniform k)
+  | None ->
+    let parts = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Some acc
+      | part :: rest -> (
+        match String.index_opt part '=' with
+        | None -> None
+        | Some i -> (
+          let cls = String.sub part 0 i in
+          let v = String.sub part (i + 1) (String.length part - i - 1) in
+          match (cls, kind_of_string v) with
+          | "cm64", Some k -> go { acc with cm64 = k } rest
+          | "cm32", Some k -> go { acc with cm32 = k } rest
+          | "cm16", Some k -> go { acc with cm16 = k } rest
+          | _, _ -> None))
+    in
+    if List.length parts = 3 then go none parts else None
+
+let valid_values = "none|parity|secded or cm64=K,cm32=K,cm16=K"

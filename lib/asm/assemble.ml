@@ -293,6 +293,12 @@ let encode_tile tp =
   |> List.concat_map (fun sec -> List.map Isa.encode sec)
   |> Array.of_list
 
+(* Check bits stored alongside the context words (encode-on-write): one
+   entry per word of [encode_tile tp], computed from the pristine image —
+   the words themselves are never perturbed, so protection-off images
+   stay byte-identical. *)
+let check_words kind tp = Array.map (Ecc.check_bits kind) (encode_tile tp)
+
 let pp_tile fmt (t, tp) =
   Format.fprintf fmt "@[<v>tile T%02d (%d words)@," t tp.words;
   Array.iteri

@@ -42,5 +42,10 @@ val encode_tile : tile_program -> int64 array
 (** Binary image of one tile's context memory ({!Cgra_arch.Isa.encode}
     applied section by section). *)
 
+val check_words : Cgra_arch.Protection.kind -> tile_program -> int array
+(** Per-word ECC/parity check bits of {!encode_tile}'s image
+    ({!Ecc.check_bits} on each pristine word — the encode-on-write side
+    of context-memory protection).  The image itself is unchanged. *)
+
 val pp_tile : Format.formatter -> int * tile_program -> unit
 (** Assembly listing of one tile. *)

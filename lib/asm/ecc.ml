@@ -1,0 +1,97 @@
+(* SECDED / parity check-bit codec for 64-bit context words.
+
+   The data word is never re-encoded: check bits live in a separate
+   per-word field computed from the stored word, so protection-off images
+   are bit-for-bit the unprotected ones.
+
+   SECDED is the standard Hamming(71,64) extended with an overall parity
+   bit.  Data bits occupy codeword positions 1..71 skipping the powers of
+   two; the seven Hamming check bits c0..c6 sit at positions 1,2,4,...,64
+   and each covers the data positions with that bit set, so the recomputed
+   syndrome of a single-bit error is the error's position.  The overall
+   parity bit distinguishes single (correctable) from double (detected,
+   uncorrectable) errors. *)
+
+module P = Cgra_arch.Protection
+
+type verdict = Clean | Corrected of int64 | Detected
+
+let parity64 (w : int64) =
+  let x = Int64.logxor w (Int64.shift_right_logical w 32) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 16) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 8) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 4) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 2) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 1) in
+  Int64.to_int (Int64.logand x 1L)
+
+let parity_int x =
+  let x = x lxor (x lsr 4) in
+  let x = x lxor (x lsr 2) in
+  let x = x lxor (x lsr 1) in
+  x land 1
+
+let is_pow2 n = n land (n - 1) = 0
+
+(* Codeword position of each data bit (64 entries, values in 3..71), and
+   the inverse map position -> data bit (-1 at check positions). *)
+let pos_of_data, data_of_pos =
+  let pos = Array.make 64 0 and inv = Array.make 72 (-1) in
+  let d = ref 0 in
+  let p = ref 1 in
+  while !d < 64 do
+    if not (is_pow2 !p) then begin
+      pos.(!d) <- !p;
+      inv.(!p) <- !d;
+      incr d
+    end;
+    incr p
+  done;
+  (pos, inv)
+
+let bit w i = Int64.logand (Int64.shift_right_logical w i) 1L = 1L
+
+(* Seven Hamming check bits of a data word, packed as an int (c_i at bit
+   i, i.e. the syndrome value directly). *)
+let hamming7 (w : int64) =
+  let c = ref 0 in
+  for d = 0 to 63 do
+    if bit w d then c := !c lxor pos_of_data.(d)
+  done;
+  !c
+
+let secded_bits (w : int64) =
+  let h = hamming7 w in
+  (* Overall parity covers the data and the seven Hamming bits. *)
+  let p = parity64 w lxor parity_int h in
+  h lor (p lsl 7)
+
+let check_bits kind (w : int64) =
+  match kind with
+  | P.Unprotected -> 0
+  | P.Parity -> parity64 w
+  | P.Secded -> secded_bits w
+
+let decode kind ~(data : int64) ~check =
+  match kind with
+  | P.Unprotected -> Clean
+  | P.Parity -> if parity64 data = check then Clean else Detected
+  | P.Secded ->
+    let stored_h = check land 0x7f and stored_p = (check lsr 7) land 1 in
+    let syndrome = stored_h lxor hamming7 data in
+    let total =
+      stored_p lxor parity64 data lxor parity_int stored_h
+    in
+    if syndrome = 0 then
+      (* total = 1 would mean the overall parity bit itself flipped —
+         the data is intact either way. *)
+      Clean
+    else if total = 1 then
+      if syndrome < 72 && data_of_pos.(syndrome) >= 0 then
+        Corrected
+          (Int64.logxor data (Int64.shift_left 1L data_of_pos.(syndrome)))
+      else
+        (* A check-bit position (or an out-of-range syndrome from a
+           multi-bit pattern): the data word is intact. *)
+        Corrected data
+    else Detected

@@ -23,6 +23,7 @@ type t = {
   max_attempts : int;
   faults : Cgra_arch.Cgra.fault list;
   backend : backend;
+  protection : Cgra_arch.Protection.profile;
 }
 
 let default =
@@ -48,6 +49,7 @@ let default =
     max_attempts = 6;
     faults = [];
     backend = Beam;
+    protection = Cgra_arch.Protection.none;
   }
 
 let basic = default

@@ -101,6 +101,12 @@ type t = {
       (** which mapper produces each block's placement (default
           [Beam]).  Semantic: the choice changes the artifact bytes,
           so it is part of the serve-store content address. *)
+  protection : Cgra_arch.Protection.profile;
+      (** context-memory protection applied at simulation and energy
+          accounting time (default {!Cgra_arch.Protection.none}).
+          Mapping itself is unaffected — check bits live beside the
+          context words — but cycles/energy in the artifact change, so
+          the profile is part of the serve-store content address. *)
 }
 
 val default : t

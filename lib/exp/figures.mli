@@ -69,13 +69,31 @@ val set_fault_trials : int -> unit
     >= 1) — how the bench [--trials] flag sizes the campaigns.  Call
     before rendering. *)
 
+val set_protection : Cgra_arch.Protection.profile -> unit
+(** Context-memory protection profile used by {!fault_report} (default
+    {!Cgra_arch.Protection.none}) — the bench [--protect] flag.  Call
+    before rendering; with the default, every artifact is byte-identical
+    to the unprotected tool. *)
+
 val fault_report : unit -> string
 (** Not in the paper: per-kernel single-bit fault-injection campaigns
     ([Cgra_verify.Fault]) over the full context-aware flow on HET2 —
     injection counts per target (context memory, constant pool, register
     file) and outcome counts (masked / wrong-output / crash / hang).
+    Under {!set_protection}, campaigns run through the ECC fetch path and
+    the table gains detected / corrected columns; with protection off the
+    output is byte-identical to the historical report.
     Deterministic: per-trial keyed RNG splits make the table byte-identical
     at any [--jobs] value and across reruns with the same seed. *)
+
+val protection_report : unit -> string
+(** Not in the paper: the pay-for-protection grid.  Per (kernel, Table-I
+    configuration) cell of the full context-aware flow, one CM-only
+    single-bit injection campaign per protection level (none / parity /
+    secded) over the {e same} upset sites, tabulating masked / detected /
+    corrected / escaped counts and the fault-free energy overhead of each
+    level vs the unprotected run.  Uses {!set_fault_trials} for the
+    per-cell trial count.  Deterministic at any [--jobs] value. *)
 
 val set_repair_trials : int -> unit
 (** Trials per (kernel, configuration) cell used by {!repair_report}
@@ -126,7 +144,8 @@ val artifacts : (string * (unit -> string)) list
 
 val extra_artifacts : (string * (unit -> string)) list
 (** Beyond-the-paper artifacts ({!opt_report}, {!search_report},
-    {!fault_report}); not part of [run_all] so the seed output stays
+    {!fault_report}, {!protection_report}, {!repair_report},
+    {!optimality_report}); not part of [run_all] so the seed output stays
     byte-identical. *)
 
 val all_artifacts : (string * (unit -> string)) list

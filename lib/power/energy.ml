@@ -10,6 +10,7 @@ type breakdown = {
   moves_pj : float;
   memory_pj : float;
   leakage_pj : float;
+  protect_pj : float;
   total_pj : float;
 }
 
@@ -30,6 +31,26 @@ let e_dmem = 2.0
 let cm_leak_uw_per_um2 = 0.002
 let leak_uw_per_um2 = 0.0004
 
+(* Context-memory protection: per-word check/encode event energies.  The
+   parity tree is a 64-bit XOR reduction; SECDED adds the seven Hamming
+   trees plus the correction mux, so checks cost roughly the ratio of
+   their XOR-tree sizes.  Encode (at configuration load) pays slightly
+   more than check for the write of the check bits themselves. *)
+let e_parity_check = 0.012
+let e_parity_encode = 0.015
+let e_secded_check = 0.05
+let e_secded_encode = 0.065
+
+let e_check = function
+  | Cgra_arch.Protection.Unprotected -> 0.0
+  | Cgra_arch.Protection.Parity -> e_parity_check
+  | Cgra_arch.Protection.Secded -> e_secded_check
+
+let e_encode = function
+  | Cgra_arch.Protection.Unprotected -> 0.0
+  | Cgra_arch.Protection.Parity -> e_parity_encode
+  | Cgra_arch.Protection.Secded -> e_secded_encode
+
 (* CPU side: instruction-cache fetch + decode + forwarding-network RF per
    retired instruction, plus an ungated clock-tree/pipeline background
    cost every cycle — the single-issue core cannot clock-gate the way the
@@ -47,7 +68,7 @@ let e_fetch cm_words =
   let w = float_of_int cm_words in
   e_fetch_base +. (e_fetch_per_word *. w) +. (e_fetch_per_word2 *. w *. w)
 
-let cgra (c : Cgra_arch.Cgra.t) (r : Cgra_sim.Simulator.result) =
+let cgra ?protect (c : Cgra_arch.Cgra.t) (r : Cgra_sim.Simulator.result) =
   let fetch = ref 0.0
   and compute = ref 0.0
   and moves = ref 0.0
@@ -65,6 +86,37 @@ let cgra (c : Cgra_arch.Cgra.t) (r : Cgra_sim.Simulator.result) =
       moves := !moves +. (float_of_int a.moves *. e_move);
       memory := !memory +. (float_of_int a.mem_ops *. (e_lsu +. e_dmem)))
     r.Cgra_sim.Simulator.activity;
+  (* Pay-for-protection terms: check-on-fetch, encode-on-write at
+     configuration load, scrub traffic (a CM read + check per scrubbed
+     word), and the leakage of the extra check-bit columns (check_bits/64
+     of the protected CM area, at CM leakage density).  All four are 0.0
+     when protection is off, leaving every float below bit-identical. *)
+  let protect_ev = ref 0.0 and protect_extra_uw = ref 0.0 in
+  (match protect, r.Cgra_sim.Simulator.ecc with
+   | Some profile, Some e ->
+     Array.iteri
+       (fun t (a : Cgra_sim.Simulator.activity) ->
+         let tile = c.Cgra_arch.Cgra.tiles.(t) in
+         let k =
+           Cgra_arch.Protection.for_cm profile
+             ~cm_words:(Cgra_arch.Cgra.base_cm c t)
+         in
+         if k <> Cgra_arch.Protection.Unprotected then begin
+           protect_ev :=
+             !protect_ev
+             +. (float_of_int a.fetches *. e_check k)
+             +. (float_of_int e.Cgra_sim.Simulator.written.(t) *. e_encode k)
+             +. (float_of_int e.Cgra_sim.Simulator.scrub_reads.(t)
+                 *. (e_fetch tile.cm_words +. e_check k));
+           protect_extra_uw :=
+             !protect_extra_uw
+             +. (float_of_int tile.cm_words *. Area.cm_word_um2
+                 *. (float_of_int (Cgra_arch.Protection.check_bits_of_kind k)
+                     /. 64.0)
+                 *. cm_leak_uw_per_um2)
+         end)
+       r.Cgra_sim.Simulator.activity
+   | _, _ -> ());
   let cm_um2 =
     Array.fold_left
       (fun acc t -> acc +. (float_of_int t.Cgra_arch.Cgra.cm_words *. Area.cm_word_um2))
@@ -75,13 +127,17 @@ let cgra (c : Cgra_arch.Cgra.t) (r : Cgra_sim.Simulator.result) =
     (cm_um2 *. cm_leak_uw_per_um2) +. (logic_um2 *. leak_uw_per_um2)
   in
   let leakage = leak_pj_of ~uw:system_uw ~cycles:r.cycles in
-  let total = !fetch +. !compute +. !moves +. !memory +. leakage in
+  let protect_pj =
+    !protect_ev +. leak_pj_of ~uw:!protect_extra_uw ~cycles:r.cycles
+  in
+  let total = !fetch +. !compute +. !moves +. !memory +. leakage +. protect_pj in
   {
     fetch_pj = !fetch;
     compute_pj = !compute;
     moves_pj = !moves;
     memory_pj = !memory;
     leakage_pj = leakage;
+    protect_pj;
     total_pj = total;
   }
 
@@ -100,6 +156,7 @@ let cpu (r : Cgra_cpu.Cpu_sim.result) =
     moves_pj = 0.0;
     memory_pj = memory;
     leakage_pj = leakage;
+    protect_pj = 0.0;
     total_pj = fetch +. compute +. memory +. leakage;
   }
 

@@ -16,14 +16,24 @@ type breakdown = {
   moves_pj : float;    (** routing moves, copies, neighbour reads *)
   memory_pj : float;   (** LSU + data-memory accesses *)
   leakage_pj : float;  (** area-proportional static energy over runtime *)
+  protect_pj : float;  (** ECC check-on-fetch, encode-on-write, scrub
+                           traffic, and check-bit column leakage; 0.0
+                           when protection is off *)
   total_pj : float;
 }
 
 val clock_mhz : float
 (** Common clock of CGRA and CPU (default 50 MHz). *)
 
-val cgra : Cgra_arch.Cgra.t -> Cgra_sim.Simulator.result -> breakdown
-(** Integrates the per-tile activity of a simulation run. *)
+val cgra :
+  ?protect:Cgra_arch.Protection.profile ->
+  Cgra_arch.Cgra.t ->
+  Cgra_sim.Simulator.result ->
+  breakdown
+(** Integrates the per-tile activity of a simulation run.  With
+    [?protect] (and a result carrying ECC counters), adds the
+    pay-for-protection terms into [protect_pj] and the total; without
+    it every field is bit-identical to the unprotected model. *)
 
 val cpu : Cgra_cpu.Cpu_sim.result -> breakdown
 (** CPU-side model: per-instruction fetch/decode/RF energy, data-memory

@@ -82,7 +82,22 @@ let run ?(deadline = Cgra_util.Deadline.never) (spec : Key.spec) =
       Ok (Unmappable { reason = "assembly: " ^ e })
     | prog -> (
       let mem = fresh_mem spec in
-      match Cgra_sim.Simulator.run prog ~mem with
+      (* Protection changes simulation and energy, never the mapping:
+         protected requests fetch through the ECC decoder (with the
+         default scrub cadence) and pay the protection energy terms.
+         With protection off, both calls are exactly the pre-existing
+         ones, keeping artifacts byte-identical. *)
+      let protect =
+        if Cgra_arch.Protection.is_none fc.FC.protection then None
+        else
+          Some
+            {
+              Cgra_sim.Simulator.profile = fc.FC.protection;
+              upsets = [];
+              scrub_interval = Cgra_arch.Protection.default_scrub_interval;
+            }
+      in
+      match Cgra_sim.Simulator.run ?protect prog ~mem with
       | exception Cgra_sim.Simulator.Sim_error e ->
         Error
           ("simulation failed: " ^ Cgra_sim.Simulator.error_to_string e)
@@ -97,7 +112,12 @@ let run ?(deadline = Cgra_util.Deadline.never) (spec : Key.spec) =
                  k.K.slug)
           | _ -> Ok ()
         in
-        let energy = Cgra_power.Energy.cgra cgra sim in
+        let energy =
+          match protect with
+          | None -> Cgra_power.Energy.cgra cgra sim
+          | Some _ ->
+            Cgra_power.Energy.cgra ~protect:fc.FC.protection cgra sim
+        in
         let bytes =
           Artifact.render ~key_digest:(Key.digest spec) ~spec prog sim energy
         in

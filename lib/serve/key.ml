@@ -28,7 +28,7 @@ type spec = {
 (* Bump on any change that can alter artifact bytes for an unchanged
    request: search algorithm, assembler encoding, simulator timing,
    energy constants, artifact layout. *)
-let code_version = "cgra_mapd-2"
+let code_version = "cgra_mapd-3"
 
 (* ---- flow knobs ------------------------------------------------------- *)
 
@@ -58,6 +58,7 @@ let knobs_of_config (fc : FC.t) =
     ("degrade", bool_knob fc.degrade);
     ("max_attempts", string_of_int fc.max_attempts);
     ("backend", FC.backend_to_string fc.backend);
+    ("protection", Cgra_arch.Protection.profile_to_string fc.protection);
   ]
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
@@ -121,6 +122,13 @@ let config_of_knobs knobs =
               Error
                 (Printf.sprintf
                    "knob backend: %S (expected beam|exact|portfolio)" v))
+          | "protection" -> (
+            match Cgra_arch.Protection.profile_of_string v with
+            | Some p -> Ok { fc with protection = p }
+            | None ->
+              Error
+                (Printf.sprintf "knob protection: %S (expected %s)" v
+                   Cgra_arch.Protection.valid_values))
           | _ -> Error (Printf.sprintf "unknown flow knob %S" name)))
     (Ok FC.default) knobs
 

@@ -16,12 +16,27 @@ type activity = {
 let zero_activity =
   { alu_ops = 0; mul_ops = 0; mem_ops = 0; moves = 0; fetches = 0; awake_cycles = 0 }
 
+(* Context-memory protection counters (protected runs only).  [detected]
+   counts every non-clean ECC verdict, corrections included; [corrected]
+   the subset repaired in place (fetch path and scrub alike);
+   [scrub_cycles] the background cycles the scrubber spent scanning
+   (one word read each); [scrub_reads] and [written] are per tile, for
+   the energy model's scrub-traffic and encode-on-write terms. *)
+type ecc = {
+  detected : int;
+  corrected : int;
+  scrub_cycles : int;
+  scrub_reads : int array;
+  written : int array;
+}
+
 type result = {
   cycles : int;
   stall_cycles : int;
   blocks_executed : int;
   instructions : int;
   activity : activity array;
+  ecc : ecc option;
 }
 
 type error =
@@ -38,6 +53,8 @@ type error =
   | Missing_condition of { block : int }
   | Unexecuted_instructions of { tile : int; block : int; left : int }
   | Runaway of { max_blocks : int }
+  | Uncorrectable_cm of { tile : int; word : int; block : int; cycle : int }
+  | Undecodable_cm of { tile : int; word : int; block : int; cycle : int }
 
 let error_to_string = function
   | Crf_out_of_range { tile; block; cycle; index; pool } ->
@@ -72,6 +89,13 @@ let error_to_string = function
     Printf.sprintf "tile %d section b%d: %d unexecuted instructions" tile block left
   | Runaway { max_blocks } ->
     Printf.sprintf "runaway execution (max_blocks = %d)" max_blocks
+  | Uncorrectable_cm { tile; word; block; cycle } ->
+    Printf.sprintf
+      "tile %d b%d@%d: uncorrectable context-memory error at word %d" tile
+      block cycle word
+  | Undecodable_cm { tile; word; block; cycle } ->
+    Printf.sprintf "tile %d b%d@%d: undecodable context word %d" tile block
+      cycle word
 
 exception Sim_error of error
 
@@ -84,17 +108,49 @@ let fail e = raise (Sim_error e)
 
 type rf_fault = { at_cycle : int; fault_tile : int; fault_reg : int; xor_mask : int }
 
+type upset = { up_tile : int; up_word : int; up_bit : int }
+
+type protect = {
+  profile : Cgra_arch.Protection.profile;
+  upsets : upset list;
+  scrub_interval : int;
+}
+
+module P = Cgra_arch.Protection
+module Ecc = Cgra_asm.Ecc
+
 (* Per-tile execution cursor within a section: remaining pnop cycles and
    the instruction stream. *)
 type cursor = { mutable stream : Isa.instr list; mutable sleep : int }
+
+(* Word-indexed cursor for protected runs, which fetch from the (possibly
+   upset) stored context image instead of the pristine instruction list. *)
+type wcursor = { mutable widx : int; wlimit : int; mutable wsleep : int }
+
+(* Protection-path state.  [stored] is the context image after upsets,
+   repaired in place by fetch-path correction and scrubbing; [checks] are
+   the write-time check bits from the pristine image. *)
+type pstate = {
+  kindof : P.kind array;
+  checks : int array array;
+  stored : int64 array array;
+  bases : int array array;  (* word offset of each section, per tile *)
+  mutable p_detected : int;
+  mutable p_corrected : int;
+  mutable p_scrub_cycles : int;
+  p_scrub_reads : int array;
+  p_written : int array;
+  interval : int;
+  mutable next_scrub : int;
+}
 
 type tstate = {
   rf : int array;
   mutable act : activity;
 }
 
-let run ?(mem_ports = 8) ?(max_blocks = 1_000_000) ?(rf_faults = []) (p : Asm.program)
-    ~mem =
+let run ?(mem_ports = 8) ?(max_blocks = 1_000_000) ?(rf_faults = []) ?protect
+    (p : Asm.program) ~mem =
   let m = p.Asm.mapping in
   let cgra = m.Cgra_core.Mapping.cgra in
   let cdfg = m.Cgra_core.Mapping.cdfg in
@@ -106,6 +162,64 @@ let run ?(mem_ports = 8) ?(max_blocks = 1_000_000) ?(rf_faults = []) (p : Asm.pr
       if f.fault_reg < 0 || f.fault_reg >= cgra.Cgra.rf_words then
         invalid_arg "Simulator.run: rf_fault register out of range")
     rf_faults;
+  (* Protected runs fetch through the ECC decoder from a stored image that
+     upsets may have corrupted; unprotected runs take the pre-existing
+     path untouched. *)
+  let prot =
+    match protect with
+    | None -> None
+    | Some pr ->
+      let kindof =
+        Array.init nt (fun t ->
+            P.for_cm pr.profile ~cm_words:(Cgra.base_cm cgra t))
+      in
+      let images = Array.init nt (fun t -> Asm.encode_tile p.Asm.tiles.(t)) in
+      let checks =
+        Array.init nt (fun t ->
+            Array.map (Ecc.check_bits kindof.(t)) images.(t))
+      in
+      let stored = Array.map Array.copy images in
+      List.iter
+        (fun u ->
+          if u.up_tile < 0 || u.up_tile >= nt then
+            invalid_arg "Simulator.run: upset tile out of range";
+          if u.up_word < 0 || u.up_word >= Array.length stored.(u.up_tile) then
+            invalid_arg "Simulator.run: upset word out of range";
+          if u.up_bit < 0 || u.up_bit > 63 then
+            invalid_arg "Simulator.run: upset bit out of range";
+          stored.(u.up_tile).(u.up_word) <-
+            Int64.logxor
+              stored.(u.up_tile).(u.up_word)
+              (Int64.shift_left 1L u.up_bit))
+        pr.upsets;
+      let bases =
+        Array.init nt (fun t ->
+            let secs = p.Asm.tiles.(t).Asm.sections in
+            let b = Array.make (Array.length secs) 0 in
+            let acc = ref 0 in
+            Array.iteri
+              (fun i sec ->
+                b.(i) <- !acc;
+                acc := !acc + List.length sec)
+              secs;
+            b)
+      in
+      Some
+        {
+          kindof;
+          checks;
+          stored;
+          bases;
+          p_detected = 0;
+          p_corrected = 0;
+          p_scrub_cycles = 0;
+          p_scrub_reads = Array.make nt 0;
+          p_written = Array.map Array.length images;
+          interval = pr.scrub_interval;
+          next_scrub =
+            (if pr.scrub_interval > 0 then pr.scrub_interval else max_int);
+        }
+  in
   let tstates =
     Array.init nt (fun _ ->
         { rf = Array.make cgra.Cgra.rf_words 0; act = zero_activity })
@@ -275,14 +389,130 @@ let run ?(mem_ports = 8) ?(max_blocks = 1_000_000) ?(rf_faults = []) (p : Asm.pr
           fail (Unexecuted_instructions { tile = t; block = bi; left = List.length cur.stream }))
       cursors
   in
+  (* Fetch one stored context word through the ECC decoder.  Corrections
+     write back; uncorrectable verdicts abort the run with a typed error
+     (the hardware's machine-check).  A clean-but-corrupted word (parity
+     escape, even flip count) decodes and executes as whatever it now
+     encodes — or fails typed if no longer decodable. *)
+  let fetch_ps ps t w ~block ~cycle =
+    let decode word =
+      match Isa.decode word with
+      | Ok i -> i
+      | Error _ -> fail (Undecodable_cm { tile = t; word = w; block; cycle })
+    in
+    match ps.kindof.(t) with
+    | P.Unprotected -> decode ps.stored.(t).(w)
+    | k -> (
+      match Ecc.decode k ~data:ps.stored.(t).(w) ~check:ps.checks.(t).(w) with
+      | Ecc.Clean -> decode ps.stored.(t).(w)
+      | Ecc.Corrected d ->
+        ps.p_detected <- ps.p_detected + 1;
+        ps.p_corrected <- ps.p_corrected + 1;
+        ps.stored.(t).(w) <- d;
+        decode d
+      | Ecc.Detected ->
+        ps.p_detected <- ps.p_detected + 1;
+        fail (Uncorrectable_cm { tile = t; word = w; block; cycle }))
+  in
+  (* One scrubber pass: read every protected word, correct correctable
+     errors in place, abort on detected-uncorrectable ones.  Scrub reads
+     happen in the background (no execution cycles), but are counted for
+     the energy model. *)
+  let scrub_pass ps ~block ~cycle =
+    Array.iteri
+      (fun t words ->
+        match ps.kindof.(t) with
+        | P.Unprotected -> ()
+        | k ->
+          Array.iteri
+            (fun w data ->
+              ps.p_scrub_reads.(t) <- ps.p_scrub_reads.(t) + 1;
+              ps.p_scrub_cycles <- ps.p_scrub_cycles + 1;
+              match Ecc.decode k ~data ~check:ps.checks.(t).(w) with
+              | Ecc.Clean -> ()
+              | Ecc.Corrected d ->
+                ps.p_detected <- ps.p_detected + 1;
+                ps.p_corrected <- ps.p_corrected + 1;
+                ps.stored.(t).(w) <- d
+              | Ecc.Detected ->
+                ps.p_detected <- ps.p_detected + 1;
+                fail (Uncorrectable_cm { tile = t; word = w; block; cycle }))
+            words)
+      ps.stored
+  in
+  let maybe_scrub ~block ~cycle =
+    match prot with
+    | None -> ()
+    | Some ps ->
+      while !cycles >= ps.next_scrub do
+        scrub_pass ps ~block ~cycle;
+        ps.next_scrub <- ps.next_scrub + ps.interval
+      done
+  in
+  (* The protected twin of [run_section]: same lock-step walk, but
+     instructions come from [fetch_ps] over the stored image, so every
+     fetch pays an ECC check and sees upsets that escaped correction. *)
+  let run_section_protected ps bi =
+    let len = p.Asm.section_length.(bi) in
+    let cursors =
+      Array.init nt (fun t ->
+          let base = ps.bases.(t).(bi) in
+          {
+            widx = base;
+            wlimit = base + List.length p.Asm.tiles.(t).Asm.sections.(bi);
+            wsleep = 0;
+          })
+    in
+    cond := None;
+    for cycle = 0 to len - 1 do
+      let mem_ops_before =
+        Array.fold_left (fun acc ts -> acc + ts.act.mem_ops) 0 tstates
+      in
+      Array.iteri
+        (fun t cur ->
+          if cur.wsleep > 0 then cur.wsleep <- cur.wsleep - 1
+          else if cur.widx >= cur.wlimit then ()
+          else
+            match fetch_ps ps t cur.widx ~block:bi ~cycle with
+            | Isa.Ipnop n ->
+              bump t (fun a -> { a with fetches = a.fetches + 1 });
+              cur.wsleep <- n - 1;
+              cur.widx <- cur.widx + 1
+            | instr ->
+              exec_instr t ~block:bi ~cycle instr;
+              cur.widx <- cur.widx + 1)
+        cursors;
+      commit ~block:bi ~cycle;
+      let mem_ops_now =
+        Array.fold_left (fun acc ts -> acc + ts.act.mem_ops) 0 tstates
+      in
+      let this_cycle = mem_ops_now - mem_ops_before in
+      let extra = if this_cycle = 0 then 0 else ((this_cycle - 1) / mem_ports) in
+      stalls := !stalls + extra;
+      let before = !cycles in
+      cycles := before + 1 + extra;
+      apply_faults before !cycles;
+      maybe_scrub ~block:bi ~cycle
+    done;
+    Array.iteri
+      (fun t cur ->
+        if cur.widx < cur.wlimit then
+          fail
+            (Unexecuted_instructions
+               { tile = t; block = bi; left = cur.wlimit - cur.widx }))
+      cursors
+  in
   let rec go bi =
     if !blocks >= max_blocks then fail (Runaway { max_blocks });
     incr blocks;
-    run_section bi;
+    (match prot with
+     | None -> run_section bi
+     | Some ps -> run_section_protected ps bi);
     (* Global controller: one transition cycle per block. *)
     let before = !cycles in
     incr cycles;
     apply_faults before !cycles;
+    maybe_scrub ~block:bi ~cycle:0;
     match cdfg.Cdfg.blocks.(bi).Cdfg.terminator with
     | Cdfg.Jump next -> go next
     | Cdfg.Branch (_, bt, be) -> (
@@ -298,6 +528,18 @@ let run ?(mem_ports = 8) ?(max_blocks = 1_000_000) ?(rf_faults = []) (p : Asm.pr
     blocks_executed = !blocks;
     instructions = !instrs;
     activity = Array.map (fun ts -> ts.act) tstates;
+    ecc =
+      (match prot with
+       | None -> None
+       | Some ps ->
+         Some
+           {
+             detected = ps.p_detected;
+             corrected = ps.p_corrected;
+             scrub_cycles = ps.p_scrub_cycles;
+             scrub_reads = ps.p_scrub_reads;
+             written = ps.p_written;
+           });
   }
 
 let total_activity r =

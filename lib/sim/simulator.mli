@@ -34,12 +34,28 @@ type activity = {
   awake_cycles : int;   (** cycles not clock-gated (executing, not pnop) *)
 }
 
+(** Context-memory protection counters, present only on protected runs.
+    [detected] counts every non-clean ECC verdict (corrections included);
+    [corrected] the subset repaired in place, whether on the fetch path
+    or by the scrubber.  [scrub_cycles] are background cycles (one word
+    read each) that do not extend execution; [scrub_reads] and [written]
+    are per tile, feeding the energy model's scrub-traffic and
+    encode-on-write terms. *)
+type ecc = {
+  detected : int;
+  corrected : int;
+  scrub_cycles : int;
+  scrub_reads : int array;   (** per tile *)
+  written : int array;       (** per tile: context words encoded at load *)
+}
+
 type result = {
   cycles : int;            (** total, including stalls and transitions *)
   stall_cycles : int;
   blocks_executed : int;
   instructions : int;      (** instructions executed (pnops excluded) *)
   activity : activity array;  (** per tile *)
+  ecc : ecc option;        (** [None] unless [run] was given [?protect] *)
 }
 
 (** Structured simulation errors.  [block] is the basic-block index of
@@ -59,6 +75,12 @@ type error =
   | Missing_condition of { block : int }
   | Unexecuted_instructions of { tile : int; block : int; left : int }
   | Runaway of { max_blocks : int }
+  | Uncorrectable_cm of { tile : int; word : int; block : int; cycle : int }
+      (** ECC detected an uncorrectable context-memory error (double-bit
+          under SECDED, any odd flip under parity) — the machine check *)
+  | Undecodable_cm of { tile : int; word : int; block : int; cycle : int }
+      (** a context word that escaped (or lacked) protection no longer
+          decodes to any instruction *)
 
 val error_to_string : error -> string
 
@@ -76,19 +98,47 @@ type rf_fault = {
     global cycle counter crosses [at_cycle], [xor_mask] is XORed into
     [fault_reg] of [fault_tile]. *)
 
+type upset = {
+  up_tile : int;
+  up_word : int;   (** index into the tile's context image *)
+  up_bit : int;    (** 0..63: data bits only, so injection sites are
+                       identical at every protection level *)
+}
+(** A context-memory bit-upset, applied to the stored image before
+    execution starts (a configuration-time soft error). *)
+
+type protect = {
+  profile : Cgra_arch.Protection.profile;
+  upsets : upset list;
+  scrub_interval : int;
+      (** global cycles between background scrub passes; [<= 0] disables
+          scrubbing ({!Cgra_arch.Protection.default_scrub_interval} is
+          the conventional value) *)
+}
+(** Context-memory protection for a run.  Every fetch goes through the
+    ECC decoder against check bits computed from the pristine image
+    (encode-on-write); single-bit errors are corrected in place under
+    SECDED, uncorrectable ones raise {!Sim_error} [Uncorrectable_cm].
+    The scrubber additionally sweeps all protected words every
+    [scrub_interval] cycles in the background. *)
+
 val run :
   ?mem_ports:int ->
   ?max_blocks:int ->
   ?rf_faults:rf_fault list ->
+  ?protect:protect ->
   Cgra_asm.Assemble.program ->
   mem:int array ->
   result
 (** [run program ~mem] executes from the entry block until [Return],
     mutating [mem].  Symbol RF slots start at zero, matching the
     reference interpreter.  Defaults: [mem_ports = 8],
-    [max_blocks = 1_000_000], [rf_faults = []].  Raises {!Sim_error} on a
-    malformed program (missing condition, out-of-range memory access,
-    write conflict, runaway loop); raises [Invalid_argument] if an
-    [rf_fault] names a tile or register outside the fabric. *)
+    [max_blocks = 1_000_000], [rf_faults = []], no protection.  Raises
+    {!Sim_error} on a malformed program (missing condition, out-of-range
+    memory access, write conflict, runaway loop) and on uncorrectable or
+    undecodable context words under [?protect]; raises
+    [Invalid_argument] if an [rf_fault] or [upset] names a site outside
+    the fabric.  Without [?protect] the simulation is bit-for-bit the
+    pre-existing unprotected path ([result.ecc = None]). *)
 
 val total_activity : result -> activity

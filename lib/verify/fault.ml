@@ -16,6 +16,8 @@ type outcome =
   | Wrong_output
   | Crash of string
   | Hang
+  | Detected
+  | Corrected
 
 type trial = { index : int; injection : injection; outcome : outcome }
 
@@ -25,6 +27,8 @@ type summary = {
   wrong_output : int;
   crash : int;
   hang : int;
+  detected : int;
+  corrected : int;
 }
 
 type campaign = {
@@ -46,6 +50,8 @@ let outcome_to_string = function
   | Wrong_output -> "wrong-output"
   | Crash e -> "crash: " ^ e
   | Hang -> "hang"
+  | Detected -> "detected"
+  | Corrected -> "corrected"
 
 let summarize runs =
   List.fold_left
@@ -54,8 +60,18 @@ let summarize runs =
       | Masked -> { s with masked = s.masked + 1 }
       | Wrong_output -> { s with wrong_output = s.wrong_output + 1 }
       | Crash _ -> { s with crash = s.crash + 1 }
-      | Hang -> { s with hang = s.hang + 1 })
-    { trials = List.length runs; masked = 0; wrong_output = 0; crash = 0; hang = 0 }
+      | Hang -> { s with hang = s.hang + 1 }
+      | Detected -> { s with detected = s.detected + 1 }
+      | Corrected -> { s with corrected = s.corrected + 1 })
+    {
+      trials = List.length runs;
+      masked = 0;
+      wrong_output = 0;
+      crash = 0;
+      hang = 0;
+      detected = 0;
+      corrected = 0;
+    }
     runs
 
 (* Rebuild one tile's program from its bit-flipped binary image.  The
@@ -85,19 +101,34 @@ let reassemble_tile (tp : Asm.tile_program) (words : int64 array) =
     Ok { tp with Asm.sections }
 
 let run_trial ~key ~seed ~mem_ports ~max_blocks ~(program : Asm.program)
-    ~ctx_words ~ctx_sites ~crf_sites ~golden_cycles ~fresh_mem ~golden index =
+    ~ctx_words ~ctx_sites ~crf_sites ~golden_cycles ~fresh_mem ~golden ~protect
+    ~cm_only index =
   let rng = Rng.create (Rng.seed_of ~base:seed (key ^ "#" ^ string_of_int index)) in
   let cgra = program.Asm.mapping.Cgra_core.Mapping.cgra in
   let nt = Cgra.tile_count cgra in
+  (* RF injections must land on live resources: a trial targeting a dead
+     tile of an actively degraded array ([--faults]) exercises nothing and
+     would count as a spurious mask.  Context and CRF sites are already
+     live by construction — the site walk below enumerates the assembled
+     program, which places no words on dead tiles and none beyond a
+     stuck-row-reduced capacity.  On a pristine array [live] is the
+     identity, so the draw below is byte-identical to [Rng.int rng nt]. *)
+  let live =
+    Array.of_list (List.filter (Cgra.alive cgra) (List.init nt Fun.id))
+  in
   (* Class mix: context memory is the paper's dominant structure, so it
      takes half the injections; the rest split between the constant pools
-     (when any exist) and live RF state. *)
+     (when any exist) and live RF state.  [cm_only] campaigns (the
+     protection report) draw nothing for the class, so sites coincide at
+     every protection level. *)
   let kind =
-    let r = Rng.int rng 100 in
-    if r < 50 && ctx_sites > 0 then `Ctx
-    else if r < 75 && crf_sites > 0 then `Crf
-    else if ctx_sites > 0 && Rng.bool rng then `Ctx
-    else `Rf
+    if cm_only then `Ctx
+    else
+      let r = Rng.int rng 100 in
+      if r < 50 && ctx_sites > 0 then `Ctx
+      else if r < 75 && crf_sites > 0 then `Crf
+      else if ctx_sites > 0 && Rng.bool rng then `Ctx
+      else `Rf
   in
   let injection =
     match kind with
@@ -122,18 +153,24 @@ let run_trial ~key ~seed ~mem_ports ~max_blocks ~(program : Asm.program)
       Rf_bit
         {
           cycle = Rng.int rng (max 1 golden_cycles);
-          tile = Rng.int rng nt;
+          tile = live.(Rng.int rng (Array.length live));
           reg = Rng.int rng cgra.Cgra.rf_words;
           bit = Rng.int rng 32;
         }
   in
-  let faulted, rf_faults =
+  (* Under protection, a context upset is handed to the simulator as a
+     stored-image [upset] so the ECC fetch path sees it; unprotected
+     campaigns keep the pre-existing reassembly route.  [faulted] carries
+     the program, the RF fault list and the upset list. *)
+  let faulted, rf_faults, upsets =
     match injection with
+    | Context_bit { tile; word; bit } when protect <> None ->
+      (Ok program, [], [ { Sim.up_tile = tile; up_word = word; up_bit = bit } ])
     | Context_bit { tile; word; bit } ->
       let words = Array.copy ctx_words.(tile) in
       words.(word) <- Int64.logxor words.(word) (Int64.shift_left 1L bit);
       (match reassemble_tile program.Asm.tiles.(tile) words with
-       | Error e -> (Error ("undecodable context word: " ^ e), [])
+       | Error e -> (Error ("undecodable context word: " ^ e), [], [])
        | Ok tp ->
          ( Ok
              {
@@ -143,6 +180,7 @@ let run_trial ~key ~seed ~mem_ports ~max_blocks ~(program : Asm.program)
                    (fun i t -> if i = tile then tp else t)
                    program.Asm.tiles;
              },
+           [],
            [] ))
     | Crf_bit { tile; index; bit } ->
       let tp = program.Asm.tiles.(tile) in
@@ -156,6 +194,7 @@ let run_trial ~key ~seed ~mem_ports ~max_blocks ~(program : Asm.program)
                 (fun i t -> if i = tile then { tp with Asm.crf } else t)
                 program.Asm.tiles;
           },
+        [],
         [] )
     | Rf_bit { cycle; tile; reg; bit } ->
       ( Ok program,
@@ -166,24 +205,52 @@ let run_trial ~key ~seed ~mem_ports ~max_blocks ~(program : Asm.program)
             fault_reg = reg;
             xor_mask = 1 lsl bit;
           };
-        ] )
+        ],
+        [] )
   in
   let outcome =
     match faulted with
     | Error e -> Crash e
     | Ok p -> (
       let mem = fresh_mem () in
-      match Sim.run ~mem_ports ~max_blocks ~rf_faults p ~mem with
-      | exception Sim.Sim_error (Sim.Runaway _) -> Hang
-      | exception Sim.Sim_error e -> Crash (Sim.error_to_string e)
-      | _ -> if mem = golden then Masked else Wrong_output)
+      match protect with
+      | None -> (
+        match Sim.run ~mem_ports ~max_blocks ~rf_faults p ~mem with
+        | exception Sim.Sim_error (Sim.Runaway _) -> Hang
+        | exception Sim.Sim_error e -> Crash (Sim.error_to_string e)
+        | _ -> if mem = golden then Masked else Wrong_output)
+      | Some pr -> (
+        let pr = { pr with Sim.upsets } in
+        match Sim.run ~mem_ports ~max_blocks ~rf_faults ~protect:pr p ~mem with
+        | exception Sim.Sim_error (Sim.Runaway _) -> Hang
+        | exception Sim.Sim_error (Sim.Uncorrectable_cm _) -> Detected
+        | exception Sim.Sim_error e -> Crash (Sim.error_to_string e)
+        | r ->
+          if mem = golden then
+            match r.Sim.ecc with
+            | Some e when e.Sim.corrected > 0 -> Corrected
+            | _ -> Masked
+          else Wrong_output))
   in
   { index; injection; outcome }
 
-let run_campaign ?jobs ?(mem_ports = 8) ~seed ~trials ~key ~fresh_mem
-    (program : Asm.program) =
+let run_campaign ?jobs ?(mem_ports = 8) ?protect ?(cm_only = false) ~seed
+    ~trials ~key ~fresh_mem (program : Asm.program) =
+  (* An all-Unprotected profile is the same campaign as no profile at all;
+     normalise so the unprotected path stays the pre-existing one. *)
+  let protect =
+    match protect with
+    | Some p when not (Cgra_arch.Protection.is_none p) ->
+      Some
+        {
+          Sim.profile = p;
+          upsets = [];
+          scrub_interval = Cgra_arch.Protection.default_scrub_interval;
+        }
+    | Some _ | None -> None
+  in
   let golden = fresh_mem () in
-  let baseline = Sim.run ~mem_ports program ~mem:golden in
+  let baseline = Sim.run ~mem_ports ?protect program ~mem:golden in
   (* Corrupted control flow must terminate quickly: anything running past a
      generous multiple of the fault-free block count is a hang. *)
   let max_blocks = (baseline.Sim.blocks_executed * 4) + 64 in
@@ -195,7 +262,8 @@ let run_campaign ?jobs ?(mem_ports = 8) ~seed ~trials ~key ~fresh_mem
   let runs =
     Pool.map ?jobs
       (run_trial ~key ~seed ~mem_ports ~max_blocks ~program ~ctx_words ~ctx_sites
-         ~crf_sites ~golden_cycles:baseline.Sim.cycles ~fresh_mem ~golden)
+         ~crf_sites ~golden_cycles:baseline.Sim.cycles ~fresh_mem ~golden
+         ~protect ~cm_only)
       (List.init trials Fun.id)
   in
   { summary = summarize runs; runs; golden_cycles = baseline.Sim.cycles }

@@ -10,7 +10,12 @@
     - {e crash}: an undecodable context word, or a typed
       {!Cgra_sim.Simulator.Sim_error};
     - {e hang}: execution past 4x the fault-free block count
-      ([max_blocks], surfacing as [Runaway]).
+      ([max_blocks], surfacing as [Runaway]);
+    - {e detected} (protected campaigns only): ECC flagged an
+      uncorrectable context error and halted the run — a machine check,
+      not a silent escape;
+    - {e corrected} (protected campaigns only): the run completed with
+      the right memory after at least one in-place ECC correction.
 
     Determinism: trial [i] of a campaign draws from its own keyed split
     [Rng.seed_of ~base:seed (key ^ "#" ^ i)], so the classification — and
@@ -27,6 +32,8 @@ type outcome =
   | Wrong_output
   | Crash of string
   | Hang
+  | Detected   (** uncorrectable context error caught by ECC *)
+  | Corrected  (** completed correctly after in-place ECC correction *)
 
 type trial = { index : int; injection : injection; outcome : outcome }
 
@@ -36,6 +43,8 @@ type summary = {
   wrong_output : int;
   crash : int;
   hang : int;
+  detected : int;   (** 0 on unprotected campaigns *)
+  corrected : int;  (** 0 on unprotected campaigns *)
 }
 
 type campaign = {
@@ -50,6 +59,8 @@ val outcome_to_string : outcome -> string
 val run_campaign :
   ?jobs:int ->
   ?mem_ports:int ->
+  ?protect:Cgra_arch.Protection.profile ->
+  ?cm_only:bool ->
   seed:int ->
   trials:int ->
   key:string ->
@@ -62,7 +73,22 @@ val run_campaign :
     (parallelised over [jobs] domains; default
     {!Cgra_util.Pool.default_jobs}).  [key] names the campaign — use a
     distinct key per (kernel, config, flow) point so campaigns draw
-    independent streams.  The input [program] is never mutated. *)
+    independent streams.  The input [program] is never mutated.
+
+    RF injections target only live tiles of the (possibly degraded)
+    array; context and CRF sites are live by construction, since the
+    assembled program places no words on dead tiles and none beyond a
+    stuck-row-reduced capacity.
+
+    With [?protect] (a non-[none] profile), trials run through the ECC
+    fetch path with the default scrub cadence: context upsets are planted
+    in the stored image instead of reassembled, uncorrectable errors
+    classify as [Detected], corrected-then-completed runs as
+    [Corrected].  Injection sampling never consults the profile, so trial
+    [i] of a given [key]/[seed] flips the same bit at every protection
+    level.  [?cm_only] restricts every trial to context-memory upsets
+    (the protection report's mode); default [false].  Omitting both
+    keeps the campaign byte-identical to the pre-existing one. *)
 
 val sample_permanent : Cgra_util.Rng.t -> Cgra_arch.Cgra.t -> Cgra_arch.Cgra.fault
 (** One random permanent fault on the (pristine) array: 20% dead tile,

@@ -38,6 +38,7 @@ let synthetic_result ~cycles ~per_tile =
     blocks_executed = 1;
     instructions = 16 * (per_tile.Cgra_sim.Simulator.alu_ops + per_tile.mem_ops + per_tile.moves);
     activity = Array.make 16 per_tile;
+    ecc = None;
   }
 
 let activity =
